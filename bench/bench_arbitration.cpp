@@ -1,0 +1,107 @@
+// Ablation A — the seven arbitration filters (§3.3, §3.7 "arbitration
+// algorithm on/off").  The paper states the filters exist to "maximize bus
+// utilization and guarantee master's QoS"; this bench quantifies both
+// claims by disabling one mechanism at a time on the RT-stream mix and
+// reporting QoS misses, RT latency and total runtime.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "stats/report.hpp"
+
+namespace {
+
+/// RT-stream mix with the real-time master at the *lowest* fixed priority
+/// (index 3): any QoS the RT master receives is then attributable to the
+/// filters, not to its position in the final priority tie-break.
+ahbp::core::PlatformConfig rt_last_mix(unsigned items) {
+  using namespace ahbp;
+  core::PlatformConfig cfg = core::default_platform(4, 7, items);
+  cfg.masters[0].traffic.kind = traffic::PatternKind::kDma;
+  cfg.masters[0].traffic.dma_burst_beats = 16;
+  cfg.masters[0].qos.objective = 128;
+  cfg.masters[1].traffic.kind = traffic::PatternKind::kCpu;
+  cfg.masters[1].traffic.mean_gap = 1;
+  cfg.masters[2].traffic.kind = traffic::PatternKind::kRandom;
+  cfg.masters[2].qos.objective = 0;
+  cfg.masters[3].qos = {ahb::MasterClass::kRealTime, 32};
+  cfg.masters[3].traffic.kind = traffic::PatternKind::kRtStream;
+  cfg.masters[3].traffic.period = 24;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ahbp;
+  const unsigned items =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 300;
+
+  std::cout << "=== Ablation A: arbitration filters (TLM, RT master at the"
+               " lowest fixed priority, "
+            << items << " txns/master) ===\n\n";
+
+  struct Variant {
+    const char* name;
+    std::uint8_t mask;
+  };
+  const std::uint8_t all = ahb::kAllFilters;
+  const Variant variants[] = {
+      {"all seven filters", all},
+      {"no urgency filter",
+       ahb::with_filter(all, ahb::FilterBit::kUrgency, false)},
+      {"no qos-budget filter",
+       ahb::with_filter(all, ahb::FilterBit::kQosBudget, false)},
+      {"no bank filter", ahb::with_filter(all, ahb::FilterBit::kBank, false)},
+      {"no round-robin",
+       ahb::with_filter(all, ahb::FilterBit::kRoundRobin, false)},
+      {"fixed priority only",
+       ahb::with_filter(
+           ahb::with_filter(
+               ahb::with_filter(
+                   ahb::with_filter(all, ahb::FilterBit::kUrgency, false),
+                   ahb::FilterBit::kQosBudget, false),
+               ahb::FilterBit::kBank, false),
+           ahb::FilterBit::kRoundRobin, false)},
+  };
+
+  stats::TextTable t({"arbitration", "cycles", "RT qos misses", "RT wait avg",
+                      "RT wait p99", "RT wait max", "util"});
+  std::uint64_t max_all = 0, max_none = 0;
+  std::uint32_t objective = 0;
+  for (const Variant& v : variants) {
+    auto cfg = rt_last_mix(items);
+    objective = cfg.masters[3].qos.objective;
+    cfg.bus.filter_mask = v.mask;
+    const auto r = core::run_tlm(cfg);
+    const auto& rt = r.profile.masters[3];
+    if (std::string(v.name) == "all seven filters") {
+      max_all = rt.grant_wait.summary().max();
+    }
+    if (std::string(v.name) == "fixed priority only") {
+      max_none = rt.grant_wait.summary().max();
+    }
+    t.add_row({v.name, std::to_string(r.cycles),
+               std::to_string(rt.qos_misses),
+               stats::fmt_double(rt.grant_wait.summary().mean(), 1),
+               std::to_string(rt.grant_wait.percentile_upper(99)),
+               std::to_string(rt.grant_wait.summary().max()),
+               stats::fmt_percent(r.profile.bus.utilization())});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nthe guarantee the paper's §2 claims is about the *tail*: the"
+         " full chain bounds\nthe RT master's worst-case wait near its "
+      << objective
+      << "-cycle objective, while plain fixed\npriority leaves the lowest-"
+         "priority RT master open to unbounded starvation\n(occasional"
+         " thousand-cycle waits), even when its average looks acceptable.\n";
+  const bool ok = max_all <= 4ull * objective && max_none > max_all;
+  std::cout << "\nRESULT: " << (ok ? "OK" : "FAIL") << " (full-chain max "
+            << max_all << " <= 4x objective; fixed-priority max " << max_none
+            << ")\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+// Kernel micro-benchmarks (google-benchmark): the cost asymmetry behind
+// the paper's §4 modeling choices — method-based components on the 2-step
+// cycle kernel vs signal processes with delta cycles on the event kernel.
+// These are the per-primitive numbers that aggregate into bench_speed's
+// whole-model ratio.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/cycle_kernel.hpp"
+#include "sim/event_kernel.hpp"
+
+namespace {
+
+using namespace ahbp::sim;
+
+// One cycle of a 2-step cycle kernel hosting N trivial components.
+void BM_CycleKernelStep(benchmark::State& state) {
+  const int components = static_cast<int>(state.range(0));
+  CycleKernel k;
+  std::vector<std::unique_ptr<CallbackClocked>> comps;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < components; ++i) {
+    comps.push_back(std::make_unique<CallbackClocked>(
+        "c" + std::to_string(i), i, [&acc](Cycle now) { acc += now; }));
+    k.add(*comps.back());
+  }
+  for (auto _ : state) {
+    k.step();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * components);
+}
+BENCHMARK(BM_CycleKernelStep)->Arg(4)->Arg(8)->Arg(32);
+
+// One clock cycle of the event kernel with N posedge processes each
+// committing one signal write — the RTL fabric's base cost.
+void BM_EventKernelClockedProcesses(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  EventKernel k;
+  Clock clk(k, "clk", 2);
+  std::vector<std::unique_ptr<Signal<std::uint64_t>>> sigs;
+  std::vector<std::unique_ptr<Process>> ps;
+  std::uint64_t n = 0;
+  for (int i = 0; i < procs; ++i) {
+    sigs.push_back(std::make_unique<Signal<std::uint64_t>>(
+        k, "s" + std::to_string(i)));
+    auto* sig = sigs.back().get();
+    ps.push_back(std::make_unique<Process>(k, "p" + std::to_string(i),
+                                           [sig, &n] { sig->write(++n); }));
+    clk.signal().subscribe(*ps.back(), Edge::kPos);
+  }
+  Tick t = 0;
+  for (auto _ : state) {
+    t += 2;
+    k.run_until(t);
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_EventKernelClockedProcesses)->Arg(8)->Arg(32)->Arg(128);
+
+// Pure signal commit cost (write + update phase, no subscribers).
+void BM_SignalCommit(benchmark::State& state) {
+  EventKernel k;
+  Signal<std::uint64_t> s(k, "s");
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    s.write(++v);
+    k.settle();
+  }
+  benchmark::DoNotOptimize(s.read());
+}
+BENCHMARK(BM_SignalCommit);
+
+// Delta cascade: a chain of N combinational processes settles per write —
+// the ripple/mux cost class of the pin-level model.
+void BM_DeltaCascade(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  EventKernel k;
+  std::vector<std::unique_ptr<Signal<std::uint64_t>>> sigs;
+  for (int i = 0; i <= depth; ++i) {
+    sigs.push_back(std::make_unique<Signal<std::uint64_t>>(
+        k, "n" + std::to_string(i)));
+  }
+  std::vector<std::unique_ptr<Process>> ps;
+  for (int i = 0; i < depth; ++i) {
+    auto* in = sigs[i].get();
+    auto* out = sigs[i + 1].get();
+    ps.push_back(std::make_unique<Process>(
+        k, "f" + std::to_string(i), [in, out] { out->write(in->read() + 1); }));
+    in->subscribe(*ps.back());
+  }
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    sigs[0]->write(++v);
+    k.settle();
+  }
+  benchmark::DoNotOptimize(sigs[depth]->read());
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_DeltaCascade)->Arg(4)->Arg(16)->Arg(64);
+
+// Timed-event scheduling throughput (the clock generator's cost class).
+void BM_TimedEvents(benchmark::State& state) {
+  EventKernel k;
+  Tick t = 0;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    k.schedule(1, [&fired] { ++fired; });
+    ++t;
+    k.run_until(t);
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_TimedEvents);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Ablation D — the QoS guarantee (§2): "AMBA2.0 ... cannot guarantee
+// master's QoS.  AHB+ is designed to address this issue."  A real-time
+// stream shares the bus with an increasing number of DMA hogs; the bench
+// sweeps the load and reports the RT master's grant-wait distribution and
+// objective misses with the AHB+ QoS machinery on and off.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "stats/report.hpp"
+
+namespace {
+
+ahbp::core::PlatformConfig make_load(unsigned hogs, unsigned items,
+                                     bool qos_on) {
+  using namespace ahbp;
+  core::PlatformConfig cfg = core::default_platform(1 + hogs, 17, items);
+  // Master 0: the RT stream with a 48-cycle objective.
+  cfg.masters[0].qos.cls = ahb::MasterClass::kRealTime;
+  cfg.masters[0].qos.objective = 48;
+  cfg.masters[0].traffic.kind = traffic::PatternKind::kRtStream;
+  cfg.masters[0].traffic.period = 40;
+  // Hogs: DMA bursts back to back.
+  for (unsigned m = 1; m <= hogs; ++m) {
+    cfg.masters[m].qos.cls = ahb::MasterClass::kNonRealTime;
+    cfg.masters[m].qos.objective = 64;
+    cfg.masters[m].traffic.kind = traffic::PatternKind::kDma;
+    cfg.masters[m].traffic.dma_burst_beats = 16;
+  }
+  if (!qos_on) {
+    // Strip the QoS stages: plain bank-aware round-robin remains.
+    cfg.bus.filter_mask = ahb::with_filter(
+        ahb::with_filter(ahb::kAllFilters, ahb::FilterBit::kUrgency, false),
+        ahb::FilterBit::kQosBudget, false);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ahbp;
+  const unsigned items =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 250;
+
+  std::cout << "=== Ablation D: QoS guarantee under load (TLM, RT stream +"
+               " N DMA hogs, objective 48 cycles) ===\n\n";
+
+  stats::TextTable t({"DMA hogs", "QoS filters", "RT wait avg", "RT wait p99",
+                      "RT wait max", "RT misses", "hog bytes/cyc"});
+  std::uint64_t max_qos_heavy = 0, max_noqos_heavy = 0;
+  for (const unsigned hogs : {1u, 2u, 3u}) {
+    for (const bool qos_on : {true, false}) {
+      const auto cfg = make_load(hogs, items, qos_on);
+      const auto r = core::run_tlm(cfg);
+      const auto& rt = r.profile.masters[0];
+      std::uint64_t hog_bytes = 0;
+      for (unsigned m = 1; m <= hogs; ++m) {
+        hog_bytes += r.profile.masters[m].bytes_read +
+                     r.profile.masters[m].bytes_written;
+      }
+      if (hogs == 3 && qos_on) {
+        max_qos_heavy = rt.grant_wait.summary().max();
+      }
+      if (hogs == 3 && !qos_on) {
+        max_noqos_heavy = rt.grant_wait.summary().max();
+      }
+      t.add_row({std::to_string(hogs), qos_on ? "on" : "off",
+                 stats::fmt_double(rt.grant_wait.summary().mean(), 1),
+                 std::to_string(rt.grant_wait.percentile_upper(99)),
+                 std::to_string(rt.grant_wait.summary().max()),
+                 std::to_string(rt.qos_misses),
+                 stats::fmt_double(static_cast<double>(hog_bytes) /
+                                       static_cast<double>(r.cycles),
+                                   3)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nexpected shape: the guarantee is about the tail — with the"
+               " QoS filters on the\nRT master's worst-case wait stays near"
+               " its objective as hogs are added; with\nthem off the tail"
+               " grows with load (near-objective misses may occur either"
+               " way).\n";
+  const bool ok = max_qos_heavy < max_noqos_heavy;
+  std::cout << "\nRESULT: " << (ok ? "OK" : "FAIL")
+            << " (3-hog worst-case wait: qos-on " << max_qos_heavy
+            << " < qos-off " << max_noqos_heavy << ")\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Ablation B — write buffer depth (§3.3, §3.7 "write buffer depth" /
+// "write buffer on/off").  The paper's write buffer exists "for the
+// purpose of processing write transactions more speedy and efficiently";
+// this bench sweeps depth 0 (off) through 16 on a write-heavy mix and
+// reports write latency, absorption rate and total runtime.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "stats/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ahbp;
+  const unsigned items =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 300;
+
+  std::cout << "=== Ablation B: write buffer depth sweep (TLM, streaming-"
+               "write DMA mix, "
+            << items << " txns/master) ===\n\n"
+            << "    (the buffer targets posted streaming writes — writes"
+               " that are re-read\n     immediately serialize on the RAW"
+               " hazard instead and gain nothing)\n\n";
+
+  // Streaming writes (DMA copy loops): write cursors march forward, reads
+  // come from disjoint halves, so drains never block dependent reads.
+  auto base = core::table1_workloads(items, 5)[5].config;  // dma-2
+  for (auto& m : base.masters) {
+    if (m.traffic.kind == traffic::PatternKind::kCpu ||
+        m.traffic.kind == traffic::PatternKind::kRandom) {
+      m.traffic.read_ratio = 0.9;  // keep the non-DMA masters read-mostly
+    }
+  }
+
+  stats::TextTable t({"depth", "cycles", "wr lat avg", "wr lat max",
+                      "absorbed", "full stalls", "util"});
+  sim::Cycle cycles_off = 0, cycles_deep = 0;
+  for (const unsigned depth : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    auto cfg = base;
+    cfg.bus.write_buffer_enabled = depth > 0;
+    cfg.bus.write_buffer_depth = depth;
+    const auto r = core::run_tlm(cfg);
+    // Aggregate write latency over all masters.
+    stats::Summary lat;
+    for (const auto& m : r.profile.masters) {
+      if (m.latency.summary().count() > 0) {
+        // grant_wait/latency histograms mix reads and writes; use the
+        // buffered-write count + latency summary as the sweep signal.
+        lat.add(static_cast<std::uint64_t>(m.latency.summary().mean()));
+      }
+    }
+    if (depth == 0) {
+      cycles_off = r.cycles;
+    }
+    if (depth == 16) {
+      cycles_deep = r.cycles;
+    }
+    t.add_row({depth == 0 ? "off" : std::to_string(depth),
+               std::to_string(r.cycles), stats::fmt_double(lat.mean(), 1),
+               std::to_string(lat.max()),
+               std::to_string(r.profile.write_buffer.absorbed),
+               std::to_string(r.profile.write_buffer.full_stalls),
+               stats::fmt_percent(r.profile.bus.utilization())});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nexpected shape: enabling the buffer cuts write latency and"
+               " total cycles;\nreturns diminish once the depth covers the"
+               " drain bandwidth (paper §3.3).\n";
+  const bool ok = cycles_deep < cycles_off;
+  std::cout << "\nRESULT: " << (ok ? "OK" : "FAIL") << " (depth-16 runtime "
+            << cycles_deep << " < buffer-off runtime " << cycles_off << ")\n";
+  return ok ? 0 : 1;
+}

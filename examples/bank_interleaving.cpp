@@ -1,0 +1,64 @@
+// Bank interleaving through the BI (§2, §3.4): the arbiter announces the
+// next transaction to the DDR controller ahead of its address phase, so
+// the controller can open the target bank while the current transfer
+// still streams.  This example shows the mechanism directly: two masters
+// ping-pong between two banks, and we compare DDR command flow and
+// runtime with the BI hints on and off.
+
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "stats/report.hpp"
+
+namespace {
+
+ahbp::core::PlatformConfig make_pingpong(bool hints) {
+  using namespace ahbp;
+  core::PlatformConfig cfg = core::default_platform(2, 7, 400);
+  // Both masters stream sequentially.  Offsetting the second window by one
+  // row page keeps the two streams in *different* banks at any moment, so
+  // the next-transaction hint can open the other stream's bank while the
+  // current one transfers — the interleaving the BI exists for.  (Had the
+  // windows been bank-aligned on top of each other, the streams would
+  // fight over one bank and speculation could only thrash.)
+  for (auto& m : cfg.masters) {
+    m.traffic.kind = traffic::PatternKind::kDma;
+    m.traffic.dma_burst_beats = 8;
+  }
+  cfg.masters[1].traffic.base += cfg.geom.row_bytes();
+  cfg.bus.bi_hints_enabled = hints;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ahbp;
+
+  stats::TextTable t({"BI hints", "cycles", "row hit", "hint ACT",
+                      "row conflicts", "throughput B/cyc", "util"});
+  sim::Cycle with_hints = 0, without_hints = 0;
+  for (const bool hints : {true, false}) {
+    const auto r = core::run_tlm(make_pingpong(hints));
+    (hints ? with_hints : without_hints) = r.cycles;
+    t.add_row({hints ? "on" : "off", std::to_string(r.cycles),
+               stats::fmt_percent(r.profile.ddr.row_hit_rate()),
+               std::to_string(r.profile.ddr.hits.hint_activates),
+               std::to_string(r.profile.ddr.hits.row_conflicts),
+               stats::fmt_double(r.profile.bus.throughput(), 3),
+               stats::fmt_percent(r.profile.bus.utilization())});
+  }
+
+  std::cout << "two DMA streams ping-ponging across DDR banks:\n\n";
+  t.print(std::cout);
+  std::cout << "\nwith the BI hint the controller pre-activates the next"
+               " stream's bank during\nthe current data phase (hint ACT"
+               " column) — the §2 'bank interleaving' that\nlets the next"
+               " data start right after the previous data finishes.\n";
+  std::cout << "\ncycles " << (with_hints <= without_hints ? "saved: " : "lost: ")
+            << (with_hints <= without_hints ? without_hints - with_hints
+                                            : with_hints - without_hints)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The paper's motivating scenario (§2): "AMBA2.0 ... cannot guarantee
+// master's QoS.  AHB+ is designed to address this issue."
+//
+// A real-time display stream must fetch a line every 40 cycles with a
+// 48-cycle deadline while three DMA engines hammer the bus.  We run the
+// same system twice — once as plain AHB (QoS filters off) and once as
+// AHB+ — and show the deadline behaviour of the stream.
+
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "stats/report.hpp"
+
+namespace {
+
+ahbp::core::PlatformConfig make_system(bool ahb_plus) {
+  using namespace ahbp;
+  core::PlatformConfig cfg = core::default_platform(4, 2024, 300);
+  cfg.masters[0].qos = {ahb::MasterClass::kRealTime, 48};
+  cfg.masters[0].traffic.kind = traffic::PatternKind::kRtStream;
+  cfg.masters[0].traffic.period = 40;
+  for (unsigned m = 1; m < 4; ++m) {
+    cfg.masters[m].traffic.kind = traffic::PatternKind::kDma;
+    cfg.masters[m].traffic.dma_burst_beats = 16;
+  }
+  if (!ahb_plus) {
+    cfg.bus.filter_mask = ahb::with_filter(
+        ahb::with_filter(ahb::kAllFilters, ahb::FilterBit::kUrgency, false),
+        ahb::FilterBit::kQosBudget, false);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ahbp;
+
+  stats::TextTable t({"bus", "RT wait avg", "RT wait p99", "RT wait max",
+                      "deadline misses", "DMA throughput B/cyc"});
+  for (const bool ahb_plus : {false, true}) {
+    const auto r = core::run_tlm(make_system(ahb_plus));
+    const auto& rt = r.profile.masters[0];
+    std::uint64_t dma_bytes = 0;
+    for (unsigned m = 1; m < 4; ++m) {
+      dma_bytes += r.profile.masters[m].bytes_read +
+                   r.profile.masters[m].bytes_written;
+    }
+    t.add_row({ahb_plus ? "AHB+ (QoS filters on)" : "plain AHB arbitration",
+               stats::fmt_double(rt.grant_wait.summary().mean(), 1),
+               std::to_string(rt.grant_wait.percentile_upper(99)),
+               std::to_string(rt.grant_wait.summary().max()),
+               std::to_string(rt.qos_misses),
+               stats::fmt_double(static_cast<double>(dma_bytes) /
+                                     static_cast<double>(r.cycles),
+                                 3)});
+  }
+
+  std::cout << "real-time stream: one INCR8 line fetch per 40 cycles,"
+               " 48-cycle deadline,\nagainst three 16-beat DMA engines:\n\n";
+  t.print(std::cout);
+  std::cout << "\nthe AHB+ urgency + budget filters bound the stream's tail"
+               " latency at the\ncost of a little DMA throughput — the trade"
+               " the paper's §2 describes.\n";
+  return 0;
+}

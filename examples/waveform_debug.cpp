@@ -1,0 +1,50 @@
+// Signal-level debugging: the one place where the pin-accurate reference
+// model beats the TLM.  Runs a short workload on the signal-level platform
+// and dumps the architectural bus signals to ahbp_waves.vcd — open it in
+// GTKWave to watch HBUSREQ/HGRANT/HTRANS/HADDR/HREADY and the write-buffer
+// occupancy cycle by cycle.
+
+#include <fstream>
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "rtl/fabric.hpp"
+
+int main() {
+  using namespace ahbp;
+
+  core::PlatformConfig cfg = core::default_platform(2, 5, 12);
+  cfg.masters[0].traffic.kind = traffic::PatternKind::kCpu;
+  cfg.masters[1].traffic.kind = traffic::PatternKind::kDma;
+  cfg.masters[1].traffic.dma_burst_beats = 8;
+
+  rtl::RtlFabricConfig fc;
+  fc.bus = cfg.bus;
+  fc.timing = cfg.timing;
+  fc.geom = cfg.geom;
+  fc.ddr_base = cfg.ddr_base;
+  for (const auto& m : cfg.masters) {
+    fc.qos.push_back(m.qos);
+  }
+
+  rtl::RtlFabric fabric(fc, core::make_scripts(cfg));
+
+  std::ofstream vcd("ahbp_waves.vcd");
+  if (!vcd) {
+    std::cerr << "cannot open ahbp_waves.vcd for writing\n";
+    return 1;
+  }
+  fabric.enable_vcd(vcd);
+
+  const sim::Cycle ran = fabric.run(5000);
+  std::cout << "ran " << ran << " bus cycles, completed "
+            << fabric.completed_txns() << " transactions, "
+            << fabric.violations().errors() << " protocol errors\n";
+  std::cout << "kernel activity: " << fabric.kernel().stats().deltas
+            << " delta rounds, " << fabric.kernel().stats().signal_commits
+            << " signal commits\n";
+  std::cout << "\nwaveform written to ahbp_waves.vcd — open with:\n"
+            << "  gtkwave ahbp_waves.vcd\n";
+  return 0;
+}

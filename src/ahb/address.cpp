@@ -1,0 +1,76 @@
+#include "ahb/address.hpp"
+
+#include <stdexcept>
+
+namespace ahbp::ahb {
+
+Addr burst_beat_addr(Addr start, Size size, Burst burst,
+                     unsigned beat) noexcept {
+  const Addr step = size_bytes(size);
+  if (!burst_wraps(burst)) {
+    return start + static_cast<Addr>(beat) * step;
+  }
+  // Wrapping burst: addresses wrap at the (beats * step)-byte boundary
+  // containing the start address.
+  const Addr total = static_cast<Addr>(burst_fixed_beats(burst)) * step;
+  const Addr boundary = start & ~(total - 1);
+  return boundary + ((start - boundary + static_cast<Addr>(beat) * step) %
+                     total);
+}
+
+bool burst_within_1kb(Addr start, Size size, Burst burst,
+                      unsigned beats) noexcept {
+  constexpr Addr kBoundary = 1024;
+  if (burst_wraps(burst)) {
+    return true;  // wrap region is at most 16*8 = 128 bytes and aligned
+  }
+  if (beats == 0) {
+    beats = 1;
+  }
+  const Addr first = start;
+  const Addr last =
+      start + static_cast<Addr>(beats - 1) * size_bytes(size);
+  return (first / kBoundary) == (last / kBoundary);
+}
+
+BurstSequencer::BurstSequencer(Addr start, Size size, Burst burst,
+                               unsigned beats) noexcept
+    : start_(start), cur_(start), size_(size), burst_(burst), beats_(beats) {
+  if (beats_ == 0) {
+    beats_ = 1;
+  }
+}
+
+void BurstSequencer::advance() noexcept {
+  ++beat_;
+  if (!done()) {
+    cur_ = burst_beat_addr(start_, size_, burst_, beat_);
+  }
+}
+
+void AddressMap::add(Region region) {
+  if (region.size == 0) {
+    throw std::invalid_argument("AddressMap: zero-sized region '" +
+                                region.name + "'");
+  }
+  for (const Region& r : regions_) {
+    const bool disjoint =
+        region.base + region.size <= r.base || r.base + r.size <= region.base;
+    if (!disjoint) {
+      throw std::invalid_argument("AddressMap: region '" + region.name +
+                                  "' overlaps '" + r.name + "'");
+    }
+  }
+  regions_.push_back(std::move(region));
+}
+
+std::optional<int> AddressMap::decode(Addr a) const noexcept {
+  for (const Region& r : regions_) {
+    if (r.contains(a)) {
+      return r.slave;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,31 @@
+#include "ahb/qos.hpp"
+
+#include <algorithm>
+
+namespace ahbp::ahb {
+
+void QosRegisterFile::refill_budgets() {
+  for (std::size_t m = 0; m < configs_.size(); ++m) {
+    const auto& cfg = configs_[m];
+    auto& st = states_[m];
+    // Each epoch a master earns `objective` tokens (RT masters use slack,
+    // not budget, so their refill only matters if a filter chain runs with
+    // the urgency filter disabled).  Debt carries over — a master that
+    // overdrew its share pays it back before outranking others again —
+    // but accumulation is capped at one epoch's allowance.
+    const std::int64_t earn = static_cast<std::int64_t>(cfg.objective);
+    st.budget = std::min(st.budget + earn, earn);
+  }
+}
+
+std::int64_t QosRegisterFile::rt_slack(MasterId m, sim::Cycle now) const {
+  const auto& cfg = config(m);
+  const auto& st = state(m);
+  if (!st.requesting) {
+    return static_cast<std::int64_t>(cfg.objective);
+  }
+  const auto waited = static_cast<std::int64_t>(now - st.request_since);
+  return static_cast<std::int64_t>(cfg.objective) - waited;
+}
+
+}  // namespace ahbp::ahb

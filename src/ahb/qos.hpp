@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ahb/types.hpp"
+#include "sim/time.hpp"
+
+/// \file qos.hpp
+/// AHB+ QoS register file.
+///
+/// The paper (§2): "In order to guarantee QoS of IPs, AHB+ has special
+/// internal registers.  These registers store QoS objective value and the
+/// type of real-time/Non-real time master."  This module is that register
+/// file, plus the per-master runtime QoS state (slack tracking and bandwidth
+/// budget accounting) the arbitration filters consume.
+
+namespace ahbp::ahb {
+
+/// Master service class.
+enum class MasterClass : std::uint8_t {
+  kNonRealTime = 0,
+  kRealTime = 1,
+};
+
+/// Programmed QoS registers of one master.
+struct QosConfig {
+  MasterClass cls = MasterClass::kNonRealTime;
+
+  /// QoS objective value.  Interpretation depends on the class:
+  ///  * Real-time:      maximum tolerable request-to-grant latency (cycles).
+  ///  * Non-real-time:  bandwidth share weight used by the budget filter
+  ///                    (relative to other NRT masters; 0 = best effort).
+  std::uint32_t objective = 0;
+};
+
+/// Runtime QoS bookkeeping for one master, updated each cycle by the
+/// arbiter and read by the urgency/budget filters.
+struct QosState {
+  bool requesting = false;         ///< has an outstanding bus request
+  sim::Cycle request_since = 0;    ///< cycle the pending request was raised
+  std::int64_t budget = 0;         ///< bandwidth budget tokens (may go negative)
+  std::uint64_t grants = 0;        ///< grants received (for fairness metrics)
+  std::uint64_t qos_misses = 0;    ///< RT grants that exceeded the objective
+};
+
+/// The register file: one QosConfig per master, written at configuration
+/// time (the paper's §3.7 lists RT/NRT type and QoS value among the model
+/// parameters), plus shared epoch parameters for the budget filter.
+class QosRegisterFile {
+ public:
+  explicit QosRegisterFile(std::size_t masters)
+      : configs_(masters), states_(masters) {}
+
+  std::size_t masters() const noexcept { return configs_.size(); }
+
+  void program(MasterId m, QosConfig cfg) { at(m) = cfg; }
+
+  const QosConfig& config(MasterId m) const { return at(m); }
+
+  QosState& state(MasterId m) {
+    check(m);
+    return states_[m];
+  }
+  const QosState& state(MasterId m) const {
+    check(m);
+    return states_[m];
+  }
+
+  /// Budget refill epoch length in cycles (paper does not give a value; 256
+  /// is a typical service-period granularity and is test-overridable).
+  sim::Cycle epoch() const noexcept { return epoch_; }
+  void set_epoch(sim::Cycle e) { epoch_ = e == 0 ? 1 : e; }
+
+  /// Refill every master's budget proportionally to its objective weight.
+  /// Called by the arbiter at each epoch boundary.  Budgets saturate at one
+  /// epoch's worth to avoid unbounded accumulation by idle masters.
+  void refill_budgets();
+
+  /// Slack of a requesting RT master at cycle `now`: objective minus cycles
+  /// already waited.  Negative slack means the objective is already missed.
+  std::int64_t rt_slack(MasterId m, sim::Cycle now) const;
+
+ private:
+  QosConfig& at(MasterId m) {
+    check(m);
+    return configs_[m];
+  }
+  const QosConfig& at(MasterId m) const {
+    check(m);
+    return configs_[m];
+  }
+  void check(MasterId m) const {
+    if (m >= configs_.size()) {
+      throw std::out_of_range("QosRegisterFile: master id out of range");
+    }
+  }
+
+  std::vector<QosConfig> configs_;
+  std::vector<QosState> states_;
+  sim::Cycle epoch_ = 256;
+};
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,31 @@
+#include "ahb/transaction.hpp"
+
+#include "ahb/address.hpp"
+
+namespace ahbp::ahb {
+
+bool structurally_valid(const Transaction& t) noexcept {
+  if (t.beats == 0) {
+    return false;
+  }
+  // Alignment: AHB requires the address aligned to the transfer size.
+  if (t.addr % size_bytes(t.size) != 0) {
+    return false;
+  }
+  // Fixed-length bursts must carry exactly their architectural beat count.
+  const unsigned fixed = burst_fixed_beats(t.burst);
+  if (fixed != 0 && t.beats != fixed) {
+    return false;
+  }
+  // Undefined-length INCR must still respect the 1KB boundary.
+  if (!burst_within_1kb(t.addr, t.size, t.burst, t.beats)) {
+    return false;
+  }
+  // Write payloads must cover every beat.
+  if (t.dir == Dir::kWrite && t.data.size() < t.beats) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ahbp::ahb

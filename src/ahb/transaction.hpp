@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ahb/types.hpp"
+#include "sim/time.hpp"
+
+/// \file transaction.hpp
+/// The transaction descriptor — the unit of work in the TLM.
+///
+/// This is the paper's §3.1 "re-definition of the protocol at transaction
+/// level": everything that in RTL is spread over HADDR/HTRANS/HBURST/HSIZE/
+/// HWRITE pins across several cycles becomes one descriptor passed through a
+/// method call.  Timestamps are embedded so the profiling layer (§3.6) can
+/// compute wait/latency/throughput without external bookkeeping.
+
+namespace ahbp::ahb {
+
+/// Unique transaction id, assigned by the issuing master port.
+using TxnId = std::uint64_t;
+
+/// A single bus transaction (one burst).
+struct Transaction {
+  TxnId id = 0;
+  MasterId master = kNoMaster;
+  Dir dir = Dir::kRead;
+  Addr addr = 0;            ///< starting address (aligned to size)
+  Size size = Size::kWord;  ///< per-beat size
+  Burst burst = Burst::kSingle;
+  unsigned beats = 1;       ///< actual beat count (INCR carries its length here)
+  bool locked = false;      ///< HLOCK asserted for the duration
+
+  /// Write payload / read result, one Word per beat (only the low
+  /// size_bytes() bytes of each word are meaningful).
+  std::vector<Word> data;
+
+  // --- Timestamps stamped by the models (cycles in the owning kernel) ---
+  sim::Cycle issued_at = 0;    ///< master raised the request
+  sim::Cycle granted_at = 0;   ///< arbiter granted the bus
+  sim::Cycle started_at = 0;   ///< first address phase
+  sim::Cycle finished_at = 0;  ///< last data beat accepted
+
+  /// Total bytes moved by the transaction.
+  std::uint64_t bytes() const noexcept {
+    return static_cast<std::uint64_t>(beats) * size_bytes(size);
+  }
+
+  /// Request-to-completion latency in cycles (valid once finished).
+  sim::Cycle latency() const noexcept { return finished_at - issued_at; }
+
+  /// Grant wait in cycles (valid once granted).
+  sim::Cycle wait() const noexcept { return granted_at - issued_at; }
+};
+
+/// Control/status block returned by the TLM port calls Read()/Write(),
+/// mirroring the paper's `Read(addr, *data, *ctrl)` signature.
+struct TransferCtrl {
+  Resp resp = Resp::kOkay;
+  unsigned beats_done = 0;
+  sim::Cycle cycles = 0;   ///< bus cycles the transfer occupied
+};
+
+/// Result of a port-level call.
+enum class PortStatus : std::uint8_t {
+  kOk,        ///< transfer completed OKAY
+  kNotGranted,///< CheckGrant() false — caller must retry later
+  kError,     ///< slave returned ERROR
+  kBuffered,  ///< write absorbed by the AHB+ write buffer (completes later)
+};
+
+/// Validate structural invariants of a transaction (alignment, beat count
+/// consistent with burst kind, 1KB rule, non-empty).  Returns true if legal;
+/// used by model-debug assertions (§3.5 first family).
+bool structurally_valid(const Transaction& t) noexcept;
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,53 @@
+#include "ahb/types.hpp"
+
+namespace ahbp::ahb {
+
+std::string_view to_string(Trans t) noexcept {
+  switch (t) {
+    case Trans::kIdle: return "IDLE";
+    case Trans::kBusy: return "BUSY";
+    case Trans::kNonSeq: return "NONSEQ";
+    case Trans::kSeq: return "SEQ";
+  }
+  return "?";
+}
+
+std::string_view to_string(Burst b) noexcept {
+  switch (b) {
+    case Burst::kSingle: return "SINGLE";
+    case Burst::kIncr: return "INCR";
+    case Burst::kWrap4: return "WRAP4";
+    case Burst::kIncr4: return "INCR4";
+    case Burst::kWrap8: return "WRAP8";
+    case Burst::kIncr8: return "INCR8";
+    case Burst::kWrap16: return "WRAP16";
+    case Burst::kIncr16: return "INCR16";
+  }
+  return "?";
+}
+
+std::string_view to_string(Size s) noexcept {
+  switch (s) {
+    case Size::kByte: return "BYTE";
+    case Size::kHalf: return "HALF";
+    case Size::kWord: return "WORD";
+    case Size::kDword: return "DWORD";
+  }
+  return "?";
+}
+
+std::string_view to_string(Resp r) noexcept {
+  switch (r) {
+    case Resp::kOkay: return "OKAY";
+    case Resp::kError: return "ERROR";
+    case Resp::kRetry: return "RETRY";
+    case Resp::kSplit: return "SPLIT";
+  }
+  return "?";
+}
+
+std::string_view to_string(Dir d) noexcept {
+  return d == Dir::kRead ? "READ" : "WRITE";
+}
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file types.hpp
+/// Core AMBA 2.0 AHB protocol types shared by every model in the library.
+///
+/// Names follow the AMBA 2.0 specification (HTRANS, HBURST, HSIZE, HRESP)
+/// so the signal-level model's ports read like the original spec, and the
+/// TLM's transaction descriptors map one-to-one onto them — the mapping the
+/// paper's §3.1 calls "re-definition of protocol in transaction-level".
+
+namespace ahbp::ahb {
+
+/// Bus address type (AHB is a 32-bit bus; we keep 64 for headroom).
+using Addr = std::uint64_t;
+
+/// One data beat as carried on HWDATA/HRDATA (up to 64-bit bus width).
+using Word = std::uint64_t;
+
+/// Master identifier (index into the platform's master table).
+using MasterId = std::uint8_t;
+
+/// Sentinel: no master (e.g. HMASTER when the bus is parked idle).
+inline constexpr MasterId kNoMaster = 0xFF;
+
+/// HTRANS[1:0] — transfer type of the current address phase.
+enum class Trans : std::uint8_t {
+  kIdle = 0,    ///< no transfer
+  kBusy = 1,    ///< master inserted a busy cycle mid-burst
+  kNonSeq = 2,  ///< first transfer of a burst (or single)
+  kSeq = 3,     ///< subsequent transfer of a burst
+};
+
+/// HBURST[2:0] — burst kind.
+enum class Burst : std::uint8_t {
+  kSingle = 0,
+  kIncr = 1,    ///< undefined-length incrementing
+  kWrap4 = 2,
+  kIncr4 = 3,
+  kWrap8 = 4,
+  kIncr8 = 5,
+  kWrap16 = 6,
+  kIncr16 = 7,
+};
+
+/// HSIZE[2:0] — transfer size, encoded as log2(bytes per beat).
+enum class Size : std::uint8_t {
+  kByte = 0,      ///< 8-bit
+  kHalf = 1,      ///< 16-bit
+  kWord = 2,      ///< 32-bit
+  kDword = 3,     ///< 64-bit
+};
+
+/// HRESP[1:0] — slave response.
+enum class Resp : std::uint8_t {
+  kOkay = 0,
+  kError = 1,
+  kRetry = 2,
+  kSplit = 3,
+};
+
+/// Transfer direction (HWRITE).
+enum class Dir : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+/// Fixed beat count of a burst kind; 0 means undefined length (INCR).
+constexpr unsigned burst_fixed_beats(Burst b) noexcept {
+  switch (b) {
+    case Burst::kSingle: return 1;
+    case Burst::kIncr: return 0;
+    case Burst::kWrap4:
+    case Burst::kIncr4: return 4;
+    case Burst::kWrap8:
+    case Burst::kIncr8: return 8;
+    case Burst::kWrap16:
+    case Burst::kIncr16: return 16;
+  }
+  return 1;
+}
+
+/// True for wrapping burst kinds.
+constexpr bool burst_wraps(Burst b) noexcept {
+  return b == Burst::kWrap4 || b == Burst::kWrap8 || b == Burst::kWrap16;
+}
+
+/// Bytes moved per beat for a transfer size.
+constexpr unsigned size_bytes(Size s) noexcept {
+  return 1U << static_cast<unsigned>(s);
+}
+
+/// Pick the burst kind matching `beats` beats of an incrementing burst.
+/// Unmatched counts return kIncr (undefined length).
+constexpr Burst incr_burst_for(unsigned beats) noexcept {
+  switch (beats) {
+    case 1: return Burst::kSingle;
+    case 4: return Burst::kIncr4;
+    case 8: return Burst::kIncr8;
+    case 16: return Burst::kIncr16;
+    default: return Burst::kIncr;
+  }
+}
+
+std::string_view to_string(Trans t) noexcept;
+std::string_view to_string(Burst b) noexcept;
+std::string_view to_string(Size s) noexcept;
+std::string_view to_string(Resp r) noexcept;
+std::string_view to_string(Dir d) noexcept;
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// \file assert.hpp
+/// The first assertion family of the paper's §3.5: "functional debugging of
+/// the model itself".  These fire on internal contradictions (a model bug,
+/// never a property of the simulated design) and therefore throw — a model
+/// that contradicts itself must not keep producing numbers.
+
+namespace ahbp::chk {
+
+/// Thrown by AHBP_ASSERT when a model invariant is violated.
+class ModelAssertError : public std::logic_error {
+ public:
+  explicit ModelAssertError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream ss;
+  ss << "model assertion failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    ss << " — " << msg;
+  }
+  throw ModelAssertError(ss.str());
+}
+
+}  // namespace ahbp::chk
+
+/// Model-debug assertion: always on (the models are simulators; the cost of
+/// a branch is irrelevant next to silently wrong performance numbers).
+#define AHBP_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ahbp::chk::assert_fail(#expr, __FILE__, __LINE__, "");         \
+    }                                                                  \
+  } while (false)
+
+#define AHBP_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ahbp::chk::assert_fail(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                  \
+  } while (false)

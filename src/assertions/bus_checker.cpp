@@ -1,0 +1,167 @@
+#include "assertions/bus_checker.hpp"
+
+#include <sstream>
+
+namespace ahbp::chk {
+
+namespace {
+
+std::string hex(ahb::Addr a) {
+  std::ostringstream ss;
+  ss << "0x" << std::hex << a;
+  return ss.str();
+}
+
+}  // namespace
+
+BusChecker::BusChecker(CheckerConfig cfg, ViolationLog& log)
+    : cfg_(cfg), log_(log) {}
+
+void BusChecker::on_cycle(const BusCycleView& v) {
+  ++cycles_;
+  check_grant(v);
+  check_stability(v);
+  check_alignment(v);
+  check_burst(v);
+  check_wbuf(v);
+
+  pending_requests_ |= v.request_mask;
+  prev_requests_ = v.request_mask;
+  prev_ = v;
+}
+
+void BusChecker::check_grant(const BusCycleView& v) {
+  const bool handover = !prev_ || prev_->hmaster != v.hmaster;
+  if (!handover || v.hmaster == ahb::kNoMaster) {
+    return;
+  }
+  if (v.hmaster >= cfg_.masters) {
+    return;  // write-buffer pseudo-master drains without HBUSREQ history
+  }
+  const std::uint32_t bit = 1U << v.hmaster;
+  if ((pending_requests_ & bit) == 0 && (v.request_mask & bit) == 0) {
+    log_.record(Severity::kError, v.cycle, "ahb.grant-implies-request",
+                "master " + std::to_string(v.hmaster) +
+                    " owns the bus without a pending request");
+  }
+  pending_requests_ &= ~bit;  // grant consumed the request
+}
+
+void BusChecker::check_stability(const BusCycleView& v) {
+  if (!prev_ || prev_->hready) {
+    return;
+  }
+  // Previous cycle stalled: the address phase must be held unchanged.
+  const BusCycleView& p = *prev_;
+  if (p.htrans == ahb::Trans::kIdle) {
+    return;
+  }
+  if (v.htrans != p.htrans || v.haddr != p.haddr || v.hburst != p.hburst ||
+      v.hsize != p.hsize || v.hwrite != p.hwrite) {
+    log_.record(Severity::kError, v.cycle, "ahb.stable-when-stalled",
+                "address/control changed while HREADY was low (addr " +
+                    hex(p.haddr) + " -> " + hex(v.haddr) + ")");
+  }
+}
+
+void BusChecker::check_alignment(const BusCycleView& v) {
+  if (v.htrans != ahb::Trans::kNonSeq && v.htrans != ahb::Trans::kSeq) {
+    return;
+  }
+  if (v.haddr % ahb::size_bytes(v.hsize) != 0) {
+    log_.record(Severity::kError, v.cycle, "ahb.align",
+                "HADDR " + hex(v.haddr) + " unaligned for HSIZE " +
+                    std::string(ahb::to_string(v.hsize)));
+  }
+}
+
+void BusChecker::check_burst(const BusCycleView& v) {
+  const bool accepted = v.hready && (v.htrans == ahb::Trans::kNonSeq ||
+                                     v.htrans == ahb::Trans::kSeq);
+  const unsigned fixed = ahb::burst_fixed_beats(burst_kind_);
+
+  if (v.htrans == ahb::Trans::kBusy && !in_burst_) {
+    log_.record(Severity::kError, v.cycle, "ahb.first-is-nonseq",
+                "BUSY outside a burst");
+    return;
+  }
+
+  if (!accepted) {
+    return;
+  }
+
+  if (v.htrans == ahb::Trans::kNonSeq) {
+    if (in_burst_ && fixed != 0 && beats_seen_ < fixed) {
+      log_.record(Severity::kError, v.cycle, "ahb.burst-len",
+                  "fixed burst terminated after " +
+                      std::to_string(beats_seen_) + "/" +
+                      std::to_string(fixed) + " beats");
+    }
+    // Start tracking the new burst.
+    in_burst_ = true;
+    burst_kind_ = v.hburst;
+    burst_size_ = v.hsize;
+    burst_dir_ = v.hwrite;
+    const unsigned total = ahb::burst_fixed_beats(v.hburst);
+    seq_ = ahb::BurstSequencer(v.haddr, v.hsize, v.hburst,
+                               total == 0 ? 1024 : total);
+    beats_seen_ = 1;
+    if (v.hburst == ahb::Burst::kSingle) {
+      in_burst_ = false;
+    }
+    // 1KB rule for the declared burst (checked on the full fixed length).
+    if (total != 0 &&
+        !ahb::burst_within_1kb(v.haddr, v.hsize, v.hburst, total)) {
+      log_.record(Severity::kError, v.cycle, "ahb.1kb",
+                  "burst from " + hex(v.haddr) + " crosses a 1KB boundary");
+    }
+    return;
+  }
+
+  // SEQ beat.
+  if (!in_burst_) {
+    log_.record(Severity::kError, v.cycle, "ahb.first-is-nonseq",
+                "SEQ beat with no burst in progress at " + hex(v.haddr));
+    return;
+  }
+  seq_.advance();
+  ++beats_seen_;
+  if (v.haddr != seq_.current()) {
+    log_.record(Severity::kError, v.cycle, "ahb.seq-addr",
+                "expected " + hex(seq_.current()) + " got " + hex(v.haddr));
+  }
+  if (v.hburst != burst_kind_ || v.hsize != burst_size_ ||
+      v.hwrite != burst_dir_) {
+    log_.record(Severity::kError, v.cycle, "ahb.seq-ctrl",
+                "burst control changed mid-burst");
+  }
+  const unsigned total = ahb::burst_fixed_beats(burst_kind_);
+  if (total != 0 && beats_seen_ >= total) {
+    in_burst_ = false;  // burst complete
+  }
+}
+
+void BusChecker::check_wbuf(const BusCycleView& v) {
+  const unsigned depth = cfg_.write_buffer_enabled ? cfg_.write_buffer_depth : 0;
+  if (v.wbuf_occupancy > depth) {
+    log_.record(Severity::kError, v.cycle, "ahbp.wbuf-depth",
+                "write buffer holds " + std::to_string(v.wbuf_occupancy) +
+                    " entries, depth is " + std::to_string(depth));
+  }
+}
+
+void QosChecker::on_grant(ahb::MasterId m, sim::Cycle waited, sim::Cycle now) {
+  const ahb::QosConfig& cfg = regs_.config(m);
+  if (cfg.cls != ahb::MasterClass::kRealTime) {
+    return;
+  }
+  if (waited > cfg.objective) {
+    ++misses_;
+    log_.record(Severity::kWarning, now, "ahbp.qos-objective",
+                "RT master " + std::to_string(m) + " waited " +
+                    std::to_string(waited) + " > objective " +
+                    std::to_string(cfg.objective));
+  }
+}
+
+}  // namespace ahbp::chk

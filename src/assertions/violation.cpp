@@ -1,0 +1,40 @@
+#include "assertions/violation.hpp"
+
+#include <sstream>
+
+namespace ahbp::chk {
+
+void ViolationLog::record(Severity sev, sim::Cycle cycle, std::string rule,
+                          std::string detail) {
+  if (sev == Severity::kError) {
+    ++errors_;
+  }
+  violations_.push_back(
+      Violation{sev, cycle, std::move(rule), std::move(detail)});
+}
+
+std::size_t ViolationLog::count_rule(std::string_view rule) const noexcept {
+  std::size_t n = 0;
+  for (const Violation& v : violations_) {
+    if (v.rule == rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string ViolationLog::to_string(std::size_t max) const {
+  std::ostringstream ss;
+  std::size_t shown = 0;
+  for (const Violation& v : violations_) {
+    if (shown++ == max) {
+      ss << "... (" << violations_.size() - max << " more)\n";
+      break;
+    }
+    ss << (v.severity == Severity::kError ? "[ERROR]" : "[warn ]") << " @"
+       << v.cycle << " " << v.rule << ": " << v.detail << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace ahbp::chk

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file violation.hpp
+/// Recorded property violations — the second assertion family of §3.5:
+/// "property checking ... very helpful especially when the bus model is
+/// integrated with master models and simulated for performance analysis".
+/// Property violations are *recorded*, not thrown: a QoS miss is a finding
+/// about the simulated design, not a bug in the simulator.
+
+namespace ahbp::chk {
+
+enum class Severity : std::uint8_t {
+  kWarning = 0,  ///< performance property (e.g. QoS objective missed)
+  kError = 1,    ///< protocol rule broken (design/model integration bug)
+};
+
+struct Violation {
+  Severity severity = Severity::kError;
+  sim::Cycle cycle = 0;
+  std::string rule;     ///< stable rule identifier, e.g. "ahb.seq-addr"
+  std::string detail;   ///< human-readable specifics
+};
+
+/// Append-only violation log shared by all checkers of one model instance.
+class ViolationLog {
+ public:
+  void record(Severity sev, sim::Cycle cycle, std::string rule,
+              std::string detail);
+
+  const std::vector<Violation>& all() const noexcept { return violations_; }
+  std::size_t count() const noexcept { return violations_.size(); }
+  std::size_t errors() const noexcept { return errors_; }
+  std::size_t warnings() const noexcept { return violations_.size() - errors_; }
+
+  /// Number of violations of one rule (exact match).
+  std::size_t count_rule(std::string_view rule) const noexcept;
+
+  /// Render the first `max` violations, one per line.
+  std::string to_string(std::size_t max = 20) const;
+
+ private:
+  std::vector<Violation> violations_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace ahbp::chk

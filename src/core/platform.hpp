@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ahb/config.hpp"
+#include "ahb/qos.hpp"
+#include "ddr/geometry.hpp"
+#include "ddr/timing.hpp"
+#include "sim/time.hpp"
+#include "stats/profiles.hpp"
+#include "traffic/generator.hpp"
+
+/// \file platform.hpp
+/// Whole-platform assembly and run control — the public entry point of the
+/// library.  One PlatformConfig describes a system (bus parameters, DDR
+/// part, masters with their QoS registers and traffic); `run_tlm` executes
+/// it on the transaction-level model, `run_rtl` on the pin-accurate
+/// reference.  Both consume identical traffic scripts, which is what makes
+/// the Table-1 accuracy comparison meaningful.
+
+namespace ahbp::core {
+
+/// One master: its QoS registers (§2) and its traffic.
+struct MasterSpec {
+  ahb::QosConfig qos;
+  traffic::PatternConfig traffic;
+};
+
+struct PlatformConfig {
+  ahb::BusConfig bus;
+  ddr::DdrTiming timing = ddr::ddr266();
+  ddr::Geometry geom;
+  ahb::Addr ddr_base = 0;
+  std::vector<MasterSpec> masters;
+  bool enable_checkers = true;
+  sim::Cycle max_cycles = 4'000'000;
+};
+
+/// Outcome of one simulation run.
+struct SimResult {
+  std::string model;           ///< "tlm" or "rtl"
+  bool finished = false;       ///< workload drained before max_cycles
+  sim::Cycle cycles = 0;       ///< cycle of the last master completion
+  sim::Cycle ran_cycles = 0;   ///< total bus cycles simulated
+  std::uint64_t completed = 0; ///< master transactions retired
+  stats::RunProfile profile;
+  std::size_t protocol_errors = 0;
+  std::size_t qos_warnings = 0;
+  std::string first_violations;  ///< rendered head of the violation log
+  double wall_seconds = 0.0;     ///< host time spent simulating
+  std::uint64_t kernel_activity = 0;  ///< evaluations (TLM) / deltas (RTL)
+};
+
+/// Expand every master's traffic pattern into its deterministic script.
+std::vector<traffic::Script> make_scripts(const PlatformConfig& cfg);
+
+/// Run the transaction-level model.
+SimResult run_tlm(const PlatformConfig& cfg);
+
+/// Run the pin-accurate signal-level model.
+SimResult run_rtl(const PlatformConfig& cfg);
+
+/// Simulated kilo-cycles per wall-clock second (the paper's §4 metric).
+double kcycles_per_sec(const SimResult& r);
+
+}  // namespace ahbp::core

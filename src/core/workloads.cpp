@@ -1,0 +1,161 @@
+#include "core/workloads.hpp"
+
+#include "assertions/assert.hpp"
+
+namespace ahbp::core {
+
+namespace {
+
+/// Disjoint per-master address windows keep write traffic race-free so the
+/// two models must produce bitwise identical read data.
+void set_window(traffic::PatternConfig& t, unsigned master,
+                const ddr::Geometry& geom) {
+  const ahb::Addr capacity = geom.capacity();
+  const ahb::Addr slice = capacity / 8;  // up to 8 masters
+  t.base = slice * master;
+  t.span = slice / 2;  // generous margin inside the slice
+  AHBP_ASSERT(t.span >= 1024);
+}
+
+MasterSpec cpu_master(unsigned m, const ddr::Geometry& geom,
+                      std::uint64_t seed, unsigned items, double read_ratio,
+                      sim::Cycle gap) {
+  MasterSpec s;
+  s.qos.cls = ahb::MasterClass::kNonRealTime;
+  s.qos.objective = 64;  // bandwidth weight (beats per epoch)
+  s.traffic.kind = traffic::PatternKind::kCpu;
+  s.traffic.seed = seed;
+  s.traffic.items = items;
+  s.traffic.read_ratio = read_ratio;
+  s.traffic.mean_gap = gap;
+  set_window(s.traffic, m, geom);
+  return s;
+}
+
+MasterSpec dma_master(unsigned m, const ddr::Geometry& geom,
+                      std::uint64_t seed, unsigned items, unsigned beats) {
+  MasterSpec s;
+  s.qos.cls = ahb::MasterClass::kNonRealTime;
+  s.qos.objective = 128;  // DMA gets a bigger bandwidth share
+  s.traffic.kind = traffic::PatternKind::kDma;
+  s.traffic.seed = seed;
+  s.traffic.items = items;
+  s.traffic.dma_burst_beats = beats;
+  set_window(s.traffic, m, geom);
+  return s;
+}
+
+MasterSpec rt_master(unsigned m, const ddr::Geometry& geom,
+                     std::uint64_t seed, unsigned items, sim::Cycle period,
+                     std::uint32_t objective) {
+  MasterSpec s;
+  s.qos.cls = ahb::MasterClass::kRealTime;
+  s.qos.objective = objective;  // max tolerable request->grant wait
+  s.traffic.kind = traffic::PatternKind::kRtStream;
+  s.traffic.seed = seed;
+  s.traffic.items = items;
+  s.traffic.period = period;
+  set_window(s.traffic, m, geom);
+  return s;
+}
+
+MasterSpec random_master(unsigned m, const ddr::Geometry& geom,
+                         std::uint64_t seed, unsigned items,
+                         double read_ratio, sim::Cycle gap) {
+  MasterSpec s;
+  s.qos.cls = ahb::MasterClass::kNonRealTime;
+  s.qos.objective = 0;  // best effort
+  s.traffic.kind = traffic::PatternKind::kRandom;
+  s.traffic.seed = seed;
+  s.traffic.items = items;
+  s.traffic.read_ratio = read_ratio;
+  s.traffic.mean_gap = gap;
+  set_window(s.traffic, m, geom);
+  return s;
+}
+
+}  // namespace
+
+PlatformConfig default_platform(unsigned masters, std::uint64_t seed,
+                                unsigned items_per_master) {
+  PlatformConfig cfg;
+  cfg.geom.banks = 4;
+  cfg.geom.rows = 1024;
+  cfg.geom.cols = 512;
+  cfg.geom.col_bytes = 4;  // 8MB device
+  cfg.timing = ddr::ddr266();
+  for (unsigned m = 0; m < masters; ++m) {
+    cfg.masters.push_back(
+        cpu_master(m, cfg.geom, seed, items_per_master, 0.7, 4));
+  }
+  return cfg;
+}
+
+std::vector<Workload> table1_workloads(unsigned items, std::uint64_t seed) {
+  std::vector<Workload> rows;
+  const ddr::Geometry geom = default_platform(4).geom;
+
+  auto base = [&] {
+    PlatformConfig cfg = default_platform(4, seed, items);
+    cfg.masters.clear();
+    return cfg;
+  };
+
+  // ---- Group A: CPU-dominated ----
+  {
+    struct V { double rr; sim::Cycle gap; unsigned dma; };
+    const V vars[] = {{0.8, 4, 8}, {0.6, 2, 8}, {0.9, 12, 8}, {0.7, 6, 16}};
+    int i = 1;
+    for (const V& v : vars) {
+      PlatformConfig cfg = base();
+      cfg.masters.push_back(cpu_master(0, geom, seed, items, v.rr, v.gap));
+      cfg.masters.push_back(cpu_master(1, geom, seed + 1, items, v.rr, v.gap));
+      cfg.masters.push_back(cpu_master(2, geom, seed + 2, items, v.rr, v.gap));
+      cfg.masters.push_back(dma_master(3, geom, seed + 3, items, v.dma));
+      rows.push_back({"cpu-" + std::to_string(i++), cfg});
+    }
+  }
+
+  // ---- Group B: DMA-heavy ----
+  {
+    struct V { unsigned dma; double rr; sim::Cycle gap; };
+    const V vars[] = {{16, 0.7, 4}, {8, 0.7, 4}, {4, 0.5, 4}, {16, 0.7, 1}};
+    int i = 1;
+    for (const V& v : vars) {
+      PlatformConfig cfg = base();
+      cfg.masters.push_back(dma_master(0, geom, seed, items, v.dma));
+      cfg.masters.push_back(dma_master(1, geom, seed + 1, items, v.dma));
+      cfg.masters.push_back(cpu_master(2, geom, seed + 2, items, 0.8, v.gap));
+      cfg.masters.push_back(
+          random_master(3, geom, seed + 3, items, v.rr, v.gap));
+      rows.push_back({"dma-" + std::to_string(i++), cfg});
+    }
+  }
+
+  // ---- Group C: real-time stream mix ----
+  {
+    struct V { sim::Cycle period; std::uint32_t obj; unsigned dma; sim::Cycle gap; };
+    const V vars[] = {{48, 40, 8, 4}, {24, 32, 8, 4}, {96, 64, 16, 4},
+                      {32, 40, 8, 1}};
+    int i = 1;
+    for (const V& v : vars) {
+      PlatformConfig cfg = base();
+      cfg.masters.push_back(
+          rt_master(0, geom, seed, items, v.period, v.obj));
+      cfg.masters.push_back(cpu_master(1, geom, seed + 1, items, 0.7, v.gap));
+      cfg.masters.push_back(dma_master(2, geom, seed + 2, items, v.dma));
+      cfg.masters.push_back(
+          random_master(3, geom, seed + 3, items, 0.6, v.gap));
+      rows.push_back({"rt-" + std::to_string(i++), cfg});
+    }
+  }
+
+  return rows;
+}
+
+Workload single_master_workload(unsigned items, std::uint64_t seed) {
+  PlatformConfig cfg = default_platform(1, seed, items);
+  return {"single-master", cfg};
+}
+
+}  // namespace ahbp::core

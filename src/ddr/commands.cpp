@@ -1,0 +1,17 @@
+#include "ddr/commands.hpp"
+
+namespace ahbp::ddr {
+
+std::string_view to_string(CmdKind k) noexcept {
+  switch (k) {
+    case CmdKind::kNop: return "NOP";
+    case CmdKind::kActivate: return "ACT";
+    case CmdKind::kRead: return "RD";
+    case CmdKind::kWrite: return "WR";
+    case CmdKind::kPrecharge: return "PRE";
+    case CmdKind::kRefresh: return "REF";
+  }
+  return "?";
+}
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+/// \file commands.hpp
+/// DRAM command vocabulary used by the controller, the timing checker and
+/// the profiling layer.
+
+namespace ahbp::ddr {
+
+enum class CmdKind : std::uint8_t {
+  kNop = 0,
+  kActivate,   ///< open a row in a bank (RAS)
+  kRead,       ///< column read burst (CAS)
+  kWrite,      ///< column write burst (CAS)
+  kPrecharge,  ///< close the open row of a bank
+  kRefresh,    ///< auto-refresh (all banks must be idle)
+};
+
+/// Scheduling priority class (paper §3.3: "column, row, and pre-charge
+/// accesses have different priorities by scheduling scheme").  Lower value
+/// wins; column accesses move data so they outrank row opens, which outrank
+/// speculative precharges.
+enum class CmdClass : std::uint8_t {
+  kColumn = 0,
+  kRow = 1,
+  kPrecharge = 2,
+  kOther = 3,
+};
+
+constexpr CmdClass cmd_class(CmdKind k) noexcept {
+  switch (k) {
+    case CmdKind::kRead:
+    case CmdKind::kWrite:
+      return CmdClass::kColumn;
+    case CmdKind::kActivate:
+      return CmdClass::kRow;
+    case CmdKind::kPrecharge:
+      return CmdClass::kPrecharge;
+    case CmdKind::kRefresh:
+    case CmdKind::kNop:
+      return CmdClass::kOther;
+  }
+  return CmdClass::kOther;
+}
+
+/// One command on the DRAM command bus.
+struct Command {
+  CmdKind kind = CmdKind::kNop;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;   ///< kActivate only
+  std::uint32_t col = 0;   ///< kRead/kWrite only
+  unsigned beats = 0;      ///< kRead/kWrite: data beats this CAS moves
+};
+
+std::string_view to_string(CmdKind k) noexcept;
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,38 @@
+#include "ddr/geometry.hpp"
+
+namespace ahbp::ddr {
+
+Coord Geometry::decode(ahb::Addr offset) const noexcept {
+  const std::uint64_t word = (offset % capacity()) / col_bytes;
+  Coord c;
+  switch (mapping) {
+    case Mapping::kRowBankCol: {
+      c.col = static_cast<std::uint32_t>(word % cols);
+      c.bank = static_cast<std::uint32_t>((word / cols) % banks);
+      c.row = static_cast<std::uint32_t>(word / cols / banks % rows);
+      break;
+    }
+    case Mapping::kBankRowCol: {
+      c.col = static_cast<std::uint32_t>(word % cols);
+      c.row = static_cast<std::uint32_t>((word / cols) % rows);
+      c.bank = static_cast<std::uint32_t>(word / cols / rows % banks);
+      break;
+    }
+  }
+  return c;
+}
+
+ahb::Addr Geometry::encode(const Coord& c) const noexcept {
+  std::uint64_t word = 0;
+  switch (mapping) {
+    case Mapping::kRowBankCol:
+      word = (static_cast<std::uint64_t>(c.row) * banks + c.bank) * cols + c.col;
+      break;
+    case Mapping::kBankRowCol:
+      word = (static_cast<std::uint64_t>(c.bank) * rows + c.row) * cols + c.col;
+      break;
+  }
+  return word * col_bytes;
+}
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ahb/types.hpp"
+
+/// \file geometry.hpp
+/// DDR device geometry and the address-to-(bank,row,column) mapping.
+///
+/// The mapping determines how sequential bus traffic spreads across banks,
+/// which is exactly what the AHB+ bank-interleaving optimization exploits —
+/// so it is shared protocol semantics used identically by both models.
+
+namespace ahbp::ddr {
+
+/// Physical coordinates of one column access.
+struct Coord {
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  bool operator==(const Coord&) const = default;
+};
+
+/// Address interleaving scheme.
+enum class Mapping : std::uint8_t {
+  /// [ row | bank | col | byte ] — consecutive rows of one bank are far
+  /// apart; sequential streams cross banks at column-page boundaries.
+  /// This is the interleaving-friendly default.
+  kRowBankCol = 0,
+  /// [ bank | row | col | byte ] — each bank owns a contiguous quarter of
+  /// the address space; sequential streams stay in one bank (worst case for
+  /// interleaving; useful as an ablation).
+  kBankRowCol = 1,
+};
+
+struct Geometry {
+  std::uint32_t banks = 4;       ///< DDR1 devices have 4 internal banks
+  std::uint32_t rows = 4096;
+  std::uint32_t cols = 512;      ///< columns per row
+  std::uint32_t col_bytes = 4;   ///< bytes per column (bus word)
+  Mapping mapping = Mapping::kRowBankCol;
+
+  /// Total device capacity in bytes.
+  std::uint64_t capacity() const noexcept {
+    return static_cast<std::uint64_t>(banks) * rows * cols * col_bytes;
+  }
+
+  /// Bytes covered by one open row of one bank (the "page size").
+  std::uint64_t row_bytes() const noexcept {
+    return static_cast<std::uint64_t>(cols) * col_bytes;
+  }
+
+  /// Map a byte address (offset within the DDR region) to coordinates.
+  /// Addresses beyond capacity wrap (the controller masks them).
+  Coord decode(ahb::Addr offset) const noexcept;
+
+  /// Inverse of decode(): coordinates back to the byte offset of the
+  /// column's first byte.
+  ahb::Addr encode(const Coord& c) const noexcept;
+};
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,378 @@
+#include "ddr/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ahb/address.hpp"
+
+namespace ahbp::ddr {
+
+namespace {
+
+/// Beats one CAS command may cover (DDR burst-length 8 equivalent).
+constexpr unsigned kMaxCasBeats = 8;
+
+/// Posted-write queue capacity (column-command chunks).
+constexpr std::size_t kMaxWriteQueue = 8;
+
+ahb::Size size_for_bytes(unsigned bytes) {
+  switch (bytes) {
+    case 1: return ahb::Size::kByte;
+    case 2: return ahb::Size::kHalf;
+    case 4: return ahb::Size::kWord;
+    case 8: return ahb::Size::kDword;
+    default:
+      throw std::invalid_argument("DdrcEngine: beat_bytes must be 1/2/4/8");
+  }
+}
+
+}  // namespace
+
+BankAffinity bank_affinity(BankState state, std::uint32_t open_row,
+                           const Coord& want) noexcept {
+  switch (state) {
+    case BankState::kActive:
+    case BankState::kActivating:
+      return open_row == want.row ? BankAffinity::kOpenRow
+                                  : BankAffinity::kConflict;
+    case BankState::kIdle:
+      return BankAffinity::kIdle;
+    case BankState::kPrecharging:
+      return BankAffinity::kConflict;
+  }
+  return BankAffinity::kConflict;
+}
+
+DdrcEngine::DdrcEngine(const DdrTiming& timing, const Geometry& geom)
+    : timing_(timing), geom_(geom), engine_(timing, geom) {}
+
+void DdrcEngine::decompose(CurrentTxn& txn) const {
+  const auto size = size_for_bytes(txn.req.beat_bytes);
+  txn.beat_addr.resize(txn.req.beats);
+  txn.chunks.clear();
+  Coord prev{};
+  for (unsigned i = 0; i < txn.req.beats; ++i) {
+    txn.beat_addr[i] =
+        ahb::burst_beat_addr(txn.req.addr, size, txn.req.burst, i);
+    const Coord c = geom_.decode(txn.beat_addr[i]);
+    // A chunk is a run of beats in one (bank,row) whose columns advance by
+    // at most one per beat (sub-column beats repeat the same column).  Each
+    // chunk maps onto a single CAS command, capped at kMaxCasBeats.
+    const bool extend =
+        i > 0 && !txn.chunks.empty() &&
+        txn.chunks.back().beats < kMaxCasBeats && prev.bank == c.bank &&
+        prev.row == c.row && (c.col == prev.col || c.col == prev.col + 1);
+    if (extend) {
+      ++txn.chunks.back().beats;
+    } else {
+      txn.chunks.push_back(Chunk{c, 1, 0, false});
+    }
+    prev = c;
+  }
+}
+
+void DdrcEngine::begin(const MemRequest& req, sim::Cycle now) {
+  if (busy()) {
+    throw std::logic_error("DdrcEngine::begin while busy");
+  }
+  if (req.beats == 0) {
+    throw std::invalid_argument("DdrcEngine::begin: zero beats");
+  }
+  CurrentTxn txn;
+  txn.req = req;
+  decompose(txn);
+  if (!req.is_write) {
+    txn.beat_ready.assign(req.beats, sim::kNeverCycle);
+  }
+  txn.last_consume = now;  // consumption can start next cycle at earliest
+  current_ = std::move(txn);
+}
+
+bool DdrcEngine::done() const noexcept {
+  if (!current_) {
+    return false;
+  }
+  const CurrentTxn& t = *current_;
+  return t.req.is_write ? t.beats_accepted >= t.req.beats
+                        : t.beats_consumed >= t.req.beats;
+}
+
+void DdrcEngine::finish() {
+  if (!done()) {
+    throw std::logic_error("DdrcEngine::finish before done");
+  }
+  current_.reset();
+}
+
+// ----------------------------------------------------------- read stream
+
+bool DdrcEngine::read_beat_available(sim::Cycle now) const noexcept {
+  if (!current_ || current_->req.is_write) {
+    return false;
+  }
+  const CurrentTxn& t = *current_;
+  if (t.beats_consumed >= t.req.beats) {
+    return false;
+  }
+  const sim::Cycle ready = t.beat_ready[t.beats_consumed];
+  if (ready == sim::kNeverCycle || now < ready) {
+    return false;
+  }
+  // One beat per bus cycle.
+  return t.beats_consumed == 0 || now > t.last_consume;
+}
+
+ahb::Word DdrcEngine::take_read_beat(sim::Cycle now) {
+  if (!read_beat_available(now)) {
+    throw std::logic_error("DdrcEngine::take_read_beat: no beat available");
+  }
+  CurrentTxn& t = *current_;
+  const ahb::Word w =
+      mem_.read(t.beat_addr[t.beats_consumed], t.req.beat_bytes);
+  ++t.beats_consumed;
+  t.last_consume = now;
+  return w;
+}
+
+// ---------------------------------------------------------- write stream
+
+bool DdrcEngine::write_beat_ready(sim::Cycle now) const noexcept {
+  (void)now;
+  if (!current_ || !current_->req.is_write) {
+    return false;
+  }
+  if (current_->beats_accepted >= current_->req.beats) {
+    return false;
+  }
+  // Back-pressure: no room to queue another chunk means no acceptance.
+  return write_queue_.size() < kMaxWriteQueue;
+}
+
+void DdrcEngine::put_write_beat(sim::Cycle now, ahb::Word w) {
+  if (!write_beat_ready(now)) {
+    throw std::logic_error("DdrcEngine::put_write_beat: not ready");
+  }
+  CurrentTxn& t = *current_;
+  mem_.write(t.beat_addr[t.beats_accepted], w, t.req.beat_bytes);
+  ++t.beats_accepted;
+  // When acceptance crosses a chunk boundary, queue that chunk for the
+  // background drain.
+  unsigned boundary = 0;
+  for (const Chunk& c : t.chunks) {
+    boundary += c.beats;
+    if (boundary == t.beats_accepted) {
+      write_queue_.push_back(WriteChunk{c.start, c.beats});
+      break;
+    }
+    if (boundary > t.beats_accepted) {
+      break;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- hints
+
+void DdrcEngine::set_hint(std::optional<Coord> hint) { hint_ = hint; }
+
+bool DdrcEngine::access_permitted(sim::Cycle now) const noexcept {
+  return !engine_.refresh_due(now) && !engine_.in_refresh(now);
+}
+
+BankAffinity DdrcEngine::affinity_for(ahb::Addr offset, sim::Cycle now) const {
+  const Coord c = geom_.decode(offset);
+  return bank_affinity(engine_.bank_state(c.bank, now),
+                       engine_.open_row(c.bank), c);
+}
+
+// --------------------------------------------------------- command pick
+
+bool DdrcEngine::bank_needed_soon(std::uint32_t bank) const {
+  if (current_) {
+    const CurrentTxn& t = *current_;
+    if (!t.req.is_write) {
+      for (std::size_t i = t.active_chunk; i < t.chunks.size(); ++i) {
+        if (t.chunks[i].start.bank == bank) {
+          return true;
+        }
+      }
+    } else {
+      // Every chunk of an in-flight write will eventually drain.
+      for (const Chunk& c : t.chunks) {
+        if (c.start.bank == bank) {
+          return true;
+        }
+      }
+    }
+  }
+  for (const WriteChunk& w : write_queue_) {
+    if (w.start.bank == bank) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Command> DdrcEngine::column_for_read(sim::Cycle now) {
+  if (!current_ || current_->req.is_write) {
+    return std::nullopt;
+  }
+  CurrentTxn& t = *current_;
+  if (t.active_chunk >= t.chunks.size()) {
+    return std::nullopt;
+  }
+  Chunk& c = t.chunks[t.active_chunk];
+  Command cmd{CmdKind::kRead, c.start.bank, c.start.row, c.start.col, c.beats};
+  if (!c.classified) {
+    const BankAffinity a = bank_affinity(
+        engine_.bank_state(c.start.bank, now), engine_.open_row(c.start.bank),
+        c.start);
+    c.classified = true;
+    if (a == BankAffinity::kOpenRow) {
+      ++hits_.row_hits;
+    } else if (a == BankAffinity::kIdle) {
+      ++hits_.row_misses;
+    } else {
+      ++hits_.row_conflicts;
+    }
+  }
+  if (!engine_.can_issue(cmd, now)) {
+    return std::nullopt;
+  }
+  return cmd;
+}
+
+std::optional<Command> DdrcEngine::column_for_write_drain(
+    sim::Cycle now) const {
+  if (write_queue_.empty()) {
+    return std::nullopt;
+  }
+  const WriteChunk& w = write_queue_.front();
+  Command cmd{CmdKind::kWrite, w.start.bank, w.start.row, w.start.col, w.beats};
+  if (!engine_.can_issue(cmd, now)) {
+    return std::nullopt;
+  }
+  return cmd;
+}
+
+std::optional<Command> DdrcEngine::row_or_pre_for(const Coord& c,
+                                                  sim::Cycle now) {
+  const BankState st = engine_.bank_state(c.bank, now);
+  switch (bank_affinity(st, engine_.open_row(c.bank), c)) {
+    case BankAffinity::kOpenRow:
+      return std::nullopt;  // column path will serve it
+    case BankAffinity::kIdle: {
+      Command cmd{CmdKind::kActivate, c.bank, c.row, 0, 0};
+      if (engine_.can_issue(cmd, now)) {
+        return cmd;
+      }
+      return std::nullopt;
+    }
+    case BankAffinity::kConflict: {
+      if (st != BankState::kActive && st != BankState::kActivating) {
+        return std::nullopt;  // precharging already
+      }
+      Command cmd{CmdKind::kPrecharge, c.bank, 0, 0, 0};
+      if (engine_.can_issue(cmd, now)) {
+        return cmd;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Command> DdrcEngine::hint_work(sim::Cycle now) {
+  if (!hint_) {
+    return std::nullopt;
+  }
+  const Coord& h = *hint_;
+  if (bank_needed_soon(h.bank)) {
+    return std::nullopt;  // never disturb a bank live traffic needs
+  }
+  auto cmd = row_or_pre_for(h, now);
+  if (cmd) {
+    if (cmd->kind == CmdKind::kActivate) {
+      ++hits_.hint_activates;
+    } else if (cmd->kind == CmdKind::kPrecharge) {
+      ++hits_.hint_precharges;
+    }
+  }
+  return cmd;
+}
+
+Command DdrcEngine::pick_command(sim::Cycle now) {
+  // Refresh handling: once due it outranks everything; open banks are
+  // closed first, then the refresh issues.
+  if (engine_.refresh_due(now)) {
+    Command ref{CmdKind::kRefresh, 0, 0, 0, 0};
+    if (engine_.can_issue(ref, now)) {
+      return ref;
+    }
+    for (std::uint32_t b = 0; b < engine_.banks(); ++b) {
+      Command pre{CmdKind::kPrecharge, b, 0, 0, 0};
+      if (engine_.can_issue(pre, now)) {
+        return pre;
+      }
+    }
+    return Command{};  // waiting out tRAS/tWR before the precharges
+  }
+
+  // §3.3 priority scheme: column accesses first (they move data), then row
+  // opens, then precharges; within a class the live transaction outranks
+  // the posted-write drain, which outranks speculative hint work.
+  if (auto cmd = column_for_read(now)) {
+    return *cmd;
+  }
+  if (auto cmd = column_for_write_drain(now)) {
+    return *cmd;
+  }
+  if (current_ && !current_->req.is_write &&
+      current_->active_chunk < current_->chunks.size()) {
+    if (auto cmd = row_or_pre_for(
+            current_->chunks[current_->active_chunk].start, now)) {
+      return *cmd;
+    }
+  }
+  if (!write_queue_.empty()) {
+    if (auto cmd = row_or_pre_for(write_queue_.front().start, now)) {
+      return *cmd;
+    }
+  }
+  if (auto cmd = hint_work(now)) {
+    return *cmd;
+  }
+  return Command{};
+}
+
+Command DdrcEngine::step(sim::Cycle now) {
+  // Idle fast path: nothing in flight, nothing queued, no hint, and
+  // refresh not due — the common case on a lightly loaded bus.
+  if (!current_ && write_queue_.empty() && !hint_ &&
+      !engine_.refresh_due(now)) {
+    return Command{};
+  }
+  const Command cmd = pick_command(now);
+  if (cmd.kind == CmdKind::kNop) {
+    return cmd;
+  }
+  const sim::Cycle first_beat = engine_.issue(cmd, now);
+  if (cmd.kind == CmdKind::kRead) {
+    CurrentTxn& t = *current_;
+    Chunk& c = t.chunks[t.active_chunk];
+    c.issued = c.beats;
+    unsigned base = 0;
+    for (std::size_t i = 0; i < t.active_chunk; ++i) {
+      base += t.chunks[i].beats;
+    }
+    for (unsigned k = 0; k < c.beats; ++k) {
+      t.beat_ready[base + k] = first_beat + k;
+    }
+    t.beats_issued += c.beats;
+    ++t.active_chunk;
+  } else if (cmd.kind == CmdKind::kWrite) {
+    write_queue_.pop_front();
+  }
+  return cmd;
+}
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,48 @@
+#include "ddr/storage.hpp"
+
+#include <stdexcept>
+
+namespace ahbp::ddr {
+
+const std::vector<std::uint8_t>* SparseMemory::find_page(
+    ahb::Addr page_base) const {
+  const auto it = pages_.find(page_base);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint8_t>& SparseMemory::touch_page(ahb::Addr page_base) {
+  auto& page = pages_[page_base];
+  if (page.empty()) {
+    page.assign(kPageBytes, 0);
+  }
+  return page;
+}
+
+ahb::Word SparseMemory::read(ahb::Addr addr, unsigned bytes) const {
+  if (bytes == 0 || bytes > 8) {
+    throw std::invalid_argument("SparseMemory::read: bytes must be 1..8");
+  }
+  ahb::Word v = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    const ahb::Addr a = addr + i;
+    const ahb::Addr base = a / kPageBytes * kPageBytes;
+    if (const auto* page = find_page(base)) {
+      v |= static_cast<ahb::Word>((*page)[a - base]) << (8 * i);
+    }
+  }
+  return v;
+}
+
+void SparseMemory::write(ahb::Addr addr, ahb::Word value, unsigned bytes) {
+  if (bytes == 0 || bytes > 8) {
+    throw std::invalid_argument("SparseMemory::write: bytes must be 1..8");
+  }
+  for (unsigned i = 0; i < bytes; ++i) {
+    const ahb::Addr a = addr + i;
+    const ahb::Addr base = a / kPageBytes * kPageBytes;
+    touch_page(base)[a - base] =
+        static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ahb/types.hpp"
+
+/// \file storage.hpp
+/// Sparse byte-addressable backing store for the DDR device.
+///
+/// The paper abstracts the data path (§3.3); data *correctness* still
+/// matters for validating the two models against each other, so the store
+/// keeps real bytes.  Pages materialize on first touch; untouched memory
+/// reads as zero.
+
+namespace ahbp::ddr {
+
+class SparseMemory {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  /// Read `bytes` (1..8) little-endian starting at `addr`.
+  ahb::Word read(ahb::Addr addr, unsigned bytes) const;
+
+  /// Write the low `bytes` (1..8) of `value` little-endian at `addr`.
+  void write(ahb::Addr addr, ahb::Word value, unsigned bytes);
+
+  /// Number of materialized pages (for tests / memory diagnostics).
+  std::size_t pages() const noexcept { return pages_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>* find_page(ahb::Addr page_base) const;
+  std::vector<std::uint8_t>& touch_page(ahb::Addr page_base);
+
+  std::unordered_map<ahb::Addr, std::vector<std::uint8_t>> pages_;
+};
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,72 @@
+#include "ddr/timing.hpp"
+
+namespace ahbp::ddr {
+
+std::string DdrTiming::validate() const {
+  if (tRC < tRAS + tRP) {
+    return "tRC must be >= tRAS + tRP";
+  }
+  if (tRAS < tRCD) {
+    return "tRAS must be >= tRCD";
+  }
+  if (tRCD == 0 || tRP == 0) {
+    return "tRCD and tRP must be nonzero";
+  }
+  if (tCCD == 0) {
+    return "tCCD must be nonzero";
+  }
+  if (tREFI != 0 && tREFI <= tRFC) {
+    return "tREFI must exceed tRFC (or be 0 to disable refresh)";
+  }
+  return {};
+}
+
+DdrTiming ddr266() {
+  DdrTiming t;
+  t.tRCD = 3;
+  t.tRP = 3;
+  t.tRAS = 7;
+  t.tRC = 10;
+  t.tRRD = 2;
+  t.tCL = 3;
+  t.tWL = 1;
+  t.tWR = 3;
+  t.tCCD = 1;
+  t.tRFC = 20;
+  t.tREFI = 1560;
+  return t;
+}
+
+DdrTiming ddr400() {
+  DdrTiming t;
+  t.tRCD = 3;
+  t.tRP = 3;
+  t.tRAS = 8;
+  t.tRC = 11;
+  t.tRRD = 2;
+  t.tCL = 3;
+  t.tWL = 1;
+  t.tWR = 3;
+  t.tCCD = 1;
+  t.tRFC = 26;
+  t.tREFI = 1560;
+  return t;
+}
+
+DdrTiming toy_timing() {
+  DdrTiming t;
+  t.tRCD = 2;
+  t.tRP = 2;
+  t.tRAS = 4;
+  t.tRC = 6;
+  t.tRRD = 1;
+  t.tCL = 2;
+  t.tWL = 1;
+  t.tWR = 2;
+  t.tCCD = 1;
+  t.tRFC = 8;
+  t.tREFI = 0;  // refresh off for deterministic micro-tests
+  return t;
+}
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+/// \file timing.hpp
+/// DDR SDRAM timing parameters.
+///
+/// All values are in *bus clock cycles* — the models run the memory
+/// controller on the AHB clock (the paper's DDRC is on the bus clock domain;
+/// its data path is abstracted, §3.3).  Presets approximate a DDR-266 part
+/// of the paper's era; the exact values only need to be self-consistent,
+/// because every experiment compares two models using the *same* timing.
+
+namespace ahbp::ddr {
+
+struct DdrTiming {
+  sim::Cycle tRCD = 3;   ///< ACTIVATE -> READ/WRITE, same bank
+  sim::Cycle tRP = 3;    ///< PRECHARGE -> ACTIVATE, same bank
+  sim::Cycle tRAS = 7;   ///< ACTIVATE -> PRECHARGE (minimum row-open time)
+  sim::Cycle tRC = 10;   ///< ACTIVATE -> ACTIVATE, same bank
+  sim::Cycle tRRD = 2;   ///< ACTIVATE -> ACTIVATE, different banks
+  sim::Cycle tCL = 3;    ///< READ command -> first data beat (CAS latency)
+  sim::Cycle tWL = 1;    ///< WRITE command -> first data beat
+  sim::Cycle tWR = 3;    ///< last write data -> PRECHARGE, same bank
+  sim::Cycle tCCD = 1;   ///< column command -> column command (any bank)
+  sim::Cycle tRFC = 20;  ///< REFRESH -> any command
+  sim::Cycle tREFI = 1560;  ///< mean interval between refreshes (0 = off)
+
+  /// Validate internal consistency (e.g. tRC >= tRAS + tRP).  Returns an
+  /// empty string when consistent, else a description of the first problem.
+  std::string validate() const;
+};
+
+/// Preset approximating DDR-266 (PC2100) at a 133MHz bus clock.
+DdrTiming ddr266();
+
+/// Preset approximating DDR-400 (PC3200) timings scaled to the bus clock.
+DdrTiming ddr400();
+
+/// A fast "toy" timing useful in unit tests (small constants, no refresh).
+DdrTiming toy_timing();
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,125 @@
+#include "ddr/timing_checker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ahbp::ddr {
+
+TimingChecker::TimingChecker(const DdrTiming& timing, const Geometry& geom)
+    : t_(timing), geom_(geom), banks_(geom.banks) {}
+
+void TimingChecker::fail(const Command& cmd, sim::Cycle now,
+                         std::string rule) {
+  violations_.push_back(
+      TimingViolation{now, cmd.kind, cmd.bank, std::move(rule)});
+}
+
+void TimingChecker::observe(const Command& cmd, sim::Cycle now) {
+  if (cmd.kind == CmdKind::kNop) {
+    return;
+  }
+  ++seen_;
+  if (any_cmd_ && now == last_cmd_at_) {
+    fail(cmd, now, "one-command-per-cycle");
+  }
+  if (now < refresh_until_) {
+    fail(cmd, now, "tRFC");
+  }
+  if (cmd.kind != CmdKind::kRefresh && cmd.bank >= banks_.size()) {
+    fail(cmd, now, "bank-index");
+    return;
+  }
+  switch (cmd.kind) {
+    case CmdKind::kActivate: {
+      BankHist& b = banks_[cmd.bank];
+      if (b.open) {
+        fail(cmd, now, "activate-on-open-bank");
+      }
+      if (now < b.last_precharge_done) {
+        fail(cmd, now, "tRP");
+      }
+      if (b.ever_activated && now < b.last_activate + t_.tRC) {
+        fail(cmd, now, "tRC");
+      }
+      if (any_activate_ && now < last_activate_any_ + t_.tRRD) {
+        fail(cmd, now, "tRRD");
+      }
+      b.open = true;
+      b.row = cmd.row;
+      b.last_activate = now;
+      b.ever_activated = true;
+      b.column_ok_at = now + t_.tRCD;
+      b.precharge_ok_at = now + t_.tRAS;
+      last_activate_any_ = now;
+      any_activate_ = true;
+      break;
+    }
+    case CmdKind::kRead:
+    case CmdKind::kWrite: {
+      BankHist& b = banks_[cmd.bank];
+      if (!b.open) {
+        fail(cmd, now, "column-on-closed-bank");
+      } else if (b.row != cmd.row) {
+        fail(cmd, now, "column-row-mismatch");
+      }
+      if (now < b.column_ok_at) {
+        fail(cmd, now, "tRCD");
+      }
+      if (any_column_ && now < last_column_any_ + t_.tCCD) {
+        fail(cmd, now, "tCCD");
+      }
+      if (cmd.beats == 0) {
+        fail(cmd, now, "zero-beat-column");
+      }
+      const bool is_write = cmd.kind == CmdKind::kWrite;
+      const sim::Cycle lat = is_write ? t_.tWL : t_.tCL;
+      if (now + lat < data_busy_until_) {
+        fail(cmd, now, "data-bus-overlap");
+      }
+      const sim::Cycle last_beat = now + lat + (cmd.beats ? cmd.beats - 1 : 0);
+      data_busy_until_ = last_beat + 1;
+      const sim::Cycle guard =
+          is_write ? last_beat + 1 + t_.tWR : last_beat + 1;
+      b.precharge_ok_at = std::max(b.precharge_ok_at, guard);
+      last_column_any_ = now;
+      any_column_ = true;
+      break;
+    }
+    case CmdKind::kPrecharge: {
+      BankHist& b = banks_[cmd.bank];
+      if (!b.open) {
+        fail(cmd, now, "precharge-on-closed-bank");
+      }
+      if (now < b.precharge_ok_at) {
+        fail(cmd, now, "tRAS/tWR");
+      }
+      b.open = false;
+      b.last_precharge_done = now + t_.tRP;
+      break;
+    }
+    case CmdKind::kRefresh: {
+      for (std::uint32_t i = 0; i < banks_.size(); ++i) {
+        BankHist& b = banks_[i];
+        if (b.open) {
+          fail(cmd, now, "refresh-with-open-bank");
+        }
+        if (now < b.last_precharge_done) {
+          fail(cmd, now, "refresh-before-tRP");
+        }
+        b.last_precharge_done =
+            std::max(b.last_precharge_done, now + t_.tRFC);
+        // tRC also applies across refresh; approximate by pushing the
+        // activate window out with the refresh recovery.
+        b.column_ok_at = std::max(b.column_ok_at, now + t_.tRFC);
+      }
+      refresh_until_ = now + t_.tRFC;
+      break;
+    }
+    case CmdKind::kNop:
+      break;
+  }
+  last_cmd_at_ = now;
+  any_cmd_ = true;
+}
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddr/commands.hpp"
+#include "ddr/geometry.hpp"
+#include "ddr/timing.hpp"
+#include "sim/time.hpp"
+
+/// \file timing_checker.hpp
+/// Independent DDR protocol-timing validator.
+///
+/// This checker re-implements the JEDEC-style rules *separately* from
+/// BankEngine so the property tests can feed every command the engine
+/// issues through it and catch rule drift between scheduler and rules — the
+/// second assertion family of the paper's §3.5 (property checking), applied
+/// to the memory side.
+
+namespace ahbp::ddr {
+
+struct TimingViolation {
+  sim::Cycle at = 0;
+  CmdKind kind = CmdKind::kNop;
+  std::uint32_t bank = 0;
+  std::string rule;  ///< e.g. "tRCD", "tRP", "row-not-open"
+};
+
+class TimingChecker {
+ public:
+  TimingChecker(const DdrTiming& timing, const Geometry& geom);
+
+  /// Observe one command at cycle `now`.  Violations are recorded, not
+  /// thrown, so a test can collect all of them.
+  void observe(const Command& cmd, sim::Cycle now);
+
+  const std::vector<TimingViolation>& violations() const noexcept {
+    return violations_;
+  }
+  bool clean() const noexcept { return violations_.empty(); }
+  std::uint64_t commands_seen() const noexcept { return seen_; }
+
+ private:
+  void fail(const Command& cmd, sim::Cycle now, std::string rule);
+
+  struct BankHist {
+    bool open = false;
+    std::uint32_t row = 0;
+    sim::Cycle last_activate = 0;
+    bool ever_activated = false;
+    sim::Cycle last_precharge_done = 0;  ///< precharge completion (t + tRP)
+    sim::Cycle column_ok_at = 0;         ///< last ACTIVATE + tRCD
+    sim::Cycle precharge_ok_at = 0;      ///< max(tRAS, write recovery)
+  };
+
+  DdrTiming t_;
+  Geometry geom_;
+  std::vector<BankHist> banks_;
+  sim::Cycle last_activate_any_ = 0;
+  bool any_activate_ = false;
+  sim::Cycle last_column_any_ = 0;
+  bool any_column_ = false;
+  sim::Cycle data_busy_until_ = 0;  ///< exclusive
+  sim::Cycle last_cmd_at_ = 0;
+  bool any_cmd_ = false;
+  sim::Cycle refresh_until_ = 0;
+  std::vector<TimingViolation> violations_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace ahbp::ddr

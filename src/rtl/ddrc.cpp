@@ -1,0 +1,133 @@
+#include "rtl/ddrc.hpp"
+
+#include "assertions/assert.hpp"
+
+namespace ahbp::rtl {
+
+RtlDdrc::RtlDdrc(sim::EventKernel& kernel, const ddr::DdrTiming& timing,
+                 const ddr::Geometry& geom, ahb::Addr region_base,
+                 const ahb::BusConfig& cfg, SharedWires& shared,
+                 const sim::Cycle* now)
+    : engine_(timing, geom),
+      base_(region_base),
+      cfg_(cfg),
+      sh_(shared),
+      now_(now),
+      proc_(kernel, "rtl-ddrc", [this] { at_edge(); }) {}
+
+void RtlDdrc::bind_clock(sim::Signal<bool>& clk) {
+  clk.subscribe(proc_, sim::Edge::kPos);
+}
+
+void RtlDdrc::sample_inputs(sim::Cycle now) {
+  // Latch the BI announce whenever the arbiter drives a fresh one.
+  if (sh_.bi_next_valid.read()) {
+    Announce a;
+    a.addr = sh_.bi_next_addr.read();
+    a.burst = unpack_burst(sh_.bi_next_burst.read());
+    a.size = unpack_size(sh_.bi_next_size.read());
+    a.beats = sh_.bi_next_beats.read();
+    a.is_write = sh_.bi_next_write.read();
+    announce_ = a;
+  }
+
+  const bool hready_prev = sh_.hready.read();
+  const auto tr = unpack_trans(sh_.htrans.read());
+
+  // 1. Write data phase completing during the previous cycle: sample the
+  //    write bus into the engine.
+  if (cur_active_ && cur_is_write_ && hready_prev &&
+      puts_done_ < addr_accepted_) {
+    engine_.put_write_beat(now, sh_.hwdata.read());
+    ++puts_done_;
+  }
+
+  // 2. Address-phase acceptance.
+  bool begin_now = false;
+  if (hready_prev && (tr == ahb::Trans::kNonSeq || tr == ahb::Trans::kSeq)) {
+    if (tr == ahb::Trans::kNonSeq) {
+      begin_now = true;
+    } else if (cur_active_) {
+      ++addr_accepted_;
+    }
+  }
+
+  // 3. Completion of the current engine transaction.
+  if (engine_.busy() && engine_.done()) {
+    engine_.finish();
+    cur_active_ = false;
+  }
+
+  // 4. Begin the newly accepted transaction.
+  if (begin_now) {
+    AHBP_ASSERT_MSG(!engine_.busy(),
+                    "NONSEQ accepted while a transaction is in flight");
+    AHBP_ASSERT_MSG(announce_.has_value(),
+                    "NONSEQ accepted without a BI announce");
+    const Announce& a = *announce_;
+    AHBP_ASSERT_MSG(a.addr == sh_.haddr.read(),
+                    "BI announce does not match the presented address");
+    ddr::MemRequest req;
+    req.is_write = a.is_write;
+    req.addr = a.addr - base_;
+    req.beat_bytes = ahb::size_bytes(a.size);
+    req.beats = a.beats;
+    req.burst = a.burst;
+    engine_.begin(req, now);
+    cur_active_ = true;
+    cur_is_write_ = a.is_write;
+    cur_beats_ = a.beats;
+    addr_accepted_ = 1;
+    puts_done_ = 0;
+    announce_.reset();
+  }
+
+  // 5. Bank-prep hint from the (unconsumed) announce.
+  if (cfg_.bi_hints_enabled && announce_) {
+    engine_.set_hint(engine_.geometry().decode(announce_->addr - base_));
+  } else {
+    engine_.set_hint(std::nullopt);
+  }
+}
+
+void RtlDdrc::drive_outputs(sim::Cycle now) {
+  sh_.hresp.write(static_cast<std::uint8_t>(ahb::Resp::kOkay));
+  if (engine_.busy()) {
+    if (!cur_is_write_) {
+      if (engine_.read_beat_available(now)) {
+        sh_.hrdata.write(engine_.take_read_beat(now));
+        sh_.hready.write(true);
+      } else {
+        sh_.hready.write(false);
+      }
+    } else {
+      // Write data phase active this cycle?
+      const bool data_active = puts_done_ < addr_accepted_;
+      sh_.hready.write(data_active && engine_.write_beat_ready(now));
+    }
+  } else {
+    sh_.hready.write(true);  // idle slave: zero-wait-state acceptance
+  }
+}
+
+void RtlDdrc::drive_bi(sim::Cycle now) {
+  const ddr::BankEngine& banks = engine_.banks();
+  for (std::uint32_t b = 0; b < banks.banks(); ++b) {
+    sh_.bi_bank_state[b]->write(
+        static_cast<std::uint8_t>(banks.bank_state(b, now)));
+    sh_.bi_open_row[b]->write(banks.open_row(b));
+  }
+  sh_.bi_idle_mask.write(engine_.idle_bank_mask(now));
+  sh_.bi_permit.write(engine_.access_permitted(now));
+  sh_.bi_remaining.write(engine_.remaining_beats());
+}
+
+void RtlDdrc::at_edge() {
+  const sim::Cycle now = *now_;
+  sample_inputs(now);
+  engine_.step(now);
+  drive_outputs(now);
+  drive_bi(now);
+}
+
+}  // namespace ahbp::rtl

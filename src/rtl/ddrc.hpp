@@ -1,0 +1,73 @@
+#pragma once
+
+#include <optional>
+
+#include "ahb/config.hpp"
+#include "ahb/types.hpp"
+#include "ddr/scheduler.hpp"
+#include "rtl/signals.hpp"
+#include "sim/event_kernel.hpp"
+
+/// \file ddrc.hpp
+/// Pin-level DDR controller.
+///
+/// The AHB slave interface (HREADY/HRDATA/HWDATA sampling, pipelined
+/// address acceptance) and the BI signal bundle are modeled wire-by-wire;
+/// the controller FSM inside is the shared ddr::DdrcEngine — the same
+/// "FSM as accurate as RTL" (§3.3) the TLM uses, so both models enforce
+/// identical DRAM timing.
+
+namespace ahbp::rtl {
+
+class RtlDdrc {
+ public:
+  RtlDdrc(sim::EventKernel& kernel, const ddr::DdrTiming& timing,
+          const ddr::Geometry& geom, ahb::Addr region_base,
+          const ahb::BusConfig& cfg, SharedWires& shared,
+          const sim::Cycle* now);
+
+  RtlDdrc(const RtlDdrc&) = delete;
+  RtlDdrc& operator=(const RtlDdrc&) = delete;
+
+  void bind_clock(sim::Signal<bool>& clk);
+
+  const ddr::DdrcEngine& engine() const noexcept { return engine_; }
+  ddr::DdrcEngine& engine() noexcept { return engine_; }
+
+  /// Nothing in flight and no background writes pending.
+  bool quiescent() const noexcept {
+    return !engine_.busy() && engine_.pending_write_chunks() == 0;
+  }
+
+ private:
+  void at_edge();
+  void sample_inputs(sim::Cycle now);
+  void drive_outputs(sim::Cycle now);
+  void drive_bi(sim::Cycle now);
+
+  ddr::DdrcEngine engine_;
+  ahb::Addr base_;
+  const ahb::BusConfig& cfg_;
+  SharedWires& sh_;
+  const sim::Cycle* now_;
+  sim::Process proc_;
+
+  /// BI announce latched from the arbiter (consumed at NONSEQ acceptance).
+  struct Announce {
+    ahb::Addr addr = 0;
+    ahb::Burst burst = ahb::Burst::kSingle;
+    ahb::Size size = ahb::Size::kWord;
+    unsigned beats = 1;
+    bool is_write = false;
+  };
+  std::optional<Announce> announce_;
+
+  // Current bus-side transfer bookkeeping (write data-phase gating).
+  bool cur_active_ = false;
+  bool cur_is_write_ = false;
+  unsigned cur_beats_ = 0;
+  unsigned addr_accepted_ = 0;
+  unsigned puts_done_ = 0;
+};
+
+}  // namespace ahbp::rtl

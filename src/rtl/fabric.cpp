@@ -1,0 +1,271 @@
+#include "rtl/fabric.hpp"
+
+#include <algorithm>
+
+#include "assertions/assert.hpp"
+
+namespace ahbp::rtl {
+
+namespace {
+constexpr sim::Tick kClockPeriod = 2;  // one bus cycle = 2 ticks
+}
+
+RtlFabric::RtlFabric(const RtlFabricConfig& cfg,
+                     std::vector<traffic::Script> scripts)
+    : cfg_(cfg),
+      masters_(static_cast<unsigned>(scripts.size())),
+      clock_(kernel_, "hclk", kClockPeriod),
+      // The cycle counter must be the first posedge subscriber: every other
+      // process reads the incremented value.
+      tick_(kernel_, "cycle-tick", [this] { ++cycle_; }),
+      qos_(masters_),
+      sh_(kernel_, masters_, cfg.geom.banks),
+      master_profiles_(masters_),
+      observer_(kernel_, "observer", [this] { observe_edge(); }),
+      user_hooks_(masters_) {
+  AHBP_ASSERT_MSG(masters_ >= 1, "at least one master required");
+  AHBP_ASSERT_MSG(cfg_.qos.size() == masters_,
+                  "one QosConfig per master required");
+  for (unsigned m = 0; m < masters_; ++m) {
+    qos_.program(static_cast<ahb::MasterId>(m), cfg_.qos[m]);
+  }
+
+  clock_.signal().subscribe(tick_, sim::Edge::kPos);
+
+  // Wire columns: one per master plus the write buffer's.
+  columns_.reserve(masters_ + 1);
+  for (unsigned m = 0; m <= masters_; ++m) {
+    columns_.push_back(std::make_unique<MasterWires>(kernel_, m));
+  }
+
+  // Masters (subscribe before arbiter/wbuf/ddrc).
+  std::vector<MasterWires*> mw;
+  for (unsigned m = 0; m < masters_; ++m) {
+    mw.push_back(columns_[m].get());
+  }
+  for (unsigned m = 0; m < masters_; ++m) {
+    auto master = std::make_unique<RtlMaster>(
+        kernel_, static_cast<ahb::MasterId>(m), *columns_[m], sh_,
+        std::move(scripts[m]), &cycle_, master_profiles_[m]);
+    master->on_complete = [this, m](const ahb::Transaction& t) {
+      last_completion_ = cycle_;
+      ++completed_;
+      if (user_hooks_[m]) {
+        user_hooks_[m](t);
+      }
+    };
+    master->bind_clock(clock_.signal());
+    rtl_masters_.push_back(std::move(master));
+    master_profiles_[m].name = "M" + std::to_string(m);
+  }
+
+  wbuf_ = std::make_unique<RtlWriteBuffer>(kernel_, cfg_.bus, masters_, sh_,
+                                           *columns_[masters_], mw, &cycle_);
+  arbiter_ = std::make_unique<RtlArbiter>(
+      kernel_, cfg_.bus, qos_, sh_, mw, *wbuf_, cfg_.geom, cfg_.ddr_base,
+      &cycle_, cfg_.enable_checkers ? &log_ : nullptr);
+  // Subscription order: arbiter before write buffer (reservation happens
+  // before the buffer's capture/drain pass, as in the TLM).
+  arbiter_->bind_clock(clock_.signal());
+  wbuf_->bind_clock(clock_.signal());
+
+  ddrc_ = std::make_unique<RtlDdrc>(kernel_, cfg_.timing, cfg_.geom,
+                                    cfg_.ddr_base, cfg_.bus, sh_, &cycle_);
+  ddrc_->bind_clock(clock_.signal());
+
+  if (cfg_.rt_detail) {
+    std::vector<MasterWires*> all_cols;
+    for (auto& c : columns_) {
+      all_cols.push_back(c.get());
+    }
+    detail_ = std::make_unique<DetailLayer>(kernel_, sh_, all_cols,
+                                            ddrc_->engine(), &cycle_);
+    detail_->bind_clock(clock_.signal());
+    bitlevel_ = std::make_unique<BitLevelLayer>(kernel_, sh_, all_cols);
+  }
+
+  make_muxes();
+
+  if (cfg_.enable_checkers) {
+    checker_ = std::make_unique<chk::BusChecker>(
+        chk::CheckerConfig{masters_, cfg_.bus.write_buffer_depth,
+                           cfg_.bus.write_buffer_enabled},
+        log_);
+  }
+  clock_.signal().subscribe(observer_, sim::Edge::kPos);
+}
+
+void RtlFabric::make_muxes() {
+  // Combinational address/control mux: routes the address-phase owner's
+  // column (HMASTER-selected) onto the shared bus.  Settles through delta
+  // cycles whenever the owner or any routed signal changes.
+  mux_proc_ = std::make_unique<sim::Process>(kernel_, "bus-mux", [this] {
+    const std::uint8_t owner = sh_.hmaster.read();
+    if (owner >= columns_.size()) {
+      sh_.htrans.write(pack(ahb::Trans::kIdle));
+      return;
+    }
+    const MasterWires& c = *columns_[owner];
+    sh_.htrans.write(c.htrans.read());
+    sh_.haddr.write(c.haddr.read());
+    sh_.hburst.write(c.hburst.read());
+    sh_.hsize.write(c.hsize.read());
+    sh_.hwrite.write(c.hwrite.read());
+  });
+  sh_.hmaster.subscribe(*mux_proc_);
+  for (auto& col : columns_) {
+    col->htrans.subscribe(*mux_proc_);
+    col->haddr.subscribe(*mux_proc_);
+    col->hburst.subscribe(*mux_proc_);
+    col->hsize.subscribe(*mux_proc_);
+    col->hwrite.subscribe(*mux_proc_);
+  }
+
+  // Write-data mux: selected by the *delayed* data-phase owner (HMASTERD).
+  data_mux_proc_ = std::make_unique<sim::Process>(kernel_, "wdata-mux", [this] {
+    const std::uint8_t owner = sh_.hmaster_data.read();
+    if (owner < columns_.size()) {
+      sh_.hwdata.write(columns_[owner]->hwdata.read());
+    }
+  });
+  sh_.hmaster_data.subscribe(*data_mux_proc_);
+  for (auto& col : columns_) {
+    col->hwdata.subscribe(*data_mux_proc_);
+  }
+}
+
+void RtlFabric::observe_edge() {
+  if (vcd_) {
+    vcd_->sample(cycle_);
+  }
+  // Views describe the previous bus cycle (all reads return values
+  // committed before this edge).
+  const auto tr = unpack_trans(sh_.htrans.read());
+  const bool hr = sh_.hready.read();
+
+  chk::BusCycleView v;
+  v.cycle = cycle_;
+  for (unsigned m = 0; m < masters_; ++m) {
+    if (columns_[m]->hbusreq.read()) {
+      v.request_mask |= 1U << m;
+    }
+  }
+  if (sh_.wbuf_req.read()) {
+    v.request_mask |= 1U << masters_;
+  }
+  v.hmaster = sh_.hmaster.read();
+  v.htrans = tr;
+  v.haddr = sh_.haddr.read();
+  v.hburst = unpack_burst(sh_.hburst.read());
+  v.hsize = unpack_size(sh_.hsize.read());
+  v.hwrite = unpack_dir(sh_.hwrite.read());
+  v.hready = hr;
+  v.hresp = static_cast<ahb::Resp>(sh_.hresp.read());
+  v.wbuf_occupancy = sh_.wbuf_occupancy.read();
+  if (checker_) {
+    checker_->on_cycle(v);
+  }
+
+  // Bus profile: track data-phase progress with a small burst follower.
+  bool moved = false;
+  if (hr && obs_pending_data_ > 0) {
+    moved = true;
+    --obs_pending_data_;
+  }
+  if (hr && (tr == ahb::Trans::kNonSeq || tr == ahb::Trans::kSeq)) {
+    if (tr == ahb::Trans::kNonSeq) {
+      obs_beat_bytes_ = ahb::size_bytes(v.hsize);
+    }
+    ++obs_pending_data_;
+  }
+  unsigned requesters = sh_.wbuf_req.read() ? 1U : 0U;
+  for (unsigned m = 0; m < masters_; ++m) {
+    if (columns_[m]->hbusreq.read()) {
+      ++requesters;
+    }
+  }
+  const bool busy = tr != ahb::Trans::kIdle || obs_pending_data_ > 0;
+  bus_profile_.sample(requesters, busy, moved ? obs_beat_bytes_ : 0);
+}
+
+sim::Cycle RtlFabric::run(sim::Cycle max_cycles) {
+  const sim::Cycle start = cycle_;
+  while (cycle_ - start < max_cycles && !finished()) {
+    const sim::Cycle chunk = std::min<sim::Cycle>(
+        256, max_cycles - (cycle_ - start));
+    kernel_.run_until(kernel_.now() + chunk * kClockPeriod);
+  }
+  return cycle_ - start;
+}
+
+bool RtlFabric::finished() const {
+  for (const auto& m : rtl_masters_) {
+    if (!m->finished()) {
+      return false;
+    }
+  }
+  return !wbuf_->draining() && wbuf_->fifo().empty() && ddrc_->quiescent();
+}
+
+stats::RunProfile RtlFabric::profile() const {
+  stats::RunProfile p;
+  p.masters = master_profiles_;
+  for (unsigned m = 0; m < masters_; ++m) {
+    p.masters[m].qos_misses = qos_.state(static_cast<ahb::MasterId>(m)).qos_misses;
+  }
+  p.bus = bus_profile_;
+  p.bus.grants = arbiter_->grants();
+  p.bus.handovers = arbiter_->handovers();
+  p.write_buffer = wbuf_->fifo().profile();
+  p.ddr.commands = ddrc_->engine().banks().counters();
+  p.ddr.hits = ddrc_->engine().hit_stats();
+  p.total_cycles = last_completion_;
+  p.completed_txns = completed_;
+  return p;
+}
+
+void RtlFabric::set_on_complete(
+    unsigned m, std::function<void(const ahb::Transaction&)> fn) {
+  AHBP_ASSERT(m < masters_);
+  user_hooks_[m] = std::move(fn);
+}
+
+void RtlFabric::enable_vcd(std::ostream& os) {
+  vcd_ = std::make_unique<sim::VcdWriter>(os);
+  vcd_->add_signal(clock_.signal(), 1);
+  vcd_->add_signal(sh_.hmaster, 8);
+  vcd_->add_signal(sh_.htrans, 2);
+  vcd_->add_signal(sh_.haddr, 32);
+  vcd_->add_signal(sh_.hwdata, 32);
+  vcd_->add_signal(sh_.hrdata, 32);
+  vcd_->add_signal(sh_.hready, 1);
+  for (unsigned m = 0; m < masters_; ++m) {
+    vcd_->add_signal(columns_[m]->hbusreq, 1);
+    vcd_->add_signal(*sh_.hgrant[m], 1);
+  }
+  vcd_->add_signal(sh_.wbuf_req, 1);
+  vcd_->add_signal(sh_.wbuf_occupancy, 4);
+  vcd_->add_signal(sh_.bi_permit, 1);
+  vcd_->write_header();
+}
+
+std::string RtlFabric::dump_state() const {
+  std::string s = "cycle " + std::to_string(cycle_) + "\n";
+  for (unsigned m = 0; m < masters_; ++m) {
+    s += "  m" + std::to_string(m) + ": " +
+         std::string(rtl_masters_[m]->state_name()) + " completed=" +
+         std::to_string(rtl_masters_[m]->completed()) + "\n";
+  }
+  s += "  wbuf: occ=" + std::to_string(wbuf_->fifo().occupancy()) +
+       (wbuf_->draining() ? " draining" : "") + "\n";
+  s += "  ddrc: " + std::string(ddrc_->engine().busy() ? "busy" : "idle") +
+       " pending-wr=" + std::to_string(ddrc_->engine().pending_write_chunks()) +
+       "\n";
+  s += "  " + arbiter_->debug_string() + "\n";
+  s += "  hready=" + std::string(sh_.hready.read() ? "1" : "0") +
+       " htrans=" + std::to_string(sh_.htrans.read()) +
+       " hmaster=" + std::to_string(sh_.hmaster.read()) + "\n";
+  return s;
+}
+
+}  // namespace ahbp::rtl

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ahb/config.hpp"
+#include "ahb/qos.hpp"
+#include "assertions/bus_checker.hpp"
+#include "assertions/violation.hpp"
+#include "ddr/geometry.hpp"
+#include "ddr/timing.hpp"
+#include "rtl/arbiter.hpp"
+#include "rtl/bitlevel.hpp"
+#include "rtl/ddrc.hpp"
+#include "rtl/detail.hpp"
+#include "rtl/master.hpp"
+#include "rtl/signals.hpp"
+#include "rtl/write_buffer.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_kernel.hpp"
+#include "sim/vcd.hpp"
+#include "stats/profiles.hpp"
+#include "traffic/generator.hpp"
+
+/// \file fabric.hpp
+/// Top-level wiring of the pin-accurate AHB+ platform: clock, cycle
+/// counter, per-master wire columns, address/control/write-data muxes,
+/// masters, arbiter, write buffer, DDRC, protocol observer.
+///
+/// Process execution order within a clock edge is the subscription order
+/// (a documented EventKernel guarantee): cycle counter, masters, arbiter,
+/// write buffer, DDRC, observer.  All cross-component communication is
+/// through two-phase signals except the arbiter->write-buffer reservation
+/// call, whose ordering the subscription order pins down — mirroring the
+/// TLM's arbitration-then-absorption sequence.
+
+namespace ahbp::rtl {
+
+struct RtlFabricConfig {
+  ahb::BusConfig bus;
+  ddr::DdrTiming timing = ddr::ddr266();
+  ddr::Geometry geom;
+  ahb::Addr ddr_base = 0;
+  std::vector<ahb::QosConfig> qos;  ///< one per master
+  bool enable_checkers = true;
+  /// Instantiate the full register-transfer detail layer (detail.hpp).
+  /// On by default: the reference model is meant to pay RTL cost.
+  bool rt_detail = true;
+};
+
+class RtlFabric {
+ public:
+  RtlFabric(const RtlFabricConfig& cfg,
+            std::vector<traffic::Script> scripts);
+
+  RtlFabric(const RtlFabric&) = delete;
+  RtlFabric& operator=(const RtlFabric&) = delete;
+
+  /// Run until every master finished and the fabric drained, or until
+  /// `max_cycles`.  Returns the number of bus cycles executed.
+  sim::Cycle run(sim::Cycle max_cycles);
+
+  bool finished() const;
+
+  /// Bus cycle at which the last master transaction completed.
+  sim::Cycle last_completion() const noexcept { return last_completion_; }
+
+  std::uint64_t completed_txns() const noexcept { return completed_; }
+
+  stats::RunProfile profile() const;
+
+  const chk::ViolationLog& violations() const noexcept { return log_; }
+  const sim::EventKernel& kernel() const noexcept { return kernel_; }
+  const RtlDdrc& ddrc() const noexcept { return *ddrc_; }
+  const ahb::QosRegisterFile& qos() const noexcept { return qos_; }
+
+  /// Per-transaction observer (set before run()).
+  void set_on_complete(unsigned m,
+                       std::function<void(const ahb::Transaction&)> fn);
+
+  /// Multi-line diagnostic snapshot (master states, buffer, arbiter, DDRC)
+  /// for stall debugging.
+  std::string dump_state() const;
+
+  /// Dump the architectural bus signals to a VCD stream (viewable in
+  /// GTKWave).  Call before run(); samples once per clock edge.
+  void enable_vcd(std::ostream& os);
+
+ private:
+  void make_muxes();
+  void observe_edge();
+
+  RtlFabricConfig cfg_;
+  unsigned masters_;
+  sim::EventKernel kernel_;
+  sim::Clock clock_;
+  sim::Cycle cycle_ = 0;
+  sim::Process tick_;
+
+  ahb::QosRegisterFile qos_;
+  std::vector<std::unique_ptr<MasterWires>> columns_;  ///< masters + wbuf
+  SharedWires sh_;
+
+  std::vector<stats::MasterProfile> master_profiles_;
+  std::vector<std::unique_ptr<RtlMaster>> rtl_masters_;
+  std::unique_ptr<RtlWriteBuffer> wbuf_;
+  std::unique_ptr<RtlArbiter> arbiter_;
+  std::unique_ptr<RtlDdrc> ddrc_;
+  std::unique_ptr<DetailLayer> detail_;
+  std::unique_ptr<BitLevelLayer> bitlevel_;
+
+  std::unique_ptr<sim::Process> mux_proc_;
+  std::unique_ptr<sim::Process> data_mux_proc_;
+  sim::Process observer_;
+
+  chk::ViolationLog log_;
+  std::unique_ptr<chk::BusChecker> checker_;
+  std::unique_ptr<sim::VcdWriter> vcd_;
+  stats::BusProfile bus_profile_;
+
+  // Observer's burst follower (for moved-bytes accounting).
+  unsigned obs_pending_data_ = 0;
+  unsigned obs_beat_bytes_ = 0;
+
+  sim::Cycle last_completion_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<std::function<void(const ahb::Transaction&)>> user_hooks_;
+};
+
+}  // namespace ahbp::rtl

@@ -1,0 +1,28 @@
+#include "sim/clock.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ahbp::sim {
+
+Clock::Clock(EventKernel& kernel, std::string name, Tick period, Tick phase)
+    : kernel_(kernel), sig_(kernel, std::move(name), false), period_(period) {
+  if (period < 2 || period % 2 != 0) {
+    throw std::invalid_argument("Clock period must be an even number >= 2");
+  }
+  kernel_.schedule(phase + period_ / 2, [this] { toggle(); });
+}
+
+void Clock::toggle() {
+  if (!running_) {
+    return;
+  }
+  const bool next = !sig_.read();
+  sig_.write(next);
+  if (next) {
+    ++posedges_;
+  }
+  kernel_.schedule(period_ / 2, [this] { toggle(); });
+}
+
+}  // namespace ahbp::sim

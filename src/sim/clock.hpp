@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "sim/event_kernel.hpp"
+#include "sim/time.hpp"
+
+/// \file clock.hpp
+/// Free-running clock generator for the event-driven kernel.
+
+namespace ahbp::sim {
+
+/// Generates a square wave on a `Signal<bool>` by self-scheduling timed
+/// events.  The first rising edge occurs at `phase + period/2` ticks
+/// (the clock starts low), matching a typical testbench clock.
+class Clock {
+ public:
+  /// \param period  full clock period in ticks (must be >= 2 and even).
+  /// \param phase   delay in ticks before the first half-period elapses.
+  Clock(EventKernel& kernel, std::string name, Tick period, Tick phase = 0);
+
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  Signal<bool>& signal() noexcept { return sig_; }
+  const Signal<bool>& signal() const noexcept { return sig_; }
+
+  Tick period() const noexcept { return period_; }
+
+  /// Number of rising edges generated so far.
+  std::uint64_t posedges() const noexcept { return posedges_; }
+
+  /// Stop generating further edges (the pending event drains harmlessly).
+  void stop() noexcept { running_ = false; }
+
+ private:
+  void toggle();
+
+  EventKernel& kernel_;
+  Signal<bool> sig_;
+  Tick period_;
+  std::uint64_t posedges_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace ahbp::sim

@@ -1,0 +1,51 @@
+#include "sim/cycle_kernel.hpp"
+
+#include <algorithm>
+
+namespace ahbp::sim {
+
+void CycleKernel::add(Clocked& component) {
+  components_.push_back(&component);
+  sorted_ = false;
+}
+
+void CycleKernel::sort_if_needed() {
+  if (!sorted_) {
+    std::stable_sort(
+        components_.begin(), components_.end(),
+        [](const Clocked* a, const Clocked* b) { return a->phase() < b->phase(); });
+    sorted_ = true;
+  }
+}
+
+void CycleKernel::step() {
+  sort_if_needed();
+  for (Clocked* c : components_) {
+    c->evaluate(now_);
+    ++evaluations_;
+  }
+  for (Clocked* c : components_) {
+    c->update(now_);
+  }
+  ++now_;
+}
+
+void CycleKernel::run(Cycle cycles) {
+  stop_ = false;
+  for (Cycle i = 0; i < cycles && !stop_; ++i) {
+    step();
+  }
+}
+
+Cycle CycleKernel::run_until(const std::function<bool()>& predicate,
+                             Cycle max_cycles) {
+  stop_ = false;
+  Cycle executed = 0;
+  while (executed < max_cycles && !stop_ && !predicate()) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace ahbp::sim

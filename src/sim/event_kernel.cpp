@@ -1,0 +1,121 @@
+#include "sim/event_kernel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ahbp::sim {
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(EventKernel& kernel, std::string name,
+                 std::function<void()> body)
+    : kernel_(kernel), name_(std::move(name)), body_(std::move(body)) {}
+
+void Process::trigger() { kernel_.make_runnable(*this); }
+
+void Process::run() {
+  scheduled_ = false;
+  body_();
+}
+
+// -------------------------------------------------------------- SignalBase
+
+SignalBase::SignalBase(EventKernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {
+  kernel_.register_signal(*this);
+}
+
+SignalBase::~SignalBase() { kernel_.unregister_signal(*this); }
+
+void SignalBase::subscribe(Process& proc, Edge edge) {
+  subs_.push_back(Subscription{&proc, edge});
+}
+
+void SignalBase::request_update() {
+  if (!update_pending_) {
+    update_pending_ = true;
+    kernel_.request_update(*this);
+  }
+}
+
+void SignalBase::notify(bool rose, bool fell) {
+  for (const Subscription& s : subs_) {
+    const bool fire = s.edge == Edge::kAny || (s.edge == Edge::kPos && rose) ||
+                      (s.edge == Edge::kNeg && fell);
+    if (fire) {
+      s.proc->trigger();
+    }
+  }
+}
+
+// ------------------------------------------------------------- EventKernel
+
+void EventKernel::make_runnable(Process& p) {
+  if (!p.scheduled_) {
+    p.scheduled_ = true;
+    runnable_.push_back(&p);
+  }
+}
+
+void EventKernel::request_update(SignalBase& s) { updates_.push_back(&s); }
+
+void EventKernel::register_signal(SignalBase& s) { signals_.push_back(&s); }
+
+void EventKernel::unregister_signal(SignalBase& s) {
+  signals_.erase(std::remove(signals_.begin(), signals_.end(), &s),
+                 signals_.end());
+}
+
+void EventKernel::schedule(Tick delay, std::function<void()> fn) {
+  timed_.push(TimedEvent{now_ + delay, seq_++, std::move(fn)});
+}
+
+void EventKernel::run_delta_rounds() {
+  // Each round: evaluate all runnable processes, then commit all signal
+  // writes.  Commits that change values re-arm subscribed processes for the
+  // next round.  Loop until quiescent.
+  while (!runnable_.empty() || !updates_.empty()) {
+    ++stats_.deltas;
+
+    std::vector<Process*> to_run;
+    to_run.swap(runnable_);
+    for (Process* p : to_run) {
+      ++stats_.process_activations;
+      p->run();
+    }
+
+    std::vector<SignalBase*> to_commit;
+    to_commit.swap(updates_);
+    for (SignalBase* s : to_commit) {
+      s->update_pending_ = false;
+      if (s->commit()) {
+        ++stats_.signal_commits;
+      }
+    }
+  }
+}
+
+void EventKernel::settle() { run_delta_rounds(); }
+
+void EventKernel::run_until(Tick until) {
+  run_delta_rounds();
+  while (!timed_.empty() && timed_.top().at <= until) {
+    const Tick at = timed_.top().at;
+    now_ = at;
+    // Dispatch every timed event at this timestamp, then settle deltas.
+    while (!timed_.empty() && timed_.top().at == at) {
+      // priority_queue::top() is const; the handler is moved out via pop
+      // after copying.  Keep it simple: copy the function, pop, run.
+      auto fn = timed_.top().fn;
+      timed_.pop();
+      ++stats_.timed_events;
+      fn();
+    }
+    run_delta_rounds();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+}  // namespace ahbp::sim

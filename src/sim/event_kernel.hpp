@@ -1,0 +1,238 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file event_kernel.hpp
+/// Event-driven simulation kernel with delta cycles.
+///
+/// This kernel hosts the *signal-level* (pin-accurate) reference model.  Its
+/// semantics mirror a classic HDL simulator:
+///
+///  1. **Evaluate** — every runnable process executes.  Processes read
+///     signals' current values and `write()` their next values.
+///  2. **Update** — all written signals commit.  Each signal whose value
+///     actually changed notifies its subscribed processes, making them
+///     runnable in the *next delta* of the same timestep.
+///  3. Deltas repeat until no process is runnable, then simulated time
+///     advances to the earliest pending timed event.
+///
+/// The kernel keeps activity counters (deltas, process activations, signal
+/// updates) so the speed benchmarks can report *why* signal-level simulation
+/// is slow, not just that it is.
+
+namespace ahbp::sim {
+
+class EventKernel;
+class SignalBase;
+
+/// A simulation process: a callable that re-runs whenever one of the signals
+/// it subscribes to changes value (or when explicitly triggered).
+///
+/// Processes are non-copyable identity objects; components own them and the
+/// kernel references them.
+class Process {
+ public:
+  Process(EventKernel& kernel, std::string name, std::function<void()> body);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Make the process runnable in the current evaluation phase (deduped).
+  void trigger();
+
+  std::string_view name() const noexcept { return name_; }
+
+  /// Invoked by the kernel during the evaluate phase.
+  void run();
+
+ private:
+  friend class EventKernel;
+  EventKernel& kernel_;
+  std::string name_;
+  std::function<void()> body_;
+  bool scheduled_ = false;
+};
+
+/// Edge selector for subscriptions on boolean signals.  Non-bool signals
+/// only support `kAny`.
+enum class Edge : std::uint8_t { kAny, kPos, kNeg };
+
+/// Type-erased base for signals: handles subscriber bookkeeping and the
+/// commit protocol with the kernel.
+class SignalBase {
+ public:
+  explicit SignalBase(EventKernel& kernel, std::string name);
+  virtual ~SignalBase();
+
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  /// Subscribe a process to value changes.  `edge` other than kAny is only
+  /// meaningful for Signal<bool>.
+  void subscribe(Process& proc, Edge edge = Edge::kAny);
+
+  std::string_view name() const noexcept { return name_; }
+
+  /// Render the current value for tracing (VCD / logs).
+  virtual std::string value_string() const = 0;
+
+ protected:
+  /// Ask the kernel to call commit() in the next update phase (deduped).
+  void request_update();
+
+  /// Notify subscribers after a committed change.  `rose`/`fell` qualify the
+  /// transition for edge-filtered subscribers (bool signals only; other
+  /// types pass rose=fell=false and only kAny subscribers fire).
+  void notify(bool rose, bool fell);
+
+ private:
+  friend class EventKernel;
+  /// Commit the pending write.  Returns true if the value changed.
+  virtual bool commit() = 0;
+
+  struct Subscription {
+    Process* proc;
+    Edge edge;
+  };
+
+  EventKernel& kernel_;
+  std::string name_;
+  std::vector<Subscription> subs_;
+  bool update_pending_ = false;
+};
+
+/// A two-phase signal: `write()` stores a next value that becomes visible to
+/// `read()` only after the update phase, exactly like an HDL signal.
+template <typename T>
+class Signal final : public SignalBase {
+ public:
+  Signal(EventKernel& kernel, std::string name, T initial = T{})
+      : SignalBase(kernel, std::move(name)), cur_(initial), next_(initial) {}
+
+  /// Current (committed) value.
+  const T& read() const noexcept { return cur_; }
+
+  /// Schedule `v` to become the value in the next update phase.
+  void write(const T& v) {
+    next_ = v;
+    request_update();
+  }
+
+  std::string value_string() const override {
+    if constexpr (std::is_same_v<T, bool>) {
+      return cur_ ? "1" : "0";
+    } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+      return std::to_string(static_cast<long long>(cur_));
+    } else {
+      return "?";
+    }
+  }
+
+ private:
+  bool commit() override {
+    if (cur_ == next_) {
+      return false;
+    }
+    const bool was_false = is_false(cur_);
+    cur_ = next_;
+    const bool now_true = !is_false(cur_);
+    notify(/*rose=*/was_false && now_true, /*fell=*/!was_false && !now_true);
+    return true;
+  }
+
+  static bool is_false(const T& v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return !v;
+    } else if constexpr (std::is_integral_v<T>) {
+      return v == T{0};
+    } else {
+      return false;
+    }
+  }
+
+  T cur_;
+  T next_;
+};
+
+/// Activity counters exposed for the speed benchmarks and tests.
+struct KernelStats {
+  std::uint64_t deltas = 0;               ///< evaluate/update rounds executed
+  std::uint64_t process_activations = 0;  ///< process bodies run
+  std::uint64_t signal_commits = 0;       ///< committed signal changes
+  std::uint64_t timed_events = 0;         ///< timed callbacks dispatched
+};
+
+/// The event-driven kernel itself.
+///
+/// Components allocate Signals and Processes against the kernel, subscribe
+/// sensitivities, then the testbench calls run_until().
+class EventKernel {
+ public:
+  EventKernel() = default;
+
+  EventKernel(const EventKernel&) = delete;
+  EventKernel& operator=(const EventKernel&) = delete;
+
+  /// Current simulated time.
+  Tick now() const noexcept { return now_; }
+
+  /// Schedule a one-shot callback `delay` ticks from now (delay 0 means the
+  /// next delta of the current timestep).
+  void schedule(Tick delay, std::function<void()> fn);
+
+  /// Run until simulated time reaches `until` (inclusive of events at
+  /// `until`) or until no events remain.
+  void run_until(Tick until);
+
+  /// Settle all deltas at the current time without advancing time.
+  void settle();
+
+  /// True if no timed events remain.
+  bool idle() const noexcept { return timed_.empty(); }
+
+  const KernelStats& stats() const noexcept { return stats_; }
+
+  /// Registry of all signals (for tracing).  Non-owning.
+  const std::vector<SignalBase*>& signals() const noexcept { return signals_; }
+
+ private:
+  friend class Process;
+  friend class SignalBase;
+
+  void make_runnable(Process& p);
+  void request_update(SignalBase& s);
+  void register_signal(SignalBase& s);
+  void unregister_signal(SignalBase& s);
+
+  /// Run evaluate/update delta rounds until quiescent.
+  void run_delta_rounds();
+
+  struct TimedEvent {
+    Tick at;
+    std::uint64_t seq;  // FIFO order among same-time events
+    std::function<void()> fn;
+  };
+  struct TimedEventLater {
+    bool operator()(const TimedEvent& a, const TimedEvent& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<Process*> runnable_;
+  std::vector<SignalBase*> updates_;
+  std::vector<SignalBase*> signals_;
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>, TimedEventLater>
+      timed_;
+  KernelStats stats_;
+};
+
+}  // namespace ahbp::sim

@@ -1,0 +1,79 @@
+#include "sim/vcd.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ahbp::sim {
+
+VcdWriter::VcdWriter(std::ostream& out) : out_(out) {}
+
+void VcdWriter::add_signal(const SignalBase& sig, unsigned width) {
+  if (header_written_) {
+    throw std::logic_error("VcdWriter: add_signal after write_header");
+  }
+  entries_.push_back(Entry{&sig, make_id(entries_.size()), width, {}});
+}
+
+std::string VcdWriter::make_id(std::size_t index) {
+  // VCD identifiers use printable ASCII 33..126 as digits.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+std::string VcdWriter::to_binary(const std::string& decimal, unsigned width) {
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(decimal);
+  } catch (const std::exception&) {
+    v = 0;
+  }
+  std::string bits(width, '0');
+  for (unsigned i = 0; i < width; ++i) {
+    if ((v >> i) & 1ULL) {
+      bits[width - 1 - i] = '1';
+    }
+  }
+  return bits;
+}
+
+void VcdWriter::write_header(const std::string& timescale) {
+  out_ << "$timescale " << timescale << " $end\n";
+  out_ << "$scope module ahbp $end\n";
+  for (const Entry& e : entries_) {
+    out_ << "$var wire " << e.width << " " << e.id << " " << e.sig->name()
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::sample(Tick t) {
+  if (!header_written_) {
+    throw std::logic_error("VcdWriter: sample before write_header");
+  }
+  bool stamped = false;
+  for (Entry& e : entries_) {
+    const std::string v = e.sig->value_string();
+    if (!first_sample_ && v == e.last) {
+      continue;
+    }
+    if (!stamped) {
+      out_ << "#" << t << "\n";
+      stamped = true;
+    }
+    if (e.width == 1) {
+      out_ << (v == "1" ? "1" : "0") << e.id << "\n";
+    } else {
+      out_ << "b" << to_binary(v, e.width) << " " << e.id << "\n";
+    }
+    e.last = v;
+    ++changes_;
+  }
+  first_sample_ = false;
+}
+
+}  // namespace ahbp::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_kernel.hpp"
+#include "sim/time.hpp"
+
+/// \file vcd.hpp
+/// Minimal Value Change Dump (VCD) writer for the event-driven kernel.
+///
+/// Signal-level debugging is the one place where the pin-accurate model is
+/// *more* convenient than the TLM, so the reference model supports dumping
+/// selected signals to a standard VCD file viewable in GTKWave.  The writer
+/// samples on demand: call sample() whenever the testbench wants committed
+/// values recorded (typically once per settled timestep).
+
+namespace ahbp::sim {
+
+class VcdWriter {
+ public:
+  /// \param out  stream the VCD text is written to (kept by reference).
+  explicit VcdWriter(std::ostream& out);
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Register a signal before writing the header.  Width is in bits (1 for
+  /// bool signals; wider signals dump as binary vectors of their numeric
+  /// value_string()).
+  void add_signal(const SignalBase& sig, unsigned width = 1);
+
+  /// Emit the VCD header ($timescale, $var declarations, $enddefinitions).
+  void write_header(const std::string& timescale = "1ns");
+
+  /// Record current values of all registered signals at time `t`, emitting
+  /// changes only.
+  void sample(Tick t);
+
+  /// Number of value changes emitted (for tests).
+  std::uint64_t changes() const noexcept { return changes_; }
+
+ private:
+  struct Entry {
+    const SignalBase* sig;
+    std::string id;       // VCD short identifier
+    unsigned width;
+    std::string last;     // last emitted value_string, empty = never
+  };
+
+  static std::string make_id(std::size_t index);
+  static std::string to_binary(const std::string& decimal, unsigned width);
+
+  std::ostream& out_;
+  std::vector<Entry> entries_;
+  bool header_written_ = false;
+  bool first_sample_ = true;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace ahbp::sim

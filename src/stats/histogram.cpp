@@ -1,0 +1,35 @@
+#include "stats/histogram.hpp"
+
+#include <bit>
+
+namespace ahbp::stats {
+
+Log2Histogram::Log2Histogram() : counts_(64, 0) {}
+
+void Log2Histogram::add(std::uint64_t v) noexcept {
+  const unsigned k = v < 2 ? 0 : static_cast<unsigned>(std::bit_width(v) - 1);
+  counts_[k < counts_.size() ? k : counts_.size() - 1] += 1;
+  ++total_;
+  summary_.add(v);
+}
+
+std::uint64_t Log2Histogram::bucket(unsigned k) const noexcept {
+  return k < counts_.size() ? counts_[k] : 0;
+}
+
+std::uint64_t Log2Histogram::percentile_upper(double pct) const noexcept {
+  if (total_ == 0) {
+    return 0;
+  }
+  const double target = pct / 100.0 * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (unsigned k = 0; k < counts_.size(); ++k) {
+    cum += counts_[k];
+    if (static_cast<double>(cum) >= target) {
+      return k == 0 ? 1 : (std::uint64_t{1} << (k + 1)) - 1;
+    }
+  }
+  return summary_.max();
+}
+
+}  // namespace ahbp::stats

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+/// \file histogram.hpp
+/// Streaming statistics primitives used by the profiling layer (§3.6).
+
+namespace ahbp::stats {
+
+/// Running min/max/mean/count over a stream of samples.
+class Summary {
+ public:
+  void add(std::uint64_t v) noexcept {
+    ++count_;
+    sum_ += v;
+    min_ = v < min_ ? v : min_;
+    max_ = v > max_ ? v : max_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+/// Power-of-two bucketed histogram: bucket k counts samples in
+/// [2^k, 2^(k+1)) with bucket 0 holding 0 and 1.  Compact and sufficient
+/// for latency distributions.
+class Log2Histogram {
+ public:
+  Log2Histogram();
+
+  void add(std::uint64_t v) noexcept;
+
+  /// Count in bucket k.
+  std::uint64_t bucket(unsigned k) const noexcept;
+  unsigned buckets() const noexcept { return static_cast<unsigned>(counts_.size()); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Smallest value v such that at least `pct` percent of samples are <= v,
+  /// resolved at bucket granularity (upper bound of the bucket).
+  std::uint64_t percentile_upper(double pct) const noexcept;
+
+  const Summary& summary() const noexcept { return summary_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  Summary summary_;
+};
+
+}  // namespace ahbp::stats

@@ -1,0 +1,34 @@
+#include "stats/profiles.hpp"
+
+namespace ahbp::stats {
+
+void MasterProfile::record(const ahb::Transaction& t, bool buffered) {
+  if (t.dir == ahb::Dir::kRead) {
+    ++reads;
+    bytes_read += t.bytes();
+  } else {
+    ++writes;
+    bytes_written += t.bytes();
+    if (buffered) {
+      ++buffered_writes;
+    }
+  }
+  grant_wait.add(t.wait());
+  latency.add(t.latency());
+}
+
+void BusProfile::sample(unsigned requesters, bool busy, unsigned moved_bytes) {
+  ++cycles;
+  if (busy) {
+    ++busy_cycles;
+  }
+  if (requesters > 1) {
+    ++contention_cycles;
+  }
+  if (requesters >= 1 && !busy) {
+    ++wait_cycles;
+  }
+  bytes += moved_bytes;
+}
+
+}  // namespace ahbp::stats

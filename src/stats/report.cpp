@@ -1,0 +1,142 @@
+#include "stats/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ahbp::stats {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](char fill) {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, fill) << '+';
+    }
+    os << '\n';
+  };
+  auto row_out = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::right
+         << row[c] << " |";
+    }
+    os << '\n';
+  };
+  line('-');
+  row_out(headers_);
+  line('=');
+  for (const auto& row : rows_) {
+    row_out(row);
+  }
+  line('-');
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto csv_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) {
+        os << ',';
+      }
+      os << row[c];
+    }
+    os << '\n';
+  };
+  csv_row(headers_);
+  for (const auto& row : rows_) {
+    csv_row(row);
+  }
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+void print_report(std::ostream& os, const RunProfile& p,
+                  const std::string& title) {
+  os << "=== " << title << " ===\n";
+  os << "cycles: " << p.total_cycles << "  completed txns: " << p.completed_txns
+     << "\n\n";
+
+  TextTable masters({"master", "reads", "writes", "rd bytes", "wr bytes",
+                     "buffered", "wait avg", "wait max", "lat avg", "lat max",
+                     "qos miss"});
+  for (const MasterProfile& m : p.masters) {
+    masters.add_row({m.name, std::to_string(m.reads), std::to_string(m.writes),
+                     std::to_string(m.bytes_read),
+                     std::to_string(m.bytes_written),
+                     std::to_string(m.buffered_writes),
+                     fmt_double(m.grant_wait.summary().mean()),
+                     std::to_string(m.grant_wait.summary().max()),
+                     fmt_double(m.latency.summary().mean()),
+                     std::to_string(m.latency.summary().max()),
+                     std::to_string(m.qos_misses)});
+  }
+  masters.print(os);
+
+  os << "\nbus: utilization " << fmt_percent(p.bus.utilization())
+     << "  contention " << fmt_percent(p.bus.contention()) << "  throughput "
+     << fmt_double(p.bus.throughput()) << " B/cyc  grants " << p.bus.grants
+     << "  handovers " << p.bus.handovers << "\n";
+
+  os << "write buffer: absorbed " << p.write_buffer.absorbed << "  drained "
+     << p.write_buffer.drained << "  bypassed " << p.write_buffer.bypassed
+     << "  full-stalls " << p.write_buffer.full_stalls << "  occupancy avg "
+     << fmt_double(p.write_buffer.occupancy.mean()) << "\n";
+
+  os << "ddr: ACT " << p.ddr.commands.activates << "  RD "
+     << p.ddr.commands.reads << "  WR " << p.ddr.commands.writes << "  PRE "
+     << p.ddr.commands.precharges << "  REF " << p.ddr.commands.refreshes
+     << "  row-hit " << fmt_percent(p.ddr.row_hit_rate()) << "  hintACT "
+     << p.ddr.hits.hint_activates << "\n";
+}
+
+void print_csv(std::ostream& os, const RunProfile& p) {
+  TextTable t({"entity", "metric", "value"});
+  t.add_row({"run", "cycles", std::to_string(p.total_cycles)});
+  t.add_row({"run", "txns", std::to_string(p.completed_txns)});
+  t.add_row({"bus", "utilization", fmt_double(p.bus.utilization(), 6)});
+  t.add_row({"bus", "contention", fmt_double(p.bus.contention(), 6)});
+  t.add_row({"bus", "throughput", fmt_double(p.bus.throughput(), 6)});
+  t.add_row({"bus", "grants", std::to_string(p.bus.grants)});
+  t.add_row({"bus", "handovers", std::to_string(p.bus.handovers)});
+  for (std::size_t i = 0; i < p.masters.size(); ++i) {
+    const MasterProfile& m = p.masters[i];
+    const std::string id = "master" + std::to_string(i);
+    t.add_row({id, "reads", std::to_string(m.reads)});
+    t.add_row({id, "writes", std::to_string(m.writes)});
+    t.add_row({id, "lat_avg", fmt_double(m.latency.summary().mean(), 4)});
+    t.add_row({id, "lat_max", std::to_string(m.latency.summary().max())});
+    t.add_row({id, "qos_misses", std::to_string(m.qos_misses)});
+  }
+  t.add_row({"wbuf", "absorbed", std::to_string(p.write_buffer.absorbed)});
+  t.add_row({"wbuf", "drained", std::to_string(p.write_buffer.drained)});
+  t.add_row({"ddr", "activates", std::to_string(p.ddr.commands.activates)});
+  t.add_row({"ddr", "row_hit_rate", fmt_double(p.ddr.row_hit_rate(), 6)});
+  t.print_csv(os);
+}
+
+}  // namespace ahbp::stats

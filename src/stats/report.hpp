@@ -1,0 +1,49 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/profiles.hpp"
+
+/// \file report.hpp
+/// Human-readable and CSV renderings of run profiles — the "good analysis
+/// environment ... tied with the model" the paper's introduction demands
+/// (bus contention, utilization and throughput are called out explicitly).
+
+namespace ahbp::stats {
+
+/// Simple fixed-width text table builder used by reports and the benchmark
+/// harness (so every bench prints paper-style tables uniformly).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by reports and benches.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// Full textual report of a run profile.
+void print_report(std::ostream& os, const RunProfile& p,
+                  const std::string& title);
+
+/// Machine-readable CSV (one row per master plus summary rows).
+void print_csv(std::ostream& os, const RunProfile& p);
+
+}  // namespace ahbp::stats

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ahb/types.hpp"
+#include "ddr/geometry.hpp"
+
+/// \file bi.hpp
+/// The BI (Bus Interface) — the AHB+ side channel between arbiter and
+/// memory controller (§2, §3.4): "transferring special information between
+/// arbiter and memory controller such as the next transaction information,
+/// idle bank, access permission and so on".
+///
+/// In the TLM the BI is a pair of plain records exchanged by method call
+/// once per cycle; the signal-level model carries the same fields as a
+/// signal bundle.  Keeping the record types here ensures both models
+/// transport exactly the same information.
+
+namespace ahbp::tlm {
+
+/// Arbiter -> DDRC: the next transaction the arbiter has (tentatively)
+/// selected, sent ahead of its address phase so the controller can
+/// pre-charge / pre-activate the target bank (bank interleaving).
+struct BiDownstream {
+  std::optional<ddr::Coord> next_coord;  ///< target of the upcoming txn
+  bool next_is_write = false;
+};
+
+/// DDRC -> arbiter: bank status and admission control.
+struct BiUpstream {
+  std::uint32_t idle_bank_mask = 0;  ///< banks with no open row
+  bool access_permitted = true;      ///< false while refresh must win
+};
+
+}  // namespace ahbp::tlm

@@ -1,0 +1,407 @@
+#include "tlm/bus.hpp"
+
+#include <algorithm>
+
+#include "assertions/assert.hpp"
+
+namespace ahbp::tlm {
+
+AhbPlusBus::AhbPlusBus(const ahb::BusConfig& cfg, ahb::QosRegisterFile& qos,
+                       TlmDdrc& ddrc, unsigned masters,
+                       chk::ViolationLog* checker_log)
+    : cfg_(cfg),
+      qos_(qos),
+      ddrc_(ddrc),
+      masters_(masters),
+      arbiter_(cfg_, qos),
+      wbuf_(cfg.write_buffer_depth, cfg.drain_watermark,
+            cfg.write_buffer_enabled),
+      slots_(masters),
+      master_profiles_(masters) {
+  AHBP_ASSERT_MSG(masters >= 1 && masters <= 30,
+                  "AhbPlusBus supports 1..30 masters");
+  AHBP_ASSERT(qos.masters() == masters);
+  for (unsigned m = 0; m < masters; ++m) {
+    master_profiles_[m].name = "M" + std::to_string(m);
+  }
+  if (checker_log != nullptr) {
+    checker_.emplace(
+        chk::CheckerConfig{masters, cfg.write_buffer_depth,
+                           cfg.write_buffer_enabled},
+        *checker_log);
+    qos_checker_.emplace(qos_, *checker_log);
+  }
+}
+
+// --------------------------------------------------------- master port
+
+void AhbPlusBus::request(ahb::MasterId m, const ahb::Transaction& txn,
+                         sim::Cycle now) {
+  AHBP_ASSERT(m < masters_);
+  Slot& s = slots_[m];
+  AHBP_ASSERT_MSG(s.st == Slot::St::kIdle,
+                  "master issued a request with one already outstanding");
+  AHBP_ASSERT_MSG(ahb::structurally_valid(txn), "malformed transaction");
+  s.txn = txn;
+  s.txn.master = m;
+  s.txn.issued_at = now;
+  s.st = Slot::St::kRequested;
+  arbiter_.on_request(m, now);
+}
+
+GrantPoll AhbPlusBus::poll_grant(ahb::MasterId m) const {
+  AHBP_ASSERT(m < masters_);
+  const Slot& s = slots_[m];
+  switch (s.st) {
+    case Slot::St::kOwner:
+      return GrantPoll::kGranted;
+    case Slot::St::kBuffered:
+      return GrantPoll::kBuffered;
+    default:
+      return GrantPoll::kWait;
+  }
+}
+
+bool AhbPlusBus::poll_done(ahb::MasterId m, ahb::Transaction& out) {
+  AHBP_ASSERT(m < masters_);
+  Slot& s = slots_[m];
+  if (s.st != Slot::St::kDone) {
+    return false;
+  }
+  out = std::move(s.txn);
+  s.st = Slot::St::kIdle;
+  return true;
+}
+
+bool AhbPlusBus::quiescent() const noexcept {
+  if (inflight_ || granted_ || !wbuf_.empty() || ddrc_.busy()) {
+    return false;
+  }
+  if (ddrc_.engine().pending_write_chunks() != 0) {
+    return false;
+  }
+  return std::all_of(slots_.begin(), slots_.end(), [](const Slot& s) {
+    return s.st == Slot::St::kIdle;
+  });
+}
+
+// ------------------------------------------------------------ evaluate
+
+void AhbPlusBus::evaluate(sim::Cycle now) {
+  arbiter_.tick(now);
+
+  // Buffered writes finish once their data has streamed into the buffer.
+  for (Slot& s : slots_) {
+    if (s.st == Slot::St::kBuffered && now >= s.buffered_done_at) {
+      s.st = Slot::St::kDone;
+    }
+  }
+
+  do_begin(now);
+
+  // BI downstream: advertise the next transaction (the pending grant)
+  // ahead of its address phase so the DDRC can prep the bank (§2, §3.4).
+  BiDownstream down;
+  if (cfg_.bi_hints_enabled && granted_) {
+    const ahb::Transaction& next = *granted_ == masters_
+                                       ? wbuf_.front()
+                                       : slots_[*granted_].txn;
+    down.next_coord = ddrc_.coord_of(next.addr);
+    down.next_is_write = next.dir == ahb::Dir::kWrite;
+  }
+  ddrc_.bi_downstream(down);
+
+  ddrc_.step(now);
+
+  const bool moved = move_data_beat(now);
+  const bool busy = inflight_.has_value();
+  const unsigned moved_bytes =
+      moved && inflight_ ? ahb::size_bytes(inflight_->txn.size) : 0;
+
+  // Capture the checker view before completion tears the transfer down —
+  // the final beat must still be visible as an accepted SEQ/NONSEQ cycle.
+  chk::BusCycleView view;
+  if (checker_) {
+    view.cycle = now;
+    if (inflight_) {
+      const Inflight& f = *inflight_;
+      const unsigned shown =
+          moved ? f.beat - 1 : std::min(f.beat, f.txn.beats - 1);
+      view.hmaster = f.owner;
+      view.htrans = shown == 0 ? ahb::Trans::kNonSeq : ahb::Trans::kSeq;
+      view.haddr =
+          ahb::burst_beat_addr(f.txn.addr, f.txn.size, f.txn.burst, shown);
+      view.hburst = f.txn.burst;
+      view.hsize = f.txn.size;
+      view.hwrite = f.txn.dir;
+      view.hready = moved;
+    } else {
+      view.hmaster = ahb::kNoMaster;
+      view.htrans = ahb::Trans::kIdle;
+      view.hready = true;
+    }
+  }
+
+  do_completion(now);
+  do_arbitration(now);
+  do_absorption(now);
+
+  unsigned requesters = wbuf_.requesting() ? 1U : 0U;
+  for (const Slot& s : slots_) {
+    if (s.st == Slot::St::kRequested) {
+      ++requesters;
+    }
+  }
+  wbuf_.sample();
+  bus_profile_.sample(requesters, busy, moved_bytes);
+  emit_view(now, view);
+}
+
+void AhbPlusBus::do_begin(sim::Cycle now) {
+  if (!granted_ || inflight_ || ddrc_.busy()) {
+    return;
+  }
+  // Calibrated grant-to-address latency: models the registered HGRANT,
+  // HMASTER mux handover and NONSEQ launch of the pin-level fabric.
+  if (now < granted_cycle_ + cfg_.tlm_grant_to_start) {
+    return;
+  }
+  Inflight f;
+  f.owner = *granted_;
+  f.from_wbuf = *granted_ == masters_;
+  if (f.from_wbuf) {
+    AHBP_ASSERT_MSG(!wbuf_.empty(), "wbuf grant with empty buffer");
+    f.txn = wbuf_.front();
+  } else {
+    Slot& s = slots_[f.owner];
+    AHBP_ASSERT(s.st == Slot::St::kRequested);
+    s.st = Slot::St::kOwner;
+    f.txn = s.txn;
+    f.txn.started_at = now;
+    s.txn.started_at = now;
+    if (f.txn.locked) {
+      lock_owner_ = f.owner;
+    }
+  }
+  if (f.txn.dir == ahb::Dir::kRead) {
+    f.txn.data.assign(f.txn.beats, 0);
+  }
+  f.addr_cycle = now;
+  ddrc_.begin(f.txn, now);
+  inflight_ = std::move(f);
+  granted_.reset();
+}
+
+bool AhbPlusBus::move_data_beat(sim::Cycle now) {
+  if (!inflight_) {
+    return false;
+  }
+  Inflight& f = *inflight_;
+  if (f.beat >= f.txn.beats) {
+    return false;
+  }
+  if (f.txn.dir == ahb::Dir::kRead) {
+    if (!ddrc_.read_beat_available(now)) {
+      return false;
+    }
+    f.txn.data[f.beat] = ddrc_.take_read_beat(now);
+    ++f.beat;
+    return true;
+  }
+  // Write: data phase begins the cycle after the address phase (AHB
+  // pipeline), then one beat per cycle while the DDRC accepts.
+  if (now <= f.addr_cycle || !ddrc_.write_beat_ready(now)) {
+    return false;
+  }
+  ddrc_.put_write_beat(now, f.txn.data[f.beat]);
+  ++f.beat;
+  return true;
+}
+
+void AhbPlusBus::do_completion(sim::Cycle now) {
+  if (!inflight_ || inflight_->beat < inflight_->txn.beats || !ddrc_.done()) {
+    return;
+  }
+  ddrc_.finish();
+  Inflight& f = *inflight_;
+  f.txn.finished_at = now;
+  if (f.from_wbuf) {
+    wbuf_.pop_front(now);
+  } else {
+    Slot& s = slots_[f.owner];
+    AHBP_ASSERT(s.st == Slot::St::kOwner);
+    s.txn = f.txn;  // return read data + timestamps to the master
+    s.st = Slot::St::kDone;
+    master_profiles_[f.owner].record(s.txn, /*buffered=*/false);
+    if (f.txn.locked) {
+      lock_owner_ = ahb::kNoMaster;
+    }
+  }
+  inflight_.reset();
+}
+
+void AhbPlusBus::do_arbitration(sim::Cycle now) {
+  if (granted_) {
+    return;  // a grant is already waiting to begin
+  }
+  // Request pipelining (§2): overlap the next arbitration with the tail of
+  // the current transfer.  Without it, arbitrate only on an idle bus.
+  if (inflight_) {
+    if (!cfg_.request_pipelining) {
+      return;
+    }
+    const unsigned remaining = inflight_->txn.beats - inflight_->beat;
+    if (remaining > 2) {
+      return;
+    }
+  }
+  // BI upstream: bank status + admission (refresh wins over new grants).
+  const BiUpstream up = ddrc_.bi_upstream(now);
+  if (!up.access_permitted) {
+    return;
+  }
+
+  ArbContext& ctx = ctx_;
+  ctx.now = now;
+  ctx.cfg = &cfg_;
+  ctx.qos = &qos_;
+  ctx.masters = masters_;
+  ctx.lock_owner = lock_owner_;
+  ctx.candidates.assign(masters_ + 1, ArbCandidate{});
+  bool any_hazard = false;
+  for (unsigned m = 0; m < masters_; ++m) {
+    const Slot& s = slots_[m];
+    ArbCandidate& c = ctx.candidates[m];
+    if (s.st != Slot::St::kRequested) {
+      continue;
+    }
+    // Edge-sampled requests: the arbiter sees a request one cycle after
+    // the master raised it, as the registered fabric does.
+    if (s.txn.issued_at >= now) {
+      continue;
+    }
+    c.requesting = true;
+    c.is_write = s.txn.dir == ahb::Dir::kWrite;
+    c.locked = s.txn.locked;
+    c.beats = s.txn.beats;
+    c.requested_at = s.txn.issued_at;
+    c.affinity = cfg_.bi_hints_enabled
+                     ? ddrc_.affinity(s.txn.addr, now)
+                     : ddr::BankAffinity::kIdle;
+    // Read-after-write (and write-after-write) ordering against the
+    // buffer: an overlapping transaction must not be granted before the
+    // buffered writes drain.
+    if (wbuf_.overlaps(s.txn.addr, s.txn.addr + s.txn.bytes())) {
+      c.blocked_by_hazard = true;
+      wbuf_.flag_hazard();
+      any_hazard = true;
+      if (s.txn.dir == ahb::Dir::kRead) {
+        wbuf_.count_forward();
+      }
+    }
+  }
+  ArbCandidate& wc = ctx.candidates[masters_];
+  // The front entry may already be draining (granted while the previous
+  // drain streams its tail); the buffer only re-requests while it holds a
+  // further entry to drain.
+  const unsigned draining =
+      inflight_ && inflight_->from_wbuf ? 1U : 0U;
+  wc.requesting = wbuf_.requesting() && wbuf_.occupancy() > draining;
+  if (wc.requesting) {
+    const ahb::Transaction& next = wbuf_.peek(draining);
+    wc.is_write = true;
+    wc.beats = next.beats;
+    wc.affinity = cfg_.bi_hints_enabled ? ddrc_.affinity(next.addr, now)
+                                        : ddr::BankAffinity::kIdle;
+  }
+  ctx.wbuf_urgent = wbuf_.urgent();
+  wbuf_.clear_hazard_if_unneeded(any_hazard);
+
+  const auto grant = arbiter_.arbitrate(ctx);
+  if (!grant) {
+    return;
+  }
+  granted_ = grant->master;
+  granted_cycle_ = now;
+  ++bus_profile_.grants;
+  if (!inflight_ || inflight_->owner != grant->master) {
+    ++bus_profile_.handovers;
+  }
+  if (!grant->is_wbuf) {
+    Slot& s = slots_[grant->master];
+    s.txn.granted_at = now;
+    if (qos_checker_) {
+      qos_checker_->on_grant(grant->master, grant->waited, now);
+    }
+    if (grant->waited > qos_.config(grant->master).objective &&
+        qos_.config(grant->master).cls == ahb::MasterClass::kRealTime) {
+      ++master_profiles_[grant->master].qos_misses;
+      ++qos_.state(grant->master).qos_misses;
+    }
+  }
+}
+
+void AhbPlusBus::do_absorption(sim::Cycle now) {
+  if (!wbuf_.enabled()) {
+    return;
+  }
+  for (unsigned m = 0; m < masters_; ++m) {
+    Slot& s = slots_[m];
+    if (s.st != Slot::St::kRequested || s.txn.dir != ahb::Dir::kWrite) {
+      continue;
+    }
+    if (s.txn.issued_at >= now) {
+      continue;  // not yet visible to the arbiter — no absorb decision yet
+    }
+    if (granted_ && *granted_ == m) {
+      wbuf_.count_bypass();  // won arbitration outright: no buffering
+      continue;
+    }
+    // Never absorb a write that overlaps the address range of a granted,
+    // not-yet-started read — the read would then see stale memory.
+    if (granted_ && *granted_ != masters_) {
+      const ahb::Transaction& g = slots_[*granted_].txn;
+      const bool overlap =
+          s.txn.addr < g.addr + g.bytes() && g.addr < s.txn.addr + s.txn.bytes();
+      if (overlap && g.dir == ahb::Dir::kRead) {
+        continue;
+      }
+    }
+    if (wbuf_.full()) {
+      wbuf_.count_full_stall();
+      continue;
+    }
+    ahb::Transaction t = s.txn;
+    t.granted_at = now;
+    t.started_at = now;
+    // The buffer ingests the write data at one beat per cycle (off the
+    // bus); the master is released when the streaming finishes.
+    t.finished_at = now + t.beats;
+    if (wbuf_.absorb(t, now)) {
+      s.txn = t;
+      s.st = Slot::St::kBuffered;
+      s.buffered_done_at = t.finished_at;
+      qos_.state(m).requesting = false;  // request satisfied by the buffer
+      master_profiles_[m].record(t, /*buffered=*/true);
+    }
+  }
+}
+
+void AhbPlusBus::emit_view(sim::Cycle now, chk::BusCycleView view) {
+  (void)now;
+  if (!checker_) {
+    return;
+  }
+  for (unsigned m = 0; m < masters_; ++m) {
+    if (slots_[m].st == Slot::St::kRequested) {
+      view.request_mask |= 1U << m;
+    }
+  }
+  if (wbuf_.requesting()) {
+    view.request_mask |= 1U << masters_;
+  }
+  view.wbuf_occupancy = wbuf_.occupancy();
+  checker_->on_cycle(view);
+}
+
+}  // namespace ahbp::tlm

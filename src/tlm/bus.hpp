@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ahb/address.hpp"
+#include "ahb/config.hpp"
+#include "ahb/qos.hpp"
+#include "ahb/transaction.hpp"
+#include "assertions/bus_checker.hpp"
+#include "sim/cycle_kernel.hpp"
+#include "stats/profiles.hpp"
+#include "tlm/arbiter.hpp"
+#include "tlm/ddrc.hpp"
+#include "tlm/write_buffer.hpp"
+
+/// \file bus.hpp
+/// The AHB+ main bus at transaction level — the paper's primary artifact.
+///
+/// Method-based modeling (§4): masters interact exclusively through the
+/// transaction-level port calls below (`request`, `poll_grant`,
+/// `poll_done`), which correspond to the paper's §3.2 mapping
+/// (HBUSREQ -> request(), HGRANT -> CheckGrant(), the transfer itself ->
+/// Read()/Write() returning OK).  The bus is one `Clocked` component on the
+/// 2-step cycle kernel; all state changes happen in its evaluate() pass,
+/// which runs after every master's (phase ordering), so a cycle sees:
+/// masters act on last cycle's bus state, then the bus advances one cycle.
+///
+/// ## Cycle pipeline inside evaluate(now)
+///
+///  1. begin: a granted transaction starts its address phase (1 cycle after
+///     its grant, matching the registered HGRANT of the RTL design);
+///  2. BI exchange: next-transaction hint down, bank status up (§3.4);
+///  3. DDRC step (one DRAM command);
+///  4. one data beat moves (read or write) when the DDRC allows;
+///  5. completion and master notification;
+///  6. arbitration (request pipelining: the next grant is computed while
+///     the tail of the current transfer still streams, §2);
+///  7. write-buffer absorption of writes that lost arbitration (§3.3);
+///  8. profiling sample + protocol-checker view (§3.5, §3.6).
+
+namespace ahbp::tlm {
+
+/// Result of a master's grant poll.
+enum class GrantPoll : std::uint8_t {
+  kWait,     ///< keep requesting
+  kGranted,  ///< bus owned; transfer in progress
+  kBuffered, ///< write absorbed by the write buffer; transaction complete
+};
+
+class AhbPlusBus final : public sim::Clocked {
+ public:
+  /// `checker_log` may be null (checkers off, e.g. inside speed benches).
+  AhbPlusBus(const ahb::BusConfig& cfg, ahb::QosRegisterFile& qos,
+             TlmDdrc& ddrc, unsigned masters, chk::ViolationLog* checker_log);
+
+  // ------------------------------------------------ master port (§3.2)
+
+  /// Raise HBUSREQ with the AHB+ request sideband (the full descriptor —
+  /// this is what enables request pipelining and the BI hint).
+  void request(ahb::MasterId m, const ahb::Transaction& txn, sim::Cycle now);
+
+  /// CheckGrant()/write-buffer status poll.
+  GrantPoll poll_grant(ahb::MasterId m) const;
+
+  /// Completion poll; fills `out` (with read data and timestamps) once.
+  bool poll_done(ahb::MasterId m, ahb::Transaction& out);
+
+  // ----------------------------------------------------------- Clocked
+
+  void evaluate(sim::Cycle now) override;
+  int phase() const override { return 2; }
+  std::string_view name() const override { return "ahb+bus"; }
+
+  // ------------------------------------------------------------- stats
+
+  const stats::BusProfile& bus_profile() const noexcept { return bus_profile_; }
+  const WriteBuffer& write_buffer() const noexcept { return wbuf_; }
+  stats::MasterProfile& master_profile(ahb::MasterId m) {
+    return master_profiles_.at(m);
+  }
+  const std::vector<stats::MasterProfile>& master_profiles() const noexcept {
+    return master_profiles_;
+  }
+  const Arbiter& arbiter() const noexcept { return arbiter_; }
+
+  /// All scripted work retired and nothing in flight anywhere.
+  bool quiescent() const noexcept;
+
+ private:
+  struct Slot {
+    enum class St : std::uint8_t { kIdle, kRequested, kBuffered, kOwner, kDone };
+    St st = St::kIdle;
+    ahb::Transaction txn;
+    /// kBuffered: cycle the buffer finishes streaming the write data in
+    /// (one beat per cycle, off the bus); the master completes then.
+    sim::Cycle buffered_done_at = 0;
+  };
+
+  struct Inflight {
+    ahb::MasterId owner = ahb::kNoMaster;  ///< == masters_ for wbuf drain
+    ahb::Transaction txn;
+    unsigned beat = 0;           ///< beats completed on the bus
+    sim::Cycle addr_cycle = 0;   ///< cycle of the NONSEQ address phase
+    bool from_wbuf = false;
+  };
+
+  void do_begin(sim::Cycle now);
+  bool move_data_beat(sim::Cycle now);
+  void do_completion(sim::Cycle now);
+  void do_arbitration(sim::Cycle now);
+  void do_absorption(sim::Cycle now);
+  void emit_view(sim::Cycle now, chk::BusCycleView view);
+
+  ahb::BusConfig cfg_;
+  ahb::QosRegisterFile& qos_;
+  TlmDdrc& ddrc_;
+  unsigned masters_;
+  Arbiter arbiter_;
+  WriteBuffer wbuf_;
+
+  std::vector<Slot> slots_;
+  std::optional<Inflight> inflight_;
+  /// Grant latched for begin in a later cycle (registered-HGRANT model).
+  std::optional<ahb::MasterId> granted_;
+  sim::Cycle granted_cycle_ = 0;
+  ahb::MasterId lock_owner_ = ahb::kNoMaster;
+
+  stats::BusProfile bus_profile_;
+  std::vector<stats::MasterProfile> master_profiles_;
+  std::optional<chk::BusChecker> checker_;
+  std::optional<chk::QosChecker> qos_checker_;
+  /// Scratch arbitration context reused every cycle (method-based TLM is
+  /// allocation-free on the simulation hot path).
+  ArbContext ctx_;
+};
+
+}  // namespace ahbp::tlm

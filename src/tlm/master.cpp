@@ -1,0 +1,30 @@
+#include "tlm/master.hpp"
+
+namespace ahbp::tlm {
+
+void TlmMaster::evaluate(sim::Cycle now) {
+  switch (state_) {
+    case State::kIdle: {
+      if (source_.ready(now)) {
+        ahb::Transaction t = source_.pop(now);
+        bus_.request(id_, t, now);
+        state_ = State::kWaiting;
+      }
+      break;
+    }
+    case State::kWaiting: {
+      ahb::Transaction done;
+      if (bus_.poll_done(id_, done)) {
+        ++completed_;
+        source_.on_complete(now);
+        if (on_complete) {
+          on_complete(done);
+        }
+        state_ = State::kIdle;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace ahbp::tlm

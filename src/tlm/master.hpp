@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ahb/transaction.hpp"
+#include "sim/cycle_kernel.hpp"
+#include "tlm/bus.hpp"
+#include "traffic/generator.hpp"
+
+/// \file master.hpp
+/// Transaction-level master port driver.
+///
+/// Implements the master side of the paper's §3.2 behaviour: raise the
+/// request, poll CheckGrant() (our poll_grant), then treat the whole
+/// Read()/Write() as one port call that completes when the bus reports OK.
+/// Transactions come from a deterministic traffic::ScriptSource, so the
+/// same master behaviour can be replayed against the signal-level model.
+
+namespace ahbp::tlm {
+
+class TlmMaster final : public sim::Clocked {
+ public:
+  TlmMaster(ahb::MasterId id, AhbPlusBus& bus, traffic::Script script)
+      : id_(id), bus_(bus), source_(std::move(script)),
+        name_("tlm-master" + std::to_string(id)) {}
+
+  void evaluate(sim::Cycle now) override;
+  int phase() const override { return 0; }  // masters act before the bus
+  std::string_view name() const override { return name_; }
+
+  /// All scripted transactions issued and completed.
+  bool finished() const noexcept {
+    return source_.done() && state_ == State::kIdle;
+  }
+
+  std::uint64_t completed() const noexcept { return completed_; }
+
+  /// Completion callback hook for tests (observes each retired txn).
+  std::function<void(const ahb::Transaction&)> on_complete;
+
+ private:
+  enum class State { kIdle, kWaiting };
+
+  ahb::MasterId id_;
+  AhbPlusBus& bus_;
+  traffic::ScriptSource source_;
+  std::string name_;
+  State state_ = State::kIdle;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ahbp::tlm

@@ -1,0 +1,91 @@
+#include "tlm/threaded_master.hpp"
+
+namespace ahbp::tlm {
+
+ThreadedMaster::ThreadedMaster(ahb::MasterId id, AhbPlusBus& bus,
+                               traffic::Script script)
+    : id_(id),
+      bus_(bus),
+      source_(std::move(script)),
+      name_("threaded-master" + std::to_string(id)) {
+  worker_ = std::thread([this] { thread_main(); });
+}
+
+ThreadedMaster::~ThreadedMaster() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    shutdown_ = true;
+    master_turn_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void ThreadedMaster::evaluate(sim::Cycle now) {
+  // Hand the cycle to the worker and block until it yields — the two
+  // context switches per master per cycle that method-based modeling
+  // avoids.
+  std::unique_lock<std::mutex> lk(m_);
+  if (finished_) {
+    return;
+  }
+  now_ = now;
+  master_turn_ = true;
+  kernel_turn_ = false;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return kernel_turn_; });
+}
+
+void ThreadedMaster::wait_cycle() {
+  // Called on the worker: yield to the kernel, resume next cycle.
+  std::unique_lock<std::mutex> lk(m_);
+  kernel_turn_ = true;
+  master_turn_ = false;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return master_turn_; });
+  if (shutdown_) {
+    throw int{0};  // unwound and swallowed in thread_main
+  }
+}
+
+void ThreadedMaster::thread_main() {
+  try {
+    // Wait for the first cycle.
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [this] { return master_turn_; });
+      if (shutdown_) {
+        return;
+      }
+    }
+    // The sequential, blocking master program (§4's "thread-based method").
+    while (!source_.done()) {
+      while (!source_.ready(now_)) {
+        wait_cycle();
+      }
+      ahb::Transaction t = source_.pop(now_);
+      bus_.request(id_, t, now_);
+      ahb::Transaction done;
+      wait_cycle();
+      while (!bus_.poll_done(id_, done)) {
+        wait_cycle();
+      }
+      ++completed_;
+      source_.on_complete(now_);
+      if (source_.done()) {
+        break;  // finished in the completion cycle, like TlmMaster
+      }
+      wait_cycle();
+    }
+    std::unique_lock<std::mutex> lk(m_);
+    finished_ = true;
+    kernel_turn_ = true;
+    cv_.notify_all();
+  } catch (int) {
+    // shutdown unwind
+  }
+}
+
+}  // namespace ahbp::tlm

@@ -1,0 +1,57 @@
+#include "tlm/write_buffer.hpp"
+
+#include "assertions/assert.hpp"
+
+namespace ahbp::tlm {
+
+bool WriteBuffer::absorb(const ahb::Transaction& t, sim::Cycle now) {
+  (void)now;
+  AHBP_ASSERT_MSG(t.dir == ahb::Dir::kWrite,
+                  "write buffer can only absorb writes");
+  if (!enabled_ || full()) {
+    return false;
+  }
+  fifo_.push_back(t);
+  ++profile_.absorbed;
+  return true;
+}
+
+const ahb::Transaction& WriteBuffer::front() const {
+  AHBP_ASSERT(!fifo_.empty());
+  return fifo_.front();
+}
+
+const ahb::Transaction& WriteBuffer::peek(unsigned i) const {
+  AHBP_ASSERT(i < fifo_.size());
+  return fifo_[i];
+}
+
+ahb::Transaction WriteBuffer::pop_front(sim::Cycle now) {
+  (void)now;
+  AHBP_ASSERT(!fifo_.empty());
+  ahb::Transaction t = std::move(fifo_.front());
+  fifo_.pop_front();
+  ++profile_.drained;
+  return t;
+}
+
+bool WriteBuffer::overlaps(ahb::Addr lo, ahb::Addr hi) const noexcept {
+  for (const ahb::Transaction& t : fifo_) {
+    // Conservative span: [addr, addr + beats*size) covers INCR exactly and
+    // over-approximates WRAP (whose wrap window is within the same span
+    // rounded to its boundary — widen to the wrap boundary region).
+    ahb::Addr t_lo = t.addr;
+    ahb::Addr t_hi = t.addr + t.bytes();
+    if (ahb::burst_wraps(t.burst)) {
+      const ahb::Addr total = t.bytes();
+      t_lo = t.addr & ~(total - 1);
+      t_hi = t_lo + total;
+    }
+    if (t_lo < hi && lo < t_hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ahbp::tlm

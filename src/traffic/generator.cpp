@@ -1,0 +1,269 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ahb/address.hpp"
+#include "assertions/assert.hpp"
+
+namespace ahbp::traffic {
+
+namespace {
+
+/// All scripts draw from one PRNG type; seeding mixes the master id so
+/// per-master streams are independent but reproducible.
+using Rng = std::mt19937_64;
+
+std::uint64_t mix_seed(std::uint64_t seed, ahb::MasterId master) {
+  // splitmix64 step over (seed, master) for decorrelated streams
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (1 + master);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Align an address down to `bytes` and clamp a burst of `beats` into the
+/// window so it cannot cross the window end or a 1KB boundary.
+ahb::Addr place_burst(Rng& rng, ahb::Addr base, ahb::Addr span, unsigned bytes,
+                      unsigned beats) {
+  const ahb::Addr burst_bytes = static_cast<ahb::Addr>(bytes) * beats;
+  AHBP_ASSERT_MSG(span >= 1024, "traffic window must be at least 1KB");
+  // Choose a 1KB block, then an offset inside it that fits the burst.
+  const ahb::Addr blocks = span / 1024;
+  const ahb::Addr block = std::uniform_int_distribution<ahb::Addr>(
+      0, blocks - 1)(rng);
+  const ahb::Addr slots = (1024 - burst_bytes) / bytes + 1;
+  const ahb::Addr slot =
+      std::uniform_int_distribution<ahb::Addr>(0, slots - 1)(rng);
+  return base + block * 1024 + slot * bytes;
+}
+
+void fill_write_data(Rng& rng, ahb::Transaction& t) {
+  if (t.dir != ahb::Dir::kWrite) {
+    return;
+  }
+  t.data.resize(t.beats);
+  for (auto& w : t.data) {
+    w = rng();
+  }
+}
+
+sim::Cycle geometric_gap(Rng& rng, sim::Cycle mean) {
+  if (mean == 0) {
+    return 0;
+  }
+  std::geometric_distribution<sim::Cycle> d(1.0 / (1.0 + static_cast<double>(mean)));
+  return d(rng);
+}
+
+Script make_cpu(const PatternConfig& cfg, Rng& rng) {
+  Script s;
+  s.reserve(cfg.items);
+  // CPU traffic: runs of cache-line activity inside a hot region that
+  // periodically jumps (working-set change).  Line fill = INCR4 read of
+  // words; eviction = INCR4 write; plus occasional single-word accesses.
+  ahb::Addr hot = place_burst(rng, cfg.base, cfg.span, 4, 16);
+  unsigned run_left = 0;
+  for (unsigned i = 0; i < cfg.items; ++i) {
+    if (run_left == 0) {
+      hot = place_burst(rng, cfg.base, cfg.span, 4, 16);
+      run_left = 4 + static_cast<unsigned>(rng() % 12);
+    }
+    --run_left;
+    TrafficItem item;
+    item.gap = geometric_gap(rng, cfg.mean_gap);
+    ahb::Transaction& t = item.txn;
+    const bool line = rng() % 100 < 70;
+    const bool read =
+        std::uniform_real_distribution<double>(0, 1)(rng) < cfg.read_ratio;
+    t.dir = read ? ahb::Dir::kRead : ahb::Dir::kWrite;
+    t.size = ahb::Size::kWord;
+    if (line) {
+      t.burst = ahb::Burst::kIncr4;
+      t.beats = 4;
+    } else {
+      t.burst = ahb::Burst::kSingle;
+      t.beats = 1;
+    }
+    // Stay close to the hot line: wander within +-8 lines.
+    const ahb::Addr line_bytes = 16;
+    const std::int64_t wander =
+        static_cast<std::int64_t>(rng() % 17) - 8;
+    ahb::Addr a = hot + static_cast<ahb::Addr>(wander * static_cast<std::int64_t>(line_bytes));
+    a = std::clamp<ahb::Addr>(a, cfg.base, cfg.base + cfg.span - 64);
+    a &= ~ahb::Addr{3};  // word align
+    // Keep the burst inside its 1KB block.
+    const ahb::Addr block_off = a % 1024;
+    const ahb::Addr burst_bytes = static_cast<ahb::Addr>(t.beats) * 4;
+    if (block_off + burst_bytes > 1024) {
+      a -= block_off + burst_bytes - 1024;
+    }
+    t.addr = a;
+    fill_write_data(rng, t);
+    s.push_back(std::move(item));
+  }
+  return s;
+}
+
+Script make_dma(const PatternConfig& cfg, Rng& rng) {
+  Script s;
+  s.reserve(cfg.items);
+  // DMA: long bursts marching sequentially through the window; a read and
+  // a write phase alternate (memory-to-memory copy shape).
+  unsigned beats = cfg.dma_burst_beats;
+  if (beats != 4 && beats != 8 && beats != 16) {
+    beats = 16;
+  }
+  const ahb::Burst burst = ahb::incr_burst_for(beats);
+  const ahb::Addr stride = static_cast<ahb::Addr>(beats) * 4;
+  ahb::Addr rd_cursor = cfg.base;
+  ahb::Addr wr_cursor = cfg.base + cfg.span / 2;
+  for (unsigned i = 0; i < cfg.items; ++i) {
+    TrafficItem item;
+    item.gap = i % 2 == 0 ? 1 : 0;  // copy loop: tight back-to-back
+    ahb::Transaction& t = item.txn;
+    const bool read = i % 2 == 0;
+    t.dir = read ? ahb::Dir::kRead : ahb::Dir::kWrite;
+    t.size = ahb::Size::kWord;
+    t.burst = burst;
+    t.beats = beats;
+    ahb::Addr& cursor = read ? rd_cursor : wr_cursor;
+    const ahb::Addr half = cfg.span / 2;
+    const ahb::Addr lo = read ? cfg.base : cfg.base + half;
+    if (cursor + stride > lo + half) {
+      cursor = lo;
+    }
+    t.addr = cursor;
+    cursor += stride;
+    fill_write_data(rng, t);
+    s.push_back(std::move(item));
+  }
+  return s;
+}
+
+Script make_rt_stream(const PatternConfig& cfg, Rng& rng) {
+  Script s;
+  s.reserve(cfg.items);
+  // Real-time stream: fixed INCR8 read bursts sweeping a frame buffer, one
+  // per period.  The gap models the period minus the transfer itself; the
+  // source re-arms from completion, so use period as think time directly —
+  // the shape (periodic, deadline-sensitive) is what matters.
+  const unsigned beats = 8;
+  const ahb::Addr stride = beats * 4;
+  ahb::Addr cursor = cfg.base;
+  for (unsigned i = 0; i < cfg.items; ++i) {
+    TrafficItem item;
+    item.gap = cfg.period;
+    ahb::Transaction& t = item.txn;
+    t.dir = ahb::Dir::kRead;
+    t.size = ahb::Size::kWord;
+    t.burst = ahb::Burst::kIncr8;
+    t.beats = beats;
+    if (cursor + stride > cfg.base + cfg.span) {
+      cursor = cfg.base;
+    }
+    t.addr = cursor;
+    cursor += stride;
+    fill_write_data(rng, t);
+    s.push_back(std::move(item));
+  }
+  return s;
+}
+
+Script make_random(const PatternConfig& cfg, Rng& rng) {
+  Script s;
+  s.reserve(cfg.items);
+  static constexpr ahb::Burst kBursts[] = {
+      ahb::Burst::kSingle, ahb::Burst::kIncr4, ahb::Burst::kWrap4,
+      ahb::Burst::kIncr8,  ahb::Burst::kWrap8, ahb::Burst::kIncr16,
+      ahb::Burst::kWrap16, ahb::Burst::kIncr,
+  };
+  for (unsigned i = 0; i < cfg.items; ++i) {
+    TrafficItem item;
+    item.gap = geometric_gap(rng, cfg.mean_gap);
+    ahb::Transaction& t = item.txn;
+    t.dir = std::uniform_real_distribution<double>(0, 1)(rng) < cfg.read_ratio
+                ? ahb::Dir::kRead
+                : ahb::Dir::kWrite;
+    t.burst = kBursts[rng() % std::size(kBursts)];
+    t.size = static_cast<ahb::Size>(rng() % 3);  // byte/half/word
+    unsigned beats = ahb::burst_fixed_beats(t.burst);
+    if (beats == 0) {
+      beats = 2 + static_cast<unsigned>(rng() % 15);  // INCR 2..16
+    }
+    t.beats = beats;
+    const unsigned bytes = ahb::size_bytes(t.size);
+    if (ahb::burst_wraps(t.burst)) {
+      // Wrapping bursts need only size alignment; place anywhere.
+      const ahb::Addr slots = cfg.span / bytes;
+      t.addr = cfg.base +
+               (std::uniform_int_distribution<ahb::Addr>(0, slots - 1)(rng)) *
+                   bytes;
+    } else {
+      t.addr = place_burst(rng, cfg.base, cfg.span, bytes, beats);
+    }
+    fill_write_data(rng, t);
+    s.push_back(std::move(item));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_string(PatternKind k) {
+  switch (k) {
+    case PatternKind::kCpu: return "cpu";
+    case PatternKind::kDma: return "dma";
+    case PatternKind::kRtStream: return "rt-stream";
+    case PatternKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+Script make_script(const PatternConfig& cfg, ahb::MasterId master) {
+  if (cfg.items == 0) {
+    return {};
+  }
+  Rng rng(mix_seed(cfg.seed, master));
+  Script s;
+  switch (cfg.kind) {
+    case PatternKind::kCpu: s = make_cpu(cfg, rng); break;
+    case PatternKind::kDma: s = make_dma(cfg, rng); break;
+    case PatternKind::kRtStream: s = make_rt_stream(cfg, rng); break;
+    case PatternKind::kRandom: s = make_random(cfg, rng); break;
+  }
+  // Stamp ids/master and validate: scripts must be structurally legal, or
+  // the protocol checkers would blame the models for workload bugs.
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i].txn.id = i + 1;
+    s[i].txn.master = master;
+    AHBP_ASSERT_MSG(ahb::structurally_valid(s[i].txn),
+                    "generated transaction is not structurally valid");
+  }
+  return s;
+}
+
+std::uint64_t script_bytes(const Script& s) {
+  std::uint64_t total = 0;
+  for (const TrafficItem& i : s) {
+    total += i.txn.bytes();
+  }
+  return total;
+}
+
+ahb::Transaction ScriptSource::pop(sim::Cycle now) {
+  if (!ready(now)) {
+    throw std::logic_error("ScriptSource::pop before ready");
+  }
+  AHBP_ASSERT_MSG(!in_flight_, "previous transaction not completed");
+  in_flight_ = true;
+  return script_[index_++].txn;
+}
+
+void ScriptSource::on_complete(sim::Cycle now) {
+  AHBP_ASSERT_MSG(in_flight_, "on_complete without an in-flight transaction");
+  in_flight_ = false;
+  earliest_ = done() ? sim::kNeverCycle : now + script_[index_].gap;
+}
+
+}  // namespace ahbp::traffic

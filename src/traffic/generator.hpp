@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ahb/transaction.hpp"
+#include "ahb/types.hpp"
+#include "sim/time.hpp"
+
+/// \file generator.hpp
+/// Deterministic synthetic traffic.
+///
+/// Table 1 of the paper varies "the traffic patterns of the masters" — this
+/// module provides the pattern archetypes.  A pattern expands to a `Script`
+/// (a fixed list of transactions with inter-transaction gaps) *before*
+/// simulation, so the TLM and the signal-level model consume bitwise
+/// identical stimulus: any cycle-count difference between them is caused by
+/// the models, never by the workload.
+///
+/// Gaps are relative to the completion of the previous transaction of the
+/// same master ("think time"), which keeps scripts meaningful across models
+/// with slightly different absolute timing.
+
+namespace ahbp::traffic {
+
+/// One scripted transaction: issue `gap` cycles after the previous one
+/// completes, then the transaction skeleton itself.
+struct TrafficItem {
+  sim::Cycle gap = 0;
+  ahb::Transaction txn;  ///< timestamps zero; data filled for writes
+};
+
+using Script = std::vector<TrafficItem>;
+
+/// Pattern archetypes (see DESIGN.md §2 for the mapping onto the paper's
+/// master mixes).
+enum class PatternKind : std::uint8_t {
+  kCpu = 0,      ///< cache-line fills/evictions, locality, think time
+  kDma = 1,      ///< long back-to-back bursts sweeping memory
+  kRtStream = 2, ///< periodic fixed-size real-time bursts (display/video)
+  kRandom = 3,   ///< uniform random mix (stress)
+};
+
+std::string to_string(PatternKind k);
+
+/// Parameters of one master's traffic.
+struct PatternConfig {
+  PatternKind kind = PatternKind::kRandom;
+  std::uint64_t seed = 1;      ///< stream seed (combined with master id)
+  unsigned items = 100;        ///< transactions to generate
+
+  ahb::Addr base = 0;          ///< address window start (in DDR space)
+  ahb::Addr span = 1 << 20;    ///< address window size in bytes
+
+  double read_ratio = 0.7;     ///< P(read) where the pattern allows choice
+  sim::Cycle period = 64;      ///< kRtStream: target issue period
+  sim::Cycle mean_gap = 4;     ///< kCpu/kRandom: mean think time
+  unsigned dma_burst_beats = 16;  ///< kDma: beats per burst (4/8/16)
+};
+
+/// Expand a pattern into its deterministic script for master `master`.
+/// The same (config, master) pair always yields the same script.
+Script make_script(const PatternConfig& cfg, ahb::MasterId master);
+
+/// Total bytes a script will move (for bandwidth accounting in benches).
+std::uint64_t script_bytes(const Script& s);
+
+/// Script source: hands transactions to a model's master port one at a
+/// time.  Both models drive this identically: call `ready(now)` each cycle;
+/// when it returns true, `peek()` / `pop(now)` the next transaction.
+class ScriptSource {
+ public:
+  explicit ScriptSource(Script script) : script_(std::move(script)) {}
+
+  /// True when the next transaction's gap has elapsed at cycle `now`.
+  bool ready(sim::Cycle now) const noexcept {
+    return !done() && now >= earliest_;
+  }
+
+  bool done() const noexcept { return index_ >= script_.size(); }
+
+  const ahb::Transaction& peek() const { return script_[index_].txn; }
+
+  /// Take the next transaction (pre: ready(now)).
+  ahb::Transaction pop(sim::Cycle now);
+
+  /// Inform the source the popped transaction completed at `now`; arms the
+  /// gap timer for the next item.
+  void on_complete(sim::Cycle now);
+
+  std::size_t issued() const noexcept { return index_; }
+  std::size_t total() const noexcept { return script_.size(); }
+
+ private:
+  Script script_;
+  std::size_t index_ = 0;
+  sim::Cycle earliest_ = 0;  ///< next item may not issue before this cycle
+  bool in_flight_ = false;
+};
+
+}  // namespace ahbp::traffic

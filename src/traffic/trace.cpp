@@ -1,0 +1,117 @@
+#include "traffic/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ahbp::traffic {
+
+std::string burst_token(ahb::Burst b) {
+  return std::string(ahb::to_string(b));
+}
+
+ahb::Burst parse_burst(const std::string& token) {
+  static constexpr ahb::Burst kAll[] = {
+      ahb::Burst::kSingle, ahb::Burst::kIncr,   ahb::Burst::kWrap4,
+      ahb::Burst::kIncr4,  ahb::Burst::kWrap8,  ahb::Burst::kIncr8,
+      ahb::Burst::kWrap16, ahb::Burst::kIncr16,
+  };
+  for (const ahb::Burst b : kAll) {
+    if (token == ahb::to_string(b)) {
+      return b;
+    }
+  }
+  throw std::runtime_error("unknown burst kind '" + token + "'");
+}
+
+namespace {
+
+ahb::Size size_from_bytes(unsigned bytes) {
+  switch (bytes) {
+    case 1: return ahb::Size::kByte;
+    case 2: return ahb::Size::kHalf;
+    case 4: return ahb::Size::kWord;
+    case 8: return ahb::Size::kDword;
+    default:
+      throw std::runtime_error("size must be 1/2/4/8 bytes");
+  }
+}
+
+}  // namespace
+
+std::size_t save_trace(std::ostream& os, const Script& script) {
+  os << "# ahbp trace v1: gap dir addr size burst beats [data...]\n";
+  for (const TrafficItem& item : script) {
+    const ahb::Transaction& t = item.txn;
+    os << item.gap << ' ' << (t.dir == ahb::Dir::kRead ? 'R' : 'W') << ' '
+       << std::hex << t.addr << std::dec << ' ' << ahb::size_bytes(t.size)
+       << ' ' << burst_token(t.burst) << ' ' << t.beats;
+    if (t.dir == ahb::Dir::kWrite) {
+      os << std::hex;
+      for (unsigned b = 0; b < t.beats; ++b) {
+        os << ' ' << t.data[b];
+      }
+      os << std::dec;
+    }
+    os << '\n';
+  }
+  return script.size();
+}
+
+Script load_trace(std::istream& is, ahb::MasterId master) {
+  Script script;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    TrafficItem item;
+    char dir = 0;
+    std::string burst;
+    unsigned size_bytes = 0;
+    if (!(ls >> item.gap)) {
+      continue;  // blank / comment-only line
+    }
+    ahb::Transaction& t = item.txn;
+    if (!(ls >> dir >> std::hex >> t.addr >> std::dec >> size_bytes >>
+          burst >> t.beats)) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": malformed entry");
+    }
+    try {
+      t.dir = dir == 'R'   ? ahb::Dir::kRead
+              : dir == 'W' ? ahb::Dir::kWrite
+                           : throw std::runtime_error("dir must be R or W");
+      t.size = size_from_bytes(size_bytes);
+      t.burst = parse_burst(burst);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+    if (t.dir == ahb::Dir::kWrite) {
+      t.data.resize(t.beats);
+      ls >> std::hex;
+      for (unsigned b = 0; b < t.beats; ++b) {
+        if (!(ls >> t.data[b])) {
+          throw std::runtime_error("trace line " + std::to_string(lineno) +
+                                   ": missing write data");
+        }
+      }
+    }
+    t.id = script.size() + 1;
+    t.master = master;
+    if (!ahb::structurally_valid(t)) {
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": transaction violates AHB structure rules");
+    }
+    script.push_back(std::move(item));
+  }
+  return script;
+}
+
+}  // namespace ahbp::traffic

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/generator.hpp"
+
+/// \file trace.hpp
+/// Script (trace) serialization.
+///
+/// A Script is the unit of reproducibility in this library: both models
+/// replay it bit-identically.  Persisting scripts lets users capture a
+/// workload once (from the synthetic generators or converted from a real
+/// bus trace) and replay it across model versions, which is how the
+/// paper-style accuracy comparisons stay stable over time.
+///
+/// Format: one line per transaction —
+///
+///   <gap> <R|W> <addr-hex> <size-bytes> <burst> <beats> [data-hex...]
+///
+/// '#' starts a comment; blank lines are ignored.
+
+namespace ahbp::traffic {
+
+/// Write a script as a trace.  Returns the number of transactions written.
+std::size_t save_trace(std::ostream& os, const Script& script);
+
+/// Parse a trace.  Throws std::runtime_error with a line number on any
+/// malformed or structurally invalid entry.  `master` stamps ownership.
+Script load_trace(std::istream& is, ahb::MasterId master);
+
+/// Burst kind <-> trace token ("SINGLE", "INCR4", ...).
+std::string burst_token(ahb::Burst b);
+ahb::Burst parse_burst(const std::string& token);
+
+}  // namespace ahbp::traffic

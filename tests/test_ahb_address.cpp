@@ -1,0 +1,162 @@
+// Burst address math and the address decoder.  The WRAP cases follow the
+// worked examples in the AMBA 2.0 specification §3.5.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "ahb/address.hpp"
+
+namespace {
+
+using namespace ahbp::ahb;
+
+TEST(BurstAddr, IncrStepsBySize) {
+  EXPECT_EQ(burst_beat_addr(0x100, Size::kWord, Burst::kIncr4, 0), 0x100u);
+  EXPECT_EQ(burst_beat_addr(0x100, Size::kWord, Burst::kIncr4, 1), 0x104u);
+  EXPECT_EQ(burst_beat_addr(0x100, Size::kWord, Burst::kIncr4, 3), 0x10Cu);
+  EXPECT_EQ(burst_beat_addr(0x100, Size::kHalf, Burst::kIncr8, 7), 0x10Eu);
+  EXPECT_EQ(burst_beat_addr(0x100, Size::kByte, Burst::kIncr, 9), 0x109u);
+}
+
+TEST(BurstAddr, Wrap4WordExampleFromSpec) {
+  // AMBA 2.0 example: WRAP4 of words starting at 0x38 ->
+  // 0x38, 0x3C, 0x30, 0x34 (wraps at the 16-byte boundary).
+  EXPECT_EQ(burst_beat_addr(0x38, Size::kWord, Burst::kWrap4, 0), 0x38u);
+  EXPECT_EQ(burst_beat_addr(0x38, Size::kWord, Burst::kWrap4, 1), 0x3Cu);
+  EXPECT_EQ(burst_beat_addr(0x38, Size::kWord, Burst::kWrap4, 2), 0x30u);
+  EXPECT_EQ(burst_beat_addr(0x38, Size::kWord, Burst::kWrap4, 3), 0x34u);
+}
+
+TEST(BurstAddr, Wrap8WordWrapsAt32Bytes) {
+  // Start at 0x34: 0x34,0x38,0x3C,0x20,0x24,0x28,0x2C,0x30
+  const Addr expect[] = {0x34, 0x38, 0x3C, 0x20, 0x24, 0x28, 0x2C, 0x30};
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(burst_beat_addr(0x34, Size::kWord, Burst::kWrap8, i), expect[i])
+        << "beat " << i;
+  }
+}
+
+TEST(BurstAddr, Wrap16HalfwordBoundary) {
+  // 16 halfwords = 32-byte wrap window.
+  const Addr start = 0x1E;
+  const Addr b0 = burst_beat_addr(start, Size::kHalf, Burst::kWrap16, 0);
+  const Addr b1 = burst_beat_addr(start, Size::kHalf, Burst::kWrap16, 1);
+  EXPECT_EQ(b0, 0x1Eu);
+  EXPECT_EQ(b1, 0x00u);  // wrapped to the window base
+}
+
+TEST(BurstAddr, WrapAlignedStartNeverWraps) {
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(burst_beat_addr(0x40, Size::kWord, Burst::kWrap8, i),
+              0x40u + 4 * i);
+  }
+}
+
+// Property: a wrapping burst visits exactly the addresses of its aligned
+// window, each once.
+class WrapWindowProperty
+    : public ::testing::TestWithParam<std::tuple<Burst, Size, Addr>> {};
+
+TEST_P(WrapWindowProperty, VisitsWholeWindowOnce) {
+  const auto [burst, size, start] = GetParam();
+  const unsigned beats = burst_fixed_beats(burst);
+  const Addr window = static_cast<Addr>(beats) * size_bytes(size);
+  const Addr base = start & ~(window - 1);
+  std::set<Addr> seen;
+  for (unsigned i = 0; i < beats; ++i) {
+    const Addr a = burst_beat_addr(start, size, burst, i);
+    EXPECT_GE(a, base);
+    EXPECT_LT(a, base + window);
+    EXPECT_TRUE(seen.insert(a).second) << "duplicate address";
+  }
+  EXPECT_EQ(seen.size(), beats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWrapKinds, WrapWindowProperty,
+    ::testing::Combine(::testing::Values(Burst::kWrap4, Burst::kWrap8,
+                                         Burst::kWrap16),
+                       ::testing::Values(Size::kByte, Size::kHalf, Size::kWord,
+                                         Size::kDword),
+                       ::testing::Values(Addr{0x00}, Addr{0x34}, Addr{0x78},
+                                         Addr{0xF8})));
+
+TEST(Burst1Kb, IncrWithinBoundary) {
+  EXPECT_TRUE(burst_within_1kb(0x000, Size::kWord, Burst::kIncr16, 16));
+  EXPECT_TRUE(burst_within_1kb(0x3C0, Size::kWord, Burst::kIncr16, 16));
+  // 0x3D0 + 15*4 = 0x40C crosses 0x400.
+  EXPECT_FALSE(burst_within_1kb(0x3D0, Size::kWord, Burst::kIncr16, 16));
+}
+
+TEST(Burst1Kb, WrapAlwaysLegal) {
+  EXPECT_TRUE(burst_within_1kb(0x3FC, Size::kWord, Burst::kWrap16, 16));
+}
+
+TEST(Burst1Kb, UndefinedIncrUsesActualBeats) {
+  EXPECT_TRUE(burst_within_1kb(0x3F0, Size::kWord, Burst::kIncr, 4));
+  EXPECT_FALSE(burst_within_1kb(0x3F0, Size::kWord, Burst::kIncr, 5));
+}
+
+TEST(Sequencer, WalksAllBeats) {
+  BurstSequencer s(0x100, Size::kWord, Burst::kIncr4, 4);
+  EXPECT_EQ(s.beats(), 4u);
+  EXPECT_FALSE(s.done());
+  EXPECT_EQ(s.current(), 0x100u);
+  s.advance();
+  EXPECT_EQ(s.current(), 0x104u);
+  EXPECT_FALSE(s.last_beat());
+  s.advance();
+  EXPECT_TRUE(!s.done());
+  s.advance();
+  EXPECT_TRUE(s.last_beat() || s.beat() == 3);
+  s.advance();
+  EXPECT_TRUE(s.done());
+}
+
+TEST(Sequencer, WrapSequenceMatchesBeatAddr) {
+  BurstSequencer s(0x38, Size::kWord, Burst::kWrap4, 4);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.current(), burst_beat_addr(0x38, Size::kWord, Burst::kWrap4, i));
+    s.advance();
+  }
+}
+
+TEST(Sequencer, ZeroBeatsClampedToOne) {
+  BurstSequencer s(0x0, Size::kWord, Burst::kIncr, 0);
+  EXPECT_EQ(s.beats(), 1u);
+}
+
+TEST(AddressMap, DecodeInsideRegions) {
+  AddressMap map;
+  map.add(Region{0x0000, 0x1000, 0, "ddr"});
+  map.add(Region{0x8000, 0x1000, 1, "sram"});
+  EXPECT_EQ(map.decode(0x0000).value(), 0);
+  EXPECT_EQ(map.decode(0x0FFF).value(), 0);
+  EXPECT_EQ(map.decode(0x8000).value(), 1);
+  EXPECT_FALSE(map.decode(0x1000).has_value());
+  EXPECT_FALSE(map.decode(0x7FFF).has_value());
+}
+
+TEST(AddressMap, RejectsOverlap) {
+  AddressMap map;
+  map.add(Region{0x0000, 0x1000, 0, "a"});
+  EXPECT_THROW(map.add(Region{0x0800, 0x1000, 1, "b"}),
+               std::invalid_argument);
+  EXPECT_THROW(map.add(Region{0x0FFF, 1, 1, "c"}), std::invalid_argument);
+}
+
+TEST(AddressMap, RejectsZeroSize) {
+  AddressMap map;
+  EXPECT_THROW(map.add(Region{0x0, 0, 0, "zero"}), std::invalid_argument);
+}
+
+TEST(AddressMap, AdjacentRegionsLegal) {
+  AddressMap map;
+  map.add(Region{0x0000, 0x1000, 0, "a"});
+  EXPECT_NO_THROW(map.add(Region{0x1000, 0x1000, 1, "b"}));
+  EXPECT_EQ(map.decode(0x1000).value(), 1);
+}
+
+}  // namespace

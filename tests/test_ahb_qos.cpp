@@ -1,0 +1,82 @@
+// The AHB+ QoS register file (§2): programming, budget epochs, slack.
+
+#include <gtest/gtest.h>
+
+#include "ahb/qos.hpp"
+
+namespace {
+
+using namespace ahbp::ahb;
+
+TEST(QosRegs, ProgramAndReadBack) {
+  QosRegisterFile q(3);
+  q.program(1, QosConfig{MasterClass::kRealTime, 40});
+  EXPECT_EQ(q.config(1).cls, MasterClass::kRealTime);
+  EXPECT_EQ(q.config(1).objective, 40u);
+  EXPECT_EQ(q.config(0).cls, MasterClass::kNonRealTime);
+  EXPECT_EQ(q.masters(), 3u);
+}
+
+TEST(QosRegs, OutOfRangeThrows) {
+  QosRegisterFile q(2);
+  EXPECT_THROW(q.config(2), std::out_of_range);
+  EXPECT_THROW(q.state(5), std::out_of_range);
+  EXPECT_THROW(q.program(2, QosConfig{}), std::out_of_range);
+}
+
+TEST(QosRegs, RefillGrantsObjectiveTokens) {
+  QosRegisterFile q(2);
+  q.program(0, QosConfig{MasterClass::kNonRealTime, 64});
+  q.program(1, QosConfig{MasterClass::kNonRealTime, 16});
+  q.refill_budgets();
+  EXPECT_EQ(q.state(0).budget, 64);
+  EXPECT_EQ(q.state(1).budget, 16);
+}
+
+TEST(QosRegs, RefillCarriesDebt) {
+  QosRegisterFile q(1);
+  q.program(0, QosConfig{MasterClass::kNonRealTime, 10});
+  q.state(0).budget = -25;  // overdrew by 25
+  q.refill_budgets();
+  EXPECT_EQ(q.state(0).budget, -15);  // debt repaid gradually
+  q.refill_budgets();
+  EXPECT_EQ(q.state(0).budget, -5);
+  q.refill_budgets();
+  EXPECT_EQ(q.state(0).budget, 5);
+}
+
+TEST(QosRegs, RefillSaturatesAtOneEpoch) {
+  QosRegisterFile q(1);
+  q.program(0, QosConfig{MasterClass::kNonRealTime, 10});
+  q.refill_budgets();
+  q.refill_budgets();
+  q.refill_budgets();
+  EXPECT_EQ(q.state(0).budget, 10);  // idle master does not hoard
+}
+
+TEST(QosRegs, RtSlackShrinksWithWait) {
+  QosRegisterFile q(1);
+  q.program(0, QosConfig{MasterClass::kRealTime, 50});
+  auto& st = q.state(0);
+  st.requesting = true;
+  st.request_since = 100;
+  EXPECT_EQ(q.rt_slack(0, 100), 50);
+  EXPECT_EQ(q.rt_slack(0, 130), 20);
+  EXPECT_EQ(q.rt_slack(0, 160), -10);  // objective blown
+}
+
+TEST(QosRegs, SlackFullWhenNotRequesting) {
+  QosRegisterFile q(1);
+  q.program(0, QosConfig{MasterClass::kRealTime, 50});
+  EXPECT_EQ(q.rt_slack(0, 12345), 50);
+}
+
+TEST(QosRegs, EpochClampedToNonZero) {
+  QosRegisterFile q(1);
+  q.set_epoch(0);
+  EXPECT_EQ(q.epoch(), 1u);
+  q.set_epoch(512);
+  EXPECT_EQ(q.epoch(), 512u);
+}
+
+}  // namespace

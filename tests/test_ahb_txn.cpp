@@ -1,0 +1,106 @@
+// Transaction descriptor invariants (the §3.5 model-debug family's input
+// validation) and derived metrics.
+
+#include <gtest/gtest.h>
+
+#include "ahb/transaction.hpp"
+
+namespace {
+
+using namespace ahbp::ahb;
+
+Transaction valid_read() {
+  Transaction t;
+  t.id = 1;
+  t.master = 0;
+  t.dir = Dir::kRead;
+  t.addr = 0x100;
+  t.size = Size::kWord;
+  t.burst = Burst::kIncr4;
+  t.beats = 4;
+  return t;
+}
+
+TEST(TxnValid, WellFormedRead) {
+  EXPECT_TRUE(structurally_valid(valid_read()));
+}
+
+TEST(TxnValid, ZeroBeatsRejected) {
+  auto t = valid_read();
+  t.beats = 0;
+  EXPECT_FALSE(structurally_valid(t));
+}
+
+TEST(TxnValid, MisalignedAddressRejected) {
+  auto t = valid_read();
+  t.addr = 0x102;  // word transfer at halfword address
+  EXPECT_FALSE(structurally_valid(t));
+}
+
+TEST(TxnValid, HalfwordAlignmentSufficesForHalf) {
+  auto t = valid_read();
+  t.size = Size::kHalf;
+  t.addr = 0x102;
+  EXPECT_TRUE(structurally_valid(t));
+}
+
+TEST(TxnValid, FixedBurstBeatMismatchRejected) {
+  auto t = valid_read();
+  t.beats = 5;  // INCR4 must carry exactly 4
+  EXPECT_FALSE(structurally_valid(t));
+}
+
+TEST(TxnValid, UndefinedIncrAnyLength) {
+  auto t = valid_read();
+  t.burst = Burst::kIncr;
+  t.beats = 11;
+  EXPECT_TRUE(structurally_valid(t));
+}
+
+TEST(TxnValid, IncrCrossing1KbRejected) {
+  auto t = valid_read();
+  t.burst = Burst::kIncr;
+  t.addr = 0x3FC;
+  t.beats = 3;  // 0x3FC, 0x400 crosses
+  EXPECT_FALSE(structurally_valid(t));
+}
+
+TEST(TxnValid, WriteNeedsFullPayload) {
+  auto t = valid_read();
+  t.dir = Dir::kWrite;
+  EXPECT_FALSE(structurally_valid(t));  // no data
+  t.data.assign(3, 0);
+  EXPECT_FALSE(structurally_valid(t));  // short payload
+  t.data.assign(4, 0);
+  EXPECT_TRUE(structurally_valid(t));
+}
+
+TEST(TxnMetrics, BytesCountsBeatsTimesSize) {
+  auto t = valid_read();
+  EXPECT_EQ(t.bytes(), 16u);
+  t.size = Size::kByte;
+  EXPECT_EQ(t.bytes(), 4u);
+  t.burst = Burst::kIncr16;
+  t.beats = 16;
+  t.size = Size::kDword;
+  EXPECT_EQ(t.bytes(), 128u);
+}
+
+TEST(TxnMetrics, LatencyAndWait) {
+  auto t = valid_read();
+  t.issued_at = 100;
+  t.granted_at = 108;
+  t.finished_at = 130;
+  EXPECT_EQ(t.wait(), 8u);
+  EXPECT_EQ(t.latency(), 30u);
+}
+
+TEST(TxnValid, WrapBurstAnyAlignedStart) {
+  auto t = valid_read();
+  t.burst = Burst::kWrap8;
+  t.beats = 8;
+  t.addr = 0x3F8;  // wrap burst near the 1KB edge is fine
+  EXPECT_TRUE(structurally_valid(t));
+}
+
+}  // namespace

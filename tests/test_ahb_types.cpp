@@ -1,0 +1,70 @@
+// Unit tests for the AMBA 2.0 protocol vocabulary.
+
+#include <gtest/gtest.h>
+
+#include "ahb/types.hpp"
+
+namespace {
+
+using namespace ahbp::ahb;
+
+TEST(BurstBeats, FixedLengths) {
+  EXPECT_EQ(burst_fixed_beats(Burst::kSingle), 1u);
+  EXPECT_EQ(burst_fixed_beats(Burst::kWrap4), 4u);
+  EXPECT_EQ(burst_fixed_beats(Burst::kIncr4), 4u);
+  EXPECT_EQ(burst_fixed_beats(Burst::kWrap8), 8u);
+  EXPECT_EQ(burst_fixed_beats(Burst::kIncr8), 8u);
+  EXPECT_EQ(burst_fixed_beats(Burst::kWrap16), 16u);
+  EXPECT_EQ(burst_fixed_beats(Burst::kIncr16), 16u);
+}
+
+TEST(BurstBeats, IncrIsUndefinedLength) {
+  EXPECT_EQ(burst_fixed_beats(Burst::kIncr), 0u);
+}
+
+TEST(BurstWraps, OnlyWrapKinds) {
+  EXPECT_TRUE(burst_wraps(Burst::kWrap4));
+  EXPECT_TRUE(burst_wraps(Burst::kWrap8));
+  EXPECT_TRUE(burst_wraps(Burst::kWrap16));
+  EXPECT_FALSE(burst_wraps(Burst::kSingle));
+  EXPECT_FALSE(burst_wraps(Burst::kIncr));
+  EXPECT_FALSE(burst_wraps(Burst::kIncr4));
+  EXPECT_FALSE(burst_wraps(Burst::kIncr8));
+  EXPECT_FALSE(burst_wraps(Burst::kIncr16));
+}
+
+TEST(SizeBytes, PowersOfTwo) {
+  EXPECT_EQ(size_bytes(Size::kByte), 1u);
+  EXPECT_EQ(size_bytes(Size::kHalf), 2u);
+  EXPECT_EQ(size_bytes(Size::kWord), 4u);
+  EXPECT_EQ(size_bytes(Size::kDword), 8u);
+}
+
+TEST(IncrBurstFor, MatchesArchitecturalKinds) {
+  EXPECT_EQ(incr_burst_for(1), Burst::kSingle);
+  EXPECT_EQ(incr_burst_for(4), Burst::kIncr4);
+  EXPECT_EQ(incr_burst_for(8), Burst::kIncr8);
+  EXPECT_EQ(incr_burst_for(16), Burst::kIncr16);
+  EXPECT_EQ(incr_burst_for(3), Burst::kIncr);
+  EXPECT_EQ(incr_burst_for(100), Burst::kIncr);
+}
+
+TEST(ToString, AllEnumsNamed) {
+  EXPECT_EQ(to_string(Trans::kIdle), "IDLE");
+  EXPECT_EQ(to_string(Trans::kBusy), "BUSY");
+  EXPECT_EQ(to_string(Trans::kNonSeq), "NONSEQ");
+  EXPECT_EQ(to_string(Trans::kSeq), "SEQ");
+  EXPECT_EQ(to_string(Burst::kWrap8), "WRAP8");
+  EXPECT_EQ(to_string(Burst::kIncr), "INCR");
+  EXPECT_EQ(to_string(Size::kWord), "WORD");
+  EXPECT_EQ(to_string(Resp::kOkay), "OKAY");
+  EXPECT_EQ(to_string(Resp::kSplit), "SPLIT");
+  EXPECT_EQ(to_string(Dir::kRead), "READ");
+  EXPECT_EQ(to_string(Dir::kWrite), "WRITE");
+}
+
+TEST(Constants, NoMasterSentinel) {
+  EXPECT_EQ(kNoMaster, 0xFF);
+}
+
+}  // namespace

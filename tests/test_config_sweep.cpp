@@ -1,0 +1,143 @@
+// Configuration-space properties: across the §3.7 parameter space (filter
+// masks, write-buffer depths, pipelining/BI toggles, DDR presets, master
+// counts) every run must drain, keep the protocol checkers silent, and
+// conserve the workload's bytes.  These sweeps are the "flexibility and
+// reusability" guarantee: no knob combination wedges the models.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+
+namespace {
+
+using namespace ahbp;
+using namespace ahbp::core;
+
+void expect_clean(const SimResult& r, const std::string& what,
+                  std::uint64_t expect_txns) {
+  EXPECT_TRUE(r.finished) << what << " did not drain";
+  EXPECT_EQ(r.completed, expect_txns) << what;
+  EXPECT_EQ(r.protocol_errors, 0u) << what << "\n" << r.first_violations;
+}
+
+class FilterMaskSweep : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(FilterMaskSweep, TlmDrainsCleanUnderAnyMask) {
+  PlatformConfig cfg = default_platform(3, 21, 25);
+  cfg.masters[1].traffic.kind = traffic::PatternKind::kDma;
+  cfg.masters[2].traffic.kind = traffic::PatternKind::kRandom;
+  cfg.bus.filter_mask = GetParam();
+  expect_clean(run_tlm(cfg), "mask=" + std::to_string(GetParam()), 75);
+}
+
+TEST_P(FilterMaskSweep, RtlDrainsCleanUnderAnyMask) {
+  PlatformConfig cfg = default_platform(2, 21, 15);
+  cfg.masters[1].traffic.kind = traffic::PatternKind::kDma;
+  cfg.bus.filter_mask = GetParam();
+  expect_clean(run_rtl(cfg), "mask=" + std::to_string(GetParam()), 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, FilterMaskSweep,
+                         ::testing::Values<std::uint8_t>(
+                             ahb::kAllFilters, 0x7B /*no urgency*/,
+                             0x6F /*no budget*/, 0x77 /*no bank*/,
+                             0x5F /*no round-robin*/, 0x43, 0x41));
+
+class DepthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DepthSweep, BothModelsCleanAtEveryDepth) {
+  PlatformConfig cfg = default_platform(2, 33, 20);
+  cfg.masters[0].traffic.read_ratio = 0.3;
+  cfg.masters[1].traffic.kind = traffic::PatternKind::kDma;
+  cfg.bus.write_buffer_enabled = GetParam() > 0;
+  cfg.bus.write_buffer_depth = GetParam();
+  expect_clean(run_tlm(cfg), "tlm depth=" + std::to_string(GetParam()), 40);
+  expect_clean(run_rtl(cfg), "rtl depth=" + std::to_string(GetParam()), 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u, 16u));
+
+class FeatureToggles
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(FeatureToggles, PipeliningAndBiCombinationsClean) {
+  const auto [pipe, bi] = GetParam();
+  PlatformConfig cfg = default_platform(3, 8, 20);
+  cfg.masters[1].traffic.kind = traffic::PatternKind::kDma;
+  cfg.bus.request_pipelining = pipe;
+  cfg.bus.bi_hints_enabled = bi;
+  const std::string what = std::string("pipe=") + (pipe ? "1" : "0") +
+                           " bi=" + (bi ? "1" : "0");
+  expect_clean(run_tlm(cfg), "tlm " + what, 60);
+  expect_clean(run_rtl(cfg), "rtl " + what, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Toggles, FeatureToggles,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(ConfigSweep, Ddr400PresetWorks) {
+  PlatformConfig cfg = default_platform(2, 3, 20);
+  cfg.timing = ddr::ddr400();
+  expect_clean(run_tlm(cfg), "ddr400 tlm", 40);
+  expect_clean(run_rtl(cfg), "ddr400 rtl", 40);
+}
+
+TEST(ConfigSweep, BankSerialMappingWorks) {
+  PlatformConfig cfg = default_platform(2, 3, 20);
+  cfg.geom.mapping = ddr::Mapping::kBankRowCol;
+  expect_clean(run_tlm(cfg), "bank-serial tlm", 40);
+  expect_clean(run_rtl(cfg), "bank-serial rtl", 40);
+}
+
+TEST(ConfigSweep, RefreshHeavyTimingClean) {
+  PlatformConfig cfg = default_platform(2, 3, 25);
+  cfg.timing.tREFI = 120;  // refresh every 120 cycles: heavy interference
+  cfg.timing.tRFC = 24;
+  expect_clean(run_tlm(cfg), "refresh tlm", 50);
+  expect_clean(run_rtl(cfg), "refresh rtl", 50);
+}
+
+class MasterCountSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MasterCountSweep, ScalesFromOneToSix) {
+  PlatformConfig cfg = default_platform(GetParam(), 13, 15);
+  expect_clean(run_tlm(cfg), "tlm n=" + std::to_string(GetParam()),
+               15ull * GetParam());
+  expect_clean(run_rtl(cfg), "rtl n=" + std::to_string(GetParam()),
+               15ull * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MasterCountSweep,
+                         ::testing::Values(1u, 2u, 4u, 6u));
+
+TEST(ConfigSweep, WideBurstsAndSizesClean) {
+  PlatformConfig cfg = default_platform(2, 55, 30);
+  for (auto& m : cfg.masters) {
+    m.traffic.kind = traffic::PatternKind::kRandom;  // all bursts/sizes
+  }
+  expect_clean(run_tlm(cfg), "random tlm", 60);
+  expect_clean(run_rtl(cfg), "random rtl", 60);
+}
+
+TEST(ConfigSweep, TinyUrgencyThresholdStillLive) {
+  PlatformConfig cfg = default_platform(3, 5, 20);
+  cfg.masters[0].qos = {ahb::MasterClass::kRealTime, 16};
+  cfg.masters[0].traffic.kind = traffic::PatternKind::kRtStream;
+  cfg.bus.urgency_slack_threshold = 1;
+  expect_clean(run_tlm(cfg), "tight urgency", 60);
+}
+
+TEST(ConfigSweep, LargeEpochAndZeroObjectiveMix) {
+  PlatformConfig cfg = default_platform(3, 5, 20);
+  cfg.masters[1].qos.objective = 0;  // best effort
+  cfg.masters[2].qos.objective = 1;  // starvation-prone budget
+  expect_clean(run_tlm(cfg), "budget extremes", 60);
+  expect_clean(run_rtl(cfg), "budget extremes rtl", 60);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Platform drivers and workload definitions: both models runnable through
+// the public API, deterministic scripts, the Table-1 suite's shape, and
+// the comparison utilities.
+
+#include <gtest/gtest.h>
+
+#include "core/compare.hpp"
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+
+namespace {
+
+using namespace ahbp;
+using namespace ahbp::core;
+
+TEST(Workloads, DefaultPlatformShape) {
+  const PlatformConfig cfg = default_platform(4, 1, 50);
+  EXPECT_EQ(cfg.masters.size(), 4u);
+  EXPECT_EQ(cfg.geom.banks, 4u);
+  EXPECT_EQ(cfg.timing.validate(), "");
+  for (const auto& m : cfg.masters) {
+    EXPECT_EQ(m.traffic.items, 50u);
+  }
+}
+
+TEST(Workloads, Table1HasTwelveRowsInThreeGroups) {
+  const auto rows = table1_workloads(10);
+  ASSERT_EQ(rows.size(), 12u);
+  int cpu = 0, dma = 0, rt = 0;
+  for (const auto& w : rows) {
+    if (w.name.rfind("cpu-", 0) == 0) {
+      ++cpu;
+    } else if (w.name.rfind("dma-", 0) == 0) {
+      ++dma;
+    } else if (w.name.rfind("rt-", 0) == 0) {
+      ++rt;
+    }
+    EXPECT_EQ(w.config.masters.size(), 4u);
+  }
+  EXPECT_EQ(cpu, 4);
+  EXPECT_EQ(dma, 4);
+  EXPECT_EQ(rt, 4);
+}
+
+TEST(Workloads, RtRowsHaveRealTimeMaster) {
+  for (const auto& w : table1_workloads(10)) {
+    if (w.name.rfind("rt-", 0) == 0) {
+      EXPECT_EQ(w.config.masters[0].qos.cls, ahb::MasterClass::kRealTime);
+    }
+  }
+}
+
+TEST(Workloads, MasterWindowsDisjoint) {
+  for (const auto& w : table1_workloads(10)) {
+    const auto& ms = w.config.masters;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      for (std::size_t j = i + 1; j < ms.size(); ++j) {
+        const auto& a = ms[i].traffic;
+        const auto& b = ms[j].traffic;
+        const bool disjoint =
+            a.base + a.span <= b.base || b.base + b.span <= a.base;
+        EXPECT_TRUE(disjoint) << w.name << " masters " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Scripts, DeterministicAcrossCalls) {
+  const PlatformConfig cfg = default_platform(2, 9, 20);
+  const auto a = make_scripts(cfg);
+  const auto b = make_scripts(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    ASSERT_EQ(a[m].size(), b[m].size());
+    for (std::size_t i = 0; i < a[m].size(); ++i) {
+      EXPECT_EQ(a[m][i].txn.addr, b[m][i].txn.addr);
+    }
+  }
+}
+
+TEST(RunTlm, CompletesCleanly) {
+  PlatformConfig cfg = default_platform(2, 3, 25);
+  cfg.max_cycles = 100000;
+  const SimResult r = run_tlm(cfg);
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.model, "tlm");
+  EXPECT_EQ(r.completed, 50u);
+  EXPECT_EQ(r.protocol_errors, 0u) << r.first_violations;
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.kernel_activity, 0u);
+  EXPECT_EQ(r.profile.completed_txns, 50u);
+}
+
+TEST(RunRtl, CompletesCleanly) {
+  PlatformConfig cfg = default_platform(2, 3, 25);
+  cfg.max_cycles = 100000;
+  const SimResult r = run_rtl(cfg);
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.model, "rtl");
+  EXPECT_EQ(r.completed, 50u);
+  EXPECT_EQ(r.protocol_errors, 0u) << r.first_violations;
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(RunBoth, CheckersOffStillRuns) {
+  PlatformConfig cfg = default_platform(1, 5, 10);
+  cfg.enable_checkers = false;
+  EXPECT_TRUE(run_tlm(cfg).finished);
+  EXPECT_TRUE(run_rtl(cfg).finished);
+}
+
+TEST(Compare, ProducesBoundedError) {
+  Workload w{"t", default_platform(2, 7, 30)};
+  const AccuracyRow row = compare_models(w);
+  EXPECT_TRUE(row.both_finished);
+  EXPECT_EQ(row.protocol_errors, 0u);
+  EXPECT_GT(row.rtl_cycles, 0u);
+  EXPECT_GT(row.tlm_cycles, 0u);
+  EXPECT_LT(row.error, 0.25);  // loose sanity bound; tight bound elsewhere
+}
+
+TEST(Compare, SuiteAggregates) {
+  std::vector<Workload> ws;
+  ws.push_back({"a", default_platform(2, 1, 15)});
+  ws.push_back({"b", default_platform(2, 2, 15)});
+  const AccuracySuite s = compare_suite(ws);
+  ASSERT_EQ(s.rows.size(), 2u);
+  EXPECT_GE(s.worst_error, s.average_error / 2);
+}
+
+TEST(KcyclesPerSec, ZeroWallIsZero) {
+  SimResult r;
+  r.ran_cycles = 1000;
+  r.wall_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(kcycles_per_sec(r), 0.0);
+  r.wall_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(kcycles_per_sec(r), 2.0);
+}
+
+TEST(SingleMaster, WorkloadRuns) {
+  auto w = single_master_workload(20, 3);
+  w.config.max_cycles = 100000;
+  const SimResult r = run_tlm(w.config);
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.completed, 20u);
+}
+
+}  // namespace

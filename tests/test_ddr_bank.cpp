@@ -1,0 +1,207 @@
+// The per-bank FSM and rank-level BankEngine: every JEDEC-style interval
+// rule (tRCD/tRP/tRAS/tRC/tRRD/tCCD), the shared data bus, and refresh.
+
+#include <gtest/gtest.h>
+
+#include "ddr/bank.hpp"
+
+namespace {
+
+using namespace ahbp::ddr;
+using ahbp::sim::Cycle;
+
+Geometry geom4() {
+  Geometry g;
+  g.banks = 4;
+  g.rows = 64;
+  g.cols = 32;
+  g.col_bytes = 4;
+  return g;
+}
+
+// toy_timing: tRCD=2 tRP=2 tRAS=4 tRC=6 tRRD=1 tCL=2 tWL=1 tWR=2 tCCD=1.
+
+TEST(BankEngine, ActivateThenColumnAfterTrcd) {
+  BankEngine e(toy_timing(), geom4());
+  Command act{CmdKind::kActivate, 0, 5, 0, 0};
+  ASSERT_TRUE(e.can_issue(act, 10));
+  e.issue(act, 10);
+  Command rd{CmdKind::kRead, 0, 5, 0, 4};
+  EXPECT_FALSE(e.can_issue(rd, 10));
+  EXPECT_FALSE(e.can_issue(rd, 11));
+  EXPECT_TRUE(e.can_issue(rd, 12));  // tRCD = 2
+}
+
+TEST(BankEngine, ColumnToWrongRowIllegal) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 5, 0, 0}, 0);
+  Command rd{CmdKind::kRead, 0, 6, 0, 4};
+  EXPECT_FALSE(e.can_issue(rd, 10));
+}
+
+TEST(BankEngine, ActivateOnOpenBankIllegal) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 5, 0, 0}, 0);
+  EXPECT_FALSE(e.can_issue(Command{CmdKind::kActivate, 0, 6, 0, 0}, 20));
+}
+
+TEST(BankEngine, PrechargeNeedsTras) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 5, 0, 0}, 10);
+  Command pre{CmdKind::kPrecharge, 0, 0, 0, 0};
+  EXPECT_FALSE(e.can_issue(pre, 12));
+  EXPECT_FALSE(e.can_issue(pre, 13));
+  EXPECT_TRUE(e.can_issue(pre, 14));  // tRAS = 4
+}
+
+TEST(BankEngine, ReactivateNeedsTrpAndTrc) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 5, 0, 0}, 0);
+  e.issue(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 4);
+  Command act{CmdKind::kActivate, 0, 7, 0, 0};
+  EXPECT_FALSE(e.can_issue(act, 5));  // tRP not elapsed (ready at 6)
+  // tRC from cycle 0 means next activate >= 6 too.
+  EXPECT_TRUE(e.can_issue(act, 6));
+}
+
+TEST(BankEngine, TrrdBetweenBanks) {
+  DdrTiming t = toy_timing();
+  t.tRRD = 3;
+  BankEngine e(t, geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 10);
+  Command act1{CmdKind::kActivate, 1, 1, 0, 0};
+  EXPECT_FALSE(e.can_issue(act1, 11));
+  EXPECT_FALSE(e.can_issue(act1, 12));
+  EXPECT_TRUE(e.can_issue(act1, 13));
+}
+
+TEST(BankEngine, TccdBetweenColumns) {
+  DdrTiming t = toy_timing();
+  t.tCCD = 2;
+  BankEngine e(t, geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  e.issue(Command{CmdKind::kActivate, 1, 1, 0, 0}, 1);
+  e.issue(Command{CmdKind::kRead, 0, 1, 0, 1}, 3);
+  Command rd{CmdKind::kRead, 1, 1, 0, 1};
+  EXPECT_FALSE(e.can_issue(rd, 4));
+  // tCCD=2 satisfied at 5, and the 1-beat data bus is free by then too.
+  EXPECT_TRUE(e.can_issue(rd, 5));
+}
+
+TEST(BankEngine, DataBusNoOverlap) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  e.issue(Command{CmdKind::kActivate, 1, 1, 0, 0}, 1);
+  // 8-beat read at t=2: data occupies [4, 12) (tCL=2).
+  const Cycle first = e.issue(Command{CmdKind::kRead, 0, 1, 0, 8}, 2);
+  EXPECT_EQ(first, 4u);
+  EXPECT_EQ(e.data_bus_free_at(), 12u);
+  // A read on the other bank whose data would start before 12 must wait.
+  Command rd{CmdKind::kRead, 1, 1, 0, 4};
+  EXPECT_FALSE(e.can_issue(rd, 8));  // data would start at 10 < 12
+  EXPECT_TRUE(e.can_issue(rd, 10));  // data starts at 12: ok
+}
+
+TEST(BankEngine, WriteRecoveryBeforePrecharge) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  // write at 2 (tWL=1): beats at 3,4; tWR=2 -> precharge >= 5+2 = 7
+  e.issue(Command{CmdKind::kWrite, 0, 1, 0, 2}, 2);
+  Command pre{CmdKind::kPrecharge, 0, 0, 0, 0};
+  EXPECT_FALSE(e.can_issue(pre, 6));
+  EXPECT_TRUE(e.can_issue(pre, 7));
+}
+
+TEST(BankEngine, OneCommandPerCycle) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 5);
+  EXPECT_FALSE(e.can_issue(Command{CmdKind::kActivate, 1, 1, 0, 0}, 5));
+  EXPECT_TRUE(e.can_issue(Command{CmdKind::kActivate, 1, 1, 0, 0}, 6));
+}
+
+TEST(BankEngine, IllegalIssueThrows) {
+  BankEngine e(toy_timing(), geom4());
+  EXPECT_THROW(e.issue(Command{CmdKind::kRead, 0, 1, 0, 4}, 0),
+               std::logic_error);
+}
+
+TEST(BankEngine, BankStateProgression) {
+  BankEngine e(toy_timing(), geom4());
+  EXPECT_EQ(e.bank_state(0, 0), BankState::kIdle);
+  e.issue(Command{CmdKind::kActivate, 0, 9, 0, 0}, 0);
+  EXPECT_EQ(e.bank_state(0, 1), BankState::kActivating);
+  EXPECT_EQ(e.bank_state(0, 2), BankState::kActive);
+  EXPECT_EQ(e.open_row(0), 9u);
+  e.issue(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 4);
+  EXPECT_EQ(e.bank_state(0, 5), BankState::kPrecharging);
+  EXPECT_EQ(e.bank_state(0, 6), BankState::kIdle);
+}
+
+TEST(BankEngine, IdleMaskTracksBanks) {
+  BankEngine e(toy_timing(), geom4());
+  EXPECT_EQ(e.idle_bank_mask(0), 0xFu);
+  e.issue(Command{CmdKind::kActivate, 2, 1, 0, 0}, 0);
+  EXPECT_EQ(e.idle_bank_mask(1), 0xFu & ~(1u << 2));
+}
+
+TEST(BankEngine, EarliestColumnEstimates) {
+  BankEngine e(toy_timing(), geom4());
+  // Closed bank: activate + tRCD.
+  EXPECT_EQ(e.earliest_column(Coord{0, 3, 0}, 10), 12u);
+  e.issue(Command{CmdKind::kActivate, 0, 3, 0, 0}, 10);
+  // Matching open row: ready when tRCD elapses.
+  EXPECT_EQ(e.earliest_column(Coord{0, 3, 0}, 11), 12u);
+  // Row conflict: precharge (>= tRAS at 14) + tRP + tRCD.
+  EXPECT_EQ(e.earliest_column(Coord{0, 4, 0}, 11), 14u + 2 + 2);
+}
+
+TEST(BankEngine, RefreshNeedsAllBanksIdle) {
+  DdrTiming t = toy_timing();
+  t.tREFI = 100;
+  t.tRFC = 8;
+  BankEngine e(t, geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  EXPECT_FALSE(e.refresh_due(50));
+  EXPECT_TRUE(e.refresh_due(100));
+  EXPECT_FALSE(e.can_refresh(100));  // bank 0 open
+  e.issue(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 100);
+  EXPECT_FALSE(e.can_refresh(101));  // still precharging
+  EXPECT_TRUE(e.can_refresh(102));
+  e.issue(Command{CmdKind::kRefresh, 0, 0, 0, 0}, 102);
+  EXPECT_TRUE(e.in_refresh(105));
+  EXPECT_FALSE(e.in_refresh(110));
+  // All banks blocked during tRFC.
+  EXPECT_FALSE(e.can_issue(Command{CmdKind::kActivate, 1, 1, 0, 0}, 105));
+  EXPECT_TRUE(e.can_issue(Command{CmdKind::kActivate, 1, 1, 0, 0}, 110));
+}
+
+TEST(BankEngine, CountersTrackCommands) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  e.issue(Command{CmdKind::kRead, 0, 1, 0, 4}, 2);
+  e.issue(Command{CmdKind::kWrite, 0, 1, 4, 2}, 8);
+  e.issue(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 13);
+  EXPECT_EQ(e.counters().activates, 1u);
+  EXPECT_EQ(e.counters().reads, 1u);
+  EXPECT_EQ(e.counters().writes, 1u);
+  EXPECT_EQ(e.counters().precharges, 1u);
+  EXPECT_EQ(e.counters().read_beats, 4u);
+  EXPECT_EQ(e.counters().write_beats, 2u);
+}
+
+TEST(BankEngine, BadTimingRejectedAtConstruction) {
+  DdrTiming t = toy_timing();
+  t.tRC = 1;
+  EXPECT_THROW(BankEngine(t, geom4()), std::invalid_argument);
+}
+
+TEST(BankEngine, NopAlwaysLegalAndFree) {
+  BankEngine e(toy_timing(), geom4());
+  e.issue(Command{CmdKind::kActivate, 0, 1, 0, 0}, 5);
+  // NOP does not consume the one-command-per-cycle slot.
+  EXPECT_TRUE(e.can_issue(Command{}, 5));
+  e.issue(Command{}, 5);
+  EXPECT_FALSE(e.can_issue(Command{CmdKind::kActivate, 1, 1, 0, 0}, 5));
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// The independent DDR timing checker must flag each rule violation — these
+// are the negative tests proving the property checker actually checks.
+
+#include <gtest/gtest.h>
+
+#include "ddr/timing_checker.hpp"
+
+namespace {
+
+using namespace ahbp::ddr;
+
+Geometry geom4() {
+  Geometry g;
+  g.banks = 4;
+  g.rows = 64;
+  g.cols = 32;
+  g.col_bytes = 4;
+  return g;
+}
+
+bool has_rule(const TimingChecker& c, const std::string& rule) {
+  for (const auto& v : c.violations()) {
+    if (v.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(TimingChecker, CleanSequencePasses) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kRead, 0, 1, 0, 4}, 2);
+  c.observe(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 8);
+  EXPECT_TRUE(c.clean());
+  EXPECT_EQ(c.commands_seen(), 3u);
+}
+
+TEST(TimingChecker, FlagsTrcdViolation) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kRead, 0, 1, 0, 1}, 1);  // tRCD=2
+  EXPECT_TRUE(has_rule(c, "tRCD"));
+}
+
+TEST(TimingChecker, FlagsColumnOnClosedBank) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kRead, 0, 1, 0, 1}, 5);
+  EXPECT_TRUE(has_rule(c, "column-on-closed-bank"));
+}
+
+TEST(TimingChecker, FlagsRowMismatch) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kRead, 0, 2, 0, 1}, 3);
+  EXPECT_TRUE(has_rule(c, "column-row-mismatch"));
+}
+
+TEST(TimingChecker, FlagsActivateOnOpenBank) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kActivate, 0, 2, 0, 0}, 10);
+  EXPECT_TRUE(has_rule(c, "activate-on-open-bank"));
+}
+
+TEST(TimingChecker, FlagsTrasViolation) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 2);  // tRAS=4
+  EXPECT_TRUE(has_rule(c, "tRAS/tWR"));
+}
+
+TEST(TimingChecker, FlagsTrpViolation) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 4);
+  c.observe(Command{CmdKind::kActivate, 0, 2, 0, 0}, 5);  // tRP=2
+  EXPECT_TRUE(has_rule(c, "tRP"));
+}
+
+TEST(TimingChecker, FlagsTrcViolation) {
+  DdrTiming t = toy_timing();
+  t.tRC = 10;
+  TimingChecker c(t, geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kPrecharge, 0, 0, 0, 0}, 4);
+  c.observe(Command{CmdKind::kActivate, 0, 2, 0, 0}, 7);  // tRC=10
+  EXPECT_TRUE(has_rule(c, "tRC"));
+}
+
+TEST(TimingChecker, FlagsTrrdViolation) {
+  DdrTiming t = toy_timing();
+  t.tRRD = 4;
+  TimingChecker c(t, geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kActivate, 1, 1, 0, 0}, 2);
+  EXPECT_TRUE(has_rule(c, "tRRD"));
+}
+
+TEST(TimingChecker, FlagsDataBusOverlap) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kActivate, 1, 1, 0, 0}, 1);
+  c.observe(Command{CmdKind::kRead, 0, 1, 0, 8}, 3);
+  c.observe(Command{CmdKind::kRead, 1, 1, 0, 4}, 5);  // data would overlap
+  EXPECT_TRUE(has_rule(c, "data-bus-overlap"));
+}
+
+TEST(TimingChecker, FlagsOneCommandPerCycle) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kActivate, 1, 1, 0, 0}, 0);
+  EXPECT_TRUE(has_rule(c, "one-command-per-cycle"));
+}
+
+TEST(TimingChecker, FlagsRefreshWithOpenBank) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kRefresh, 0, 0, 0, 0}, 10);
+  EXPECT_TRUE(has_rule(c, "refresh-with-open-bank"));
+}
+
+TEST(TimingChecker, FlagsCommandDuringTrfc) {
+  DdrTiming t = toy_timing();
+  t.tRFC = 8;
+  TimingChecker c(t, geom4());
+  c.observe(Command{CmdKind::kRefresh, 0, 0, 0, 0}, 0);
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 4);
+  EXPECT_TRUE(has_rule(c, "tRFC"));
+}
+
+TEST(TimingChecker, FlagsZeroBeatColumn) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{CmdKind::kActivate, 0, 1, 0, 0}, 0);
+  c.observe(Command{CmdKind::kRead, 0, 1, 0, 0}, 3);
+  EXPECT_TRUE(has_rule(c, "zero-beat-column"));
+}
+
+TEST(TimingChecker, NopsIgnored) {
+  TimingChecker c(toy_timing(), geom4());
+  c.observe(Command{}, 0);
+  c.observe(Command{}, 0);
+  EXPECT_TRUE(c.clean());
+  EXPECT_EQ(c.commands_seen(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+// DDR timing parameter validation and presets.
+
+#include <gtest/gtest.h>
+
+#include "ddr/timing.hpp"
+
+namespace {
+
+using namespace ahbp::ddr;
+
+TEST(Timing, PresetsAreConsistent) {
+  EXPECT_EQ(ddr266().validate(), "");
+  EXPECT_EQ(ddr400().validate(), "");
+  EXPECT_EQ(toy_timing().validate(), "");
+}
+
+TEST(Timing, TrcMustCoverRasPlusRp) {
+  DdrTiming t = toy_timing();
+  t.tRC = t.tRAS + t.tRP - 1;
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Timing, TrasMustCoverTrcd) {
+  DdrTiming t = toy_timing();
+  t.tRAS = t.tRCD - 1;
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Timing, ZeroCoreParamsRejected) {
+  DdrTiming t = toy_timing();
+  t.tRCD = 0;
+  EXPECT_NE(t.validate(), "");
+  t = toy_timing();
+  t.tRP = 0;
+  EXPECT_NE(t.validate(), "");
+  t = toy_timing();
+  t.tCCD = 0;
+  EXPECT_NE(t.validate(), "");
+}
+
+TEST(Timing, RefreshIntervalMustExceedRfc) {
+  DdrTiming t = toy_timing();
+  t.tREFI = 5;
+  t.tRFC = 10;
+  EXPECT_NE(t.validate(), "");
+  t.tREFI = 0;  // disabled is fine
+  EXPECT_EQ(t.validate(), "");
+}
+
+TEST(Timing, PresetsDiffer) {
+  EXPECT_NE(ddr266().tRFC, ddr400().tRFC);
+}
+
+}  // namespace

@@ -1,0 +1,293 @@
+// The pin-accurate platform: end-to-end runs, protocol cleanliness, data
+// integrity, write-buffer streaming path, detail/bit-level layer
+// invariance (fidelity knobs must not change architecture), and the
+// signal-level building blocks.
+
+#include <gtest/gtest.h>
+
+#include "rtl/bitlevel.hpp"
+#include "rtl/fabric.hpp"
+
+namespace {
+
+using namespace ahbp;
+using namespace ahbp::rtl;
+
+ddr::Geometry geom4() {
+  ddr::Geometry g;
+  g.banks = 4;
+  g.rows = 64;
+  g.cols = 32;
+  g.col_bytes = 4;
+  return g;
+}
+
+RtlFabricConfig base_cfg(unsigned masters) {
+  RtlFabricConfig fc;
+  fc.geom = geom4();
+  fc.timing = ddr::toy_timing();
+  fc.qos.assign(masters, ahb::QosConfig{});
+  return fc;
+}
+
+traffic::Script script_for(traffic::PatternKind kind, unsigned items,
+                           ahb::Addr base, std::uint64_t seed,
+                           ahb::MasterId m) {
+  traffic::PatternConfig pat;
+  pat.kind = kind;
+  pat.items = items;
+  pat.base = base;
+  pat.span = 8192;
+  pat.seed = seed;
+  return traffic::make_script(pat, m);
+}
+
+TEST(RtlFabric, SingleMasterCompletesClean) {
+  auto fc = base_cfg(1);
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(script_for(traffic::PatternKind::kCpu, 20, 0, 3, 0));
+  RtlFabric fabric(fc, std::move(scripts));
+  fabric.run(50000);
+  EXPECT_TRUE(fabric.finished());
+  EXPECT_EQ(fabric.completed_txns(), 20u);
+  EXPECT_EQ(fabric.violations().errors(), 0u)
+      << fabric.violations().to_string();
+}
+
+TEST(RtlFabric, MultiMasterMixedTrafficClean) {
+  auto fc = base_cfg(3);
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(script_for(traffic::PatternKind::kCpu, 25, 0, 7, 0));
+  scripts.push_back(script_for(traffic::PatternKind::kDma, 25, 8192, 7, 1));
+  scripts.push_back(
+      script_for(traffic::PatternKind::kRandom, 25, 16384, 7, 2));
+  RtlFabric fabric(fc, std::move(scripts));
+  fabric.run(100000);
+  EXPECT_TRUE(fabric.finished()) << fabric.dump_state();
+  EXPECT_EQ(fabric.completed_txns(), 75u);
+  EXPECT_EQ(fabric.violations().errors(), 0u)
+      << fabric.violations().to_string();
+}
+
+TEST(RtlFabric, ReadDataMatchesWrites) {
+  // One master writes then reads the same addresses; the reads must see
+  // the written values (exercises the full signal-level datapath).
+  auto fc = base_cfg(1);
+  traffic::Script s;
+  for (unsigned i = 0; i < 4; ++i) {
+    traffic::TrafficItem w;
+    w.txn.dir = ahb::Dir::kWrite;
+    w.txn.addr = 0x100 + 16 * i;
+    w.txn.size = ahb::Size::kWord;
+    w.txn.burst = ahb::Burst::kIncr4;
+    w.txn.beats = 4;
+    w.txn.data = {i + 1, i + 2, i + 3, i + 4};
+    w.txn.id = s.size() + 1;
+    s.push_back(w);
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    traffic::TrafficItem r;
+    r.txn.dir = ahb::Dir::kRead;
+    r.txn.addr = 0x100 + 16 * i;
+    r.txn.size = ahb::Size::kWord;
+    r.txn.burst = ahb::Burst::kIncr4;
+    r.txn.beats = 4;
+    r.txn.id = s.size() + 1;
+    s.push_back(r);
+  }
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(std::move(s));
+  RtlFabric fabric(fc, std::move(scripts));
+  std::vector<ahb::Transaction> reads;
+  fabric.set_on_complete(0, [&](const ahb::Transaction& t) {
+    if (t.dir == ahb::Dir::kRead) {
+      reads.push_back(t);
+    }
+  });
+  fabric.run(50000);
+  ASSERT_TRUE(fabric.finished()) << fabric.dump_state();
+  ASSERT_EQ(reads.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) {
+    ASSERT_EQ(reads[i].data.size(), 4u);
+    for (unsigned b = 0; b < 4; ++b) {
+      EXPECT_EQ(reads[i].data[b], i + 1 + b) << "txn " << i << " beat " << b;
+    }
+  }
+  EXPECT_EQ(fabric.violations().errors(), 0u);
+}
+
+TEST(RtlFabric, WriteBufferStreamingPathUsed) {
+  // Two masters, one hammering reads, one writing: writes go through the
+  // take/stream path.
+  auto fc = base_cfg(2);
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(script_for(traffic::PatternKind::kDma, 30, 0, 11, 0));
+  traffic::PatternConfig pat;
+  pat.kind = traffic::PatternKind::kCpu;
+  pat.items = 30;
+  pat.base = 8192;
+  pat.span = 8192;
+  pat.read_ratio = 0.0;  // all writes
+  pat.seed = 11;
+  scripts.push_back(traffic::make_script(pat, 1));
+  RtlFabric fabric(fc, std::move(scripts));
+  fabric.run(100000);
+  ASSERT_TRUE(fabric.finished()) << fabric.dump_state();
+  const auto prof = fabric.profile();
+  EXPECT_GT(prof.write_buffer.absorbed, 0u);
+  EXPECT_EQ(prof.write_buffer.absorbed, prof.write_buffer.drained);
+  EXPECT_EQ(fabric.violations().errors(), 0u)
+      << fabric.violations().to_string();
+}
+
+TEST(RtlFabric, DetailLayersDoNotChangeArchitecture) {
+  // Fidelity knob invariance: with and without the RT-detail/bit-level
+  // layers the cycle-by-cycle behaviour must be identical.
+  auto make = [&](bool detail) {
+    auto fc = base_cfg(2);
+    fc.rt_detail = detail;
+    std::vector<traffic::Script> scripts;
+    scripts.push_back(script_for(traffic::PatternKind::kCpu, 20, 0, 13, 0));
+    scripts.push_back(script_for(traffic::PatternKind::kDma, 20, 8192, 13, 1));
+    auto fabric = std::make_unique<RtlFabric>(fc, std::move(scripts));
+    fabric->run(100000);
+    return fabric;
+  };
+  auto with = make(true);
+  auto without = make(false);
+  EXPECT_TRUE(with->finished());
+  EXPECT_TRUE(without->finished());
+  EXPECT_EQ(with->last_completion(), without->last_completion());
+  EXPECT_EQ(with->completed_txns(), without->completed_txns());
+  // The detail build evaluates strictly more kernel activity.
+  EXPECT_GT(with->kernel().stats().signal_commits,
+            without->kernel().stats().signal_commits);
+}
+
+TEST(RtlFabric, QosStateVisibleInProfile) {
+  auto fc = base_cfg(2);
+  fc.qos[0] = ahb::QosConfig{ahb::MasterClass::kRealTime, 2};  // tiny budget
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(script_for(traffic::PatternKind::kRtStream, 10, 0, 5, 0));
+  scripts.push_back(script_for(traffic::PatternKind::kDma, 40, 8192, 5, 1));
+  RtlFabric fabric(fc, std::move(scripts));
+  fabric.run(100000);
+  ASSERT_TRUE(fabric.finished());
+  const auto prof = fabric.profile();
+  EXPECT_EQ(prof.masters.size(), 2u);
+  // With a 2-cycle objective some grant inevitably misses it.
+  EXPECT_GT(prof.masters[0].qos_misses, 0u);
+  EXPECT_GT(fabric.violations().warnings(), 0u);
+  EXPECT_EQ(fabric.violations().errors(), 0u);
+}
+
+TEST(RtlFabric, DumpStateRenders) {
+  auto fc = base_cfg(1);
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(script_for(traffic::PatternKind::kCpu, 5, 0, 3, 0));
+  RtlFabric fabric(fc, std::move(scripts));
+  fabric.run(10);
+  const std::string s = fabric.dump_state();
+  EXPECT_NE(s.find("m0:"), std::string::npos);
+  EXPECT_NE(s.find("wbuf:"), std::string::npos);
+  EXPECT_NE(s.find("arbiter"), std::string::npos);
+}
+
+TEST(BitBus, DriveAndSampleRoundtrip) {
+  sim::EventKernel k;
+  BitBus bus(k, "t", 16);
+  bus.drive(0xA5C3);
+  k.settle();
+  EXPECT_EQ(bus.sample(), 0xA5C3u);
+  bus.drive(0x0001);
+  k.settle();
+  EXPECT_EQ(bus.sample(), 0x0001u);
+}
+
+TEST(RippleIncrementer, ComputesSumThroughCarryChain) {
+  sim::EventKernel k;
+  BitBus in(k, "in", 32);
+  sim::Signal<std::uint8_t> step(k, "step", 0);
+  RippleIncrementer incr(k, "incr", in, step);
+  step.write(4);
+  in.drive(0x0000FFFC);
+  k.settle();  // carries ripple across nibbles
+  EXPECT_EQ(incr.sum(), 0x00010000u);
+  in.drive(0x12345678);
+  k.settle();
+  EXPECT_EQ(incr.sum(), 0x1234567Cu);
+}
+
+TEST(RippleIncrementer, CarryCascadeCostsDeltas) {
+  sim::EventKernel k;
+  BitBus in(k, "in", 32);
+  sim::Signal<std::uint8_t> step(k, "step", 1);
+  RippleIncrementer incr(k, "incr", in, step);
+  in.drive(0xFFFFFFFF);
+  const auto before = k.stats().deltas;
+  k.settle();  // carry ripples through all 8 nibbles
+  EXPECT_EQ(incr.sum(), 0x0u);
+  EXPECT_GE(k.stats().deltas - before, 8u);
+}
+
+TEST(RtlFabric, VcdDumpProducesValidWaveform) {
+  auto fc = base_cfg(1);
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(script_for(traffic::PatternKind::kCpu, 8, 0, 3, 0));
+  RtlFabric fabric(fc, std::move(scripts));
+  std::ostringstream vcd;
+  fabric.enable_vcd(vcd);
+  fabric.run(2000);
+  EXPECT_TRUE(fabric.finished());
+  const std::string text = vcd.str();
+  EXPECT_NE(text.find("$timescale"), std::string::npos);
+  EXPECT_NE(text.find("haddr"), std::string::npos);
+  EXPECT_NE(text.find("hready"), std::string::npos);
+  // Real activity: timestamps and value changes present.
+  EXPECT_NE(text.find("\n#"), std::string::npos);
+  EXPECT_GT(text.size(), 1000u);
+}
+
+TEST(RtlFabric, DetailLayerInstantiatesFullRegisterPopulation) {
+  auto fc = base_cfg(2);
+  std::vector<traffic::Script> scripts;
+  scripts.push_back(script_for(traffic::PatternKind::kCpu, 3, 0, 3, 0));
+  scripts.push_back(script_for(traffic::PatternKind::kCpu, 3, 8192, 3, 1));
+  RtlFabric with(fc, std::move(scripts));
+  // Detail + bit-level layers multiply the signal population several-fold
+  // over the architectural wires alone.
+  std::vector<traffic::Script> scripts2;
+  scripts2.push_back(script_for(traffic::PatternKind::kCpu, 3, 0, 3, 0));
+  scripts2.push_back(script_for(traffic::PatternKind::kCpu, 3, 8192, 3, 1));
+  auto fc2 = base_cfg(2);
+  fc2.rt_detail = false;
+  RtlFabric without(fc2, std::move(scripts2));
+  EXPECT_GT(with.kernel().signals().size(),
+            3 * without.kernel().signals().size());
+}
+
+TEST(BitLevelLayer, ShadowsSharedBusesBitTrue) {
+  sim::EventKernel k;
+  SharedWires sh(k, 2, 4);
+  MasterWires m0(k, 0), m1(k, 1), wb(k, 2);
+  BitLevelLayer layer(k, sh, {&m0, &m1, &wb});
+  EXPECT_GT(layer.signal_count(), 200u);  // 3 buses + per-column pins
+  sh.haddr.write(0xABCD1234);
+  k.settle();
+  // The blasted pins re-assemble to the driven word (inspected through the
+  // kernel's signal registry by name).
+  std::uint64_t v = 0;
+  for (const auto* sig : k.signals()) {
+    const std::string_view n = sig->name();
+    if (n.rfind("pin.haddr.b", 0) == 0) {
+      const unsigned bit =
+          static_cast<unsigned>(std::stoul(std::string(n.substr(11))));
+      if (sig->value_string() == "1") {
+        v |= 1ull << bit;
+      }
+    }
+  }
+  EXPECT_EQ(v, 0xABCD1234u);
+}
+
+}  // namespace

@@ -1,0 +1,298 @@
+// Unit tests for the event-driven kernel: two-phase signals, delta cycles,
+// edge-filtered subscriptions, timed-event ordering, clocks and the VCD
+// writer.  The subscription-order guarantee is load-bearing for the RTL
+// fabric (arbiter runs before the write buffer), so it is pinned here.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_kernel.hpp"
+#include "sim/vcd.hpp"
+
+namespace {
+
+using namespace ahbp::sim;
+
+TEST(Signal, ReadsInitialValue) {
+  EventKernel k;
+  Signal<int> s(k, "s", 42);
+  EXPECT_EQ(s.read(), 42);
+}
+
+TEST(Signal, WriteNotVisibleUntilUpdatePhase) {
+  EventKernel k;
+  Signal<int> s(k, "s", 1);
+  s.write(2);
+  EXPECT_EQ(s.read(), 1);  // still the old value before the update phase
+  k.settle();
+  EXPECT_EQ(s.read(), 2);
+}
+
+TEST(Signal, LastWriteInDeltaWins) {
+  EventKernel k;
+  Signal<int> s(k, "s");
+  s.write(5);
+  s.write(9);
+  k.settle();
+  EXPECT_EQ(s.read(), 9);
+}
+
+TEST(Signal, SubscriberRunsOnChange) {
+  EventKernel k;
+  Signal<int> s(k, "s");
+  int runs = 0;
+  Process p(k, "p", [&] { ++runs; });
+  s.subscribe(p);
+  s.write(1);
+  k.settle();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Signal, NoNotifyWhenValueUnchanged) {
+  EventKernel k;
+  Signal<int> s(k, "s", 7);
+  int runs = 0;
+  Process p(k, "p", [&] { ++runs; });
+  s.subscribe(p);
+  s.write(7);  // same value: committed, but no change, no wakeup
+  k.settle();
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(Signal, PosedgeSubscriptionFiltersEdges) {
+  EventKernel k;
+  Signal<bool> s(k, "s", false);
+  int pos = 0, neg = 0, any = 0;
+  Process pp(k, "pos", [&] { ++pos; });
+  Process pn(k, "neg", [&] { ++neg; });
+  Process pa(k, "any", [&] { ++any; });
+  s.subscribe(pp, Edge::kPos);
+  s.subscribe(pn, Edge::kNeg);
+  s.subscribe(pa, Edge::kAny);
+  s.write(true);
+  k.settle();
+  s.write(false);
+  k.settle();
+  EXPECT_EQ(pos, 1);
+  EXPECT_EQ(neg, 1);
+  EXPECT_EQ(any, 2);
+}
+
+TEST(Signal, IntegerEdgeSemantics) {
+  // For integral signals, "rising" means zero -> nonzero.
+  EventKernel k;
+  Signal<int> s(k, "s", 0);
+  int pos = 0;
+  Process p(k, "p", [&] { ++pos; });
+  s.subscribe(p, Edge::kPos);
+  s.write(3);
+  k.settle();
+  s.write(5);  // nonzero -> nonzero: not a rising edge
+  k.settle();
+  EXPECT_EQ(pos, 1);
+}
+
+TEST(Delta, ChainedCombinationalProcessesCascade) {
+  // a -> (p1) -> b -> (p2) -> c settles across delta rounds in one settle().
+  EventKernel k;
+  Signal<int> a(k, "a"), b(k, "b"), c(k, "c");
+  Process p1(k, "p1", [&] { b.write(a.read() + 1); });
+  Process p2(k, "p2", [&] { c.write(b.read() + 1); });
+  a.subscribe(p1);
+  b.subscribe(p2);
+  a.write(10);
+  k.settle();
+  EXPECT_EQ(b.read(), 11);
+  EXPECT_EQ(c.read(), 12);
+  EXPECT_GE(k.stats().deltas, 2u);
+}
+
+TEST(Delta, ProcessDedupedWithinOneRound) {
+  EventKernel k;
+  Signal<int> a(k, "a"), b(k, "b");
+  int runs = 0;
+  Process p(k, "p", [&] { ++runs; });
+  a.subscribe(p);
+  b.subscribe(p);
+  a.write(1);
+  b.write(1);
+  k.settle();
+  EXPECT_EQ(runs, 1);  // both changes wake it once in the same round
+}
+
+TEST(Delta, SubscriptionOrderIsExecutionOrder) {
+  // The RTL fabric depends on this: processes subscribed to the same
+  // signal run in subscription order within a delta round.
+  EventKernel k;
+  Signal<bool> clk(k, "clk", false);
+  std::vector<int> order;
+  Process p1(k, "p1", [&] { order.push_back(1); });
+  Process p2(k, "p2", [&] { order.push_back(2); });
+  Process p3(k, "p3", [&] { order.push_back(3); });
+  clk.subscribe(p1, Edge::kPos);
+  clk.subscribe(p2, Edge::kPos);
+  clk.subscribe(p3, Edge::kPos);
+  clk.write(true);
+  k.settle();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimedEvents, FireInTimeOrder) {
+  EventKernel k;
+  std::vector<int> seq;
+  k.schedule(20, [&] { seq.push_back(2); });
+  k.schedule(10, [&] { seq.push_back(1); });
+  k.schedule(30, [&] { seq.push_back(3); });
+  k.run_until(100);
+  EXPECT_EQ(seq, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), 100u);
+}
+
+TEST(TimedEvents, SameTimeFifoOrder) {
+  EventKernel k;
+  std::vector<int> seq;
+  k.schedule(5, [&] { seq.push_back(1); });
+  k.schedule(5, [&] { seq.push_back(2); });
+  k.run_until(5);
+  EXPECT_EQ(seq, (std::vector<int>{1, 2}));
+}
+
+TEST(TimedEvents, RunUntilStopsAtBoundary) {
+  EventKernel k;
+  int fired = 0;
+  k.schedule(10, [&] { ++fired; });
+  k.schedule(11, [&] { ++fired; });
+  k.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(k.idle());
+  k.run_until(11);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(k.idle());
+}
+
+TEST(TimedEvents, NestedSchedulingWorks) {
+  EventKernel k;
+  int fired = 0;
+  k.schedule(1, [&] {
+    ++fired;
+    k.schedule(1, [&] { ++fired; });
+  });
+  k.run_until(5);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Clock, GeneratesExpectedPosedges) {
+  EventKernel k;
+  Clock clk(k, "clk", 2);
+  int edges = 0;
+  Process p(k, "p", [&] { ++edges; });
+  clk.signal().subscribe(p, Edge::kPos);
+  k.run_until(20);
+  // period 2: rising at t=1,3,5,...,19 -> 10 edges
+  EXPECT_EQ(edges, 10);
+  EXPECT_EQ(clk.posedges(), 10u);
+}
+
+TEST(Clock, RejectsOddOrTinyPeriod) {
+  EventKernel k;
+  EXPECT_THROW(Clock(k, "c1", 1), std::invalid_argument);
+  EXPECT_THROW(Clock(k, "c2", 3), std::invalid_argument);
+}
+
+TEST(Clock, StopHaltsToggling) {
+  EventKernel k;
+  Clock clk(k, "clk", 2);
+  k.run_until(10);
+  const auto edges = clk.posedges();
+  clk.stop();
+  k.run_until(20);
+  EXPECT_EQ(clk.posedges(), edges);
+}
+
+TEST(Stats, CountersAdvance) {
+  EventKernel k;
+  Signal<int> s(k, "s");
+  Process p(k, "p", [&] {});
+  s.subscribe(p);
+  s.write(1);
+  k.settle();
+  EXPECT_GE(k.stats().deltas, 1u);
+  EXPECT_GE(k.stats().signal_commits, 1u);
+  EXPECT_GE(k.stats().process_activations, 1u);
+}
+
+TEST(Stats, TimedEventCounter) {
+  EventKernel k;
+  k.schedule(1, [] {});
+  k.schedule(2, [] {});
+  k.run_until(5);
+  EXPECT_EQ(k.stats().timed_events, 2u);
+}
+
+TEST(Vcd, EmitsHeaderAndChanges) {
+  EventKernel k;
+  Signal<bool> s(k, "sig_a", false);
+  Signal<std::uint32_t> v(k, "bus_b", 0);
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  vcd.add_signal(s, 1);
+  vcd.add_signal(v, 8);
+  vcd.write_header();
+  vcd.sample(0);
+  s.write(true);
+  v.write(0xA5);
+  k.settle();
+  vcd.sample(1);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("$timescale"), std::string::npos);
+  EXPECT_NE(text.find("sig_a"), std::string::npos);
+  EXPECT_NE(text.find("b10100101"), std::string::npos);
+  EXPECT_GE(vcd.changes(), 3u);
+}
+
+TEST(Vcd, NoChangeNoEmission) {
+  EventKernel k;
+  Signal<bool> s(k, "s", false);
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  vcd.add_signal(s);
+  vcd.write_header();
+  vcd.sample(0);
+  const auto after_first = vcd.changes();
+  vcd.sample(1);  // no change between samples
+  EXPECT_EQ(vcd.changes(), after_first);
+}
+
+TEST(Vcd, SampleBeforeHeaderThrows) {
+  EventKernel k;
+  Signal<bool> s(k, "s");
+  std::ostringstream out;
+  VcdWriter vcd(out);
+  vcd.add_signal(s);
+  EXPECT_THROW(vcd.sample(0), std::logic_error);
+}
+
+TEST(Process, ManualTriggerRuns) {
+  EventKernel k;
+  int runs = 0;
+  Process p(k, "p", [&] { ++runs; });
+  p.trigger();
+  k.settle();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Signal, RegistryTracksSignals) {
+  EventKernel k;
+  EXPECT_TRUE(k.signals().empty());
+  {
+    Signal<int> s(k, "s");
+    EXPECT_EQ(k.signals().size(), 1u);
+  }
+  EXPECT_TRUE(k.signals().empty());  // unregistered on destruction
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Profiling primitives: summaries, log2 histograms, bus/master profiles,
+// and the table/report renderers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/histogram.hpp"
+#include "stats/profiles.hpp"
+#include "stats/report.hpp"
+
+namespace {
+
+using namespace ahbp::stats;
+
+TEST(Summary, TracksMinMaxMeanCount) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(10);
+  s.add(20);
+  s.add(3);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.min(), 3u);
+  EXPECT_EQ(s.max(), 20u);
+  EXPECT_DOUBLE_EQ(s.mean(), 11.0);
+}
+
+TEST(Log2Histogram, BucketsByPowerOfTwo) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(7);
+  h.add(8);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0,1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2,3
+  EXPECT_EQ(h.bucket(2), 2u);  // 4..7
+  EXPECT_EQ(h.bucket(3), 1u);  // 8..15
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Log2Histogram, PercentileUpperBound) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.add(1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.add(100);
+  }
+  EXPECT_EQ(h.percentile_upper(50), 1u);
+  EXPECT_GE(h.percentile_upper(99), 100u);
+}
+
+TEST(Log2Histogram, EmptyPercentileIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.percentile_upper(99), 0u);
+}
+
+TEST(BusProfile, UtilizationContentionThroughput) {
+  BusProfile p;
+  p.sample(0, false, 0);  // idle
+  p.sample(1, true, 4);   // one requester, moving
+  p.sample(3, true, 4);   // contention
+  p.sample(2, false, 0);  // waiting (requesters but no progress)
+  EXPECT_EQ(p.cycles, 4u);
+  EXPECT_EQ(p.busy_cycles, 2u);
+  EXPECT_EQ(p.contention_cycles, 2u);
+  EXPECT_EQ(p.wait_cycles, 1u);
+  EXPECT_DOUBLE_EQ(p.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(p.contention(), 0.5);
+  EXPECT_DOUBLE_EQ(p.throughput(), 2.0);
+}
+
+TEST(MasterProfile, RecordsByDirection) {
+  MasterProfile m;
+  ahbp::ahb::Transaction t;
+  t.dir = ahbp::ahb::Dir::kRead;
+  t.beats = 4;
+  t.size = ahbp::ahb::Size::kWord;
+  t.issued_at = 0;
+  t.granted_at = 3;
+  t.finished_at = 10;
+  m.record(t, false);
+  t.dir = ahbp::ahb::Dir::kWrite;
+  t.data.assign(4, 0);
+  m.record(t, true);
+  EXPECT_EQ(m.reads, 1u);
+  EXPECT_EQ(m.writes, 1u);
+  EXPECT_EQ(m.bytes_read, 16u);
+  EXPECT_EQ(m.bytes_written, 16u);
+  EXPECT_EQ(m.buffered_writes, 1u);
+  EXPECT_EQ(m.grant_wait.total(), 2u);
+  EXPECT_EQ(m.latency.summary().max(), 10u);
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Format, DoubleAndPercent) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.5, 1), "50.0%");
+}
+
+TEST(Report, RendersWithoutCrashing) {
+  RunProfile p;
+  p.total_cycles = 1000;
+  p.completed_txns = 42;
+  p.masters.resize(2);
+  p.masters[0].name = "M0";
+  p.masters[1].name = "M1";
+  p.bus.sample(1, true, 4);
+  std::ostringstream os;
+  print_report(os, p, "test run");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("test run"), std::string::npos);
+  EXPECT_NE(s.find("M0"), std::string::npos);
+  EXPECT_NE(s.find("write buffer"), std::string::npos);
+
+  std::ostringstream csv;
+  print_csv(csv, p);
+  EXPECT_NE(csv.str().find("entity,metric,value"), std::string::npos);
+}
+
+TEST(DdrProfile, RowHitRate) {
+  DdrProfile d;
+  d.hits.row_hits = 3;
+  d.hits.row_misses = 1;
+  d.hits.row_conflicts = 0;
+  EXPECT_DOUBLE_EQ(d.row_hit_rate(), 0.75);
+  DdrProfile empty;
+  EXPECT_DOUBLE_EQ(empty.row_hit_rate(), 0.0);
+}
+
+}  // namespace
