@@ -1,0 +1,97 @@
+// Parallel sweep throughput: how fast the design-space exploration loop
+// spins when independent simulations fan out across a std::thread pool.
+// The paper's speed argument (§4) is per-run; this bench tracks the batch
+// dimension — runs/sec at 1, 4 and hardware-concurrency workers — and
+// writes BENCH_SWEEP.json so the perf trajectory can follow parallel
+// scaling across PRs.
+//
+// Usage: bench_sweep [items-per-master] [repeats]
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "stats/report.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ahbp;
+  const unsigned items =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 120;
+  const unsigned repeats =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 3;
+
+  // A realistic exploration batch: write-buffer depth x bank filter over
+  // the rt-1 Table-1 mix = 8 independent TLM runs per sweep.
+  sweep::SweepSpec spec;
+  spec.base = "table1/rt-1";
+  spec.base_config =
+      scenario::ScenarioRegistry::builtin().build("table1/rt-1", items, 7);
+  spec.axes.push_back({"bus.write_buffer_depth", {"0", "2", "4", "8"}});
+  spec.axes.push_back({"bus.filter_mask", {"0x7f", "0x77"}});
+  const auto points = sweep::expand(spec);
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  std::vector<unsigned> job_counts{1, 4, hw};
+
+  std::cout << "=== Sweep throughput: " << points.size()
+            << " TLM runs/sweep, " << items << " txns/master, best of "
+            << repeats << " ===\n\n";
+
+  stats::TextTable table(
+      {"jobs", "sweep wall s", "runs/sec", "speedup vs 1 job"});
+  std::vector<double> runs_per_sec(job_counts.size(), 0.0);
+
+  double base_rps = 0.0;
+  for (std::size_t j = 0; j < job_counts.size(); ++j) {
+    const sweep::SweepRunner runner(job_counts[j]);
+    double best = 1e300;
+    for (unsigned rep = 0; rep < repeats; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto outcomes = runner.run(points, sweep::Model::kTlm);
+      const auto t1 = std::chrono::steady_clock::now();
+      for (const auto& o : outcomes) {
+        if (!o.error.empty() || !o.tlm.finished) {
+          std::cerr << "run " << o.index << " failed\n";
+          return 1;
+        }
+      }
+      best = std::min(best,
+                      std::chrono::duration<double>(t1 - t0).count());
+    }
+    runs_per_sec[j] = static_cast<double>(points.size()) / best;
+    if (j == 0) {
+      base_rps = runs_per_sec[j];
+    }
+    table.add_row({std::to_string(job_counts[j]),
+                   stats::fmt_double(best, 3),
+                   stats::fmt_double(runs_per_sec[j], 1),
+                   stats::fmt_double(runs_per_sec[j] / base_rps, 2) + "x"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\n(hardware concurrency: " << hw << ")\n";
+
+  std::ofstream json("BENCH_SWEEP.json");
+  if (json) {
+    json << "{\n  \"bench\": \"sweep_throughput\",\n  \"runs_per_sweep\": "
+         << points.size() << ",\n  \"items_per_master\": " << items
+         << ",\n  \"results\": [\n";
+    for (std::size_t j = 0; j < job_counts.size(); ++j) {
+      json << "    {\"jobs\": " << job_counts[j] << ", \"runs_per_sec\": "
+           << stats::fmt_double(runs_per_sec[j], 2) << "}"
+           << (j + 1 < job_counts.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote BENCH_SWEEP.json\n";
+  }
+  return 0;
+}

@@ -87,7 +87,7 @@ SimResult run_tlm(const PlatformConfig& cfg) {
   return r;
 }
 
-SimResult run_rtl(const PlatformConfig& cfg) {
+SimResult run_rtl(const PlatformConfig& cfg, std::ostream* vcd_out) {
   AHBP_ASSERT_MSG(!cfg.masters.empty(), "platform needs at least one master");
 
   rtl::RtlFabricConfig fc;
@@ -101,6 +101,9 @@ SimResult run_rtl(const PlatformConfig& cfg) {
   }
 
   rtl::RtlFabric fabric(fc, make_scripts(cfg));
+  if (vcd_out != nullptr) {
+    fabric.enable_vcd(*vcd_out);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const sim::Cycle ran = fabric.run(cfg.max_cycles);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -59,8 +60,9 @@ std::vector<traffic::Script> make_scripts(const PlatformConfig& cfg);
 /// Run the transaction-level model.
 SimResult run_tlm(const PlatformConfig& cfg);
 
-/// Run the pin-accurate signal-level model.
-SimResult run_rtl(const PlatformConfig& cfg);
+/// Run the pin-accurate signal-level model.  When `vcd_out` is non-null the
+/// architectural bus signals are dumped to it (GTKWave-viewable).
+SimResult run_rtl(const PlatformConfig& cfg, std::ostream* vcd_out = nullptr);
 
 /// Simulated kilo-cycles per wall-clock second (the paper's §4 metric).
 double kcycles_per_sec(const SimResult& r);

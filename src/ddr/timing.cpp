@@ -69,4 +69,17 @@ DdrTiming toy_timing() {
   return t;
 }
 
+bool timing_preset(std::string_view name, DdrTiming& out) {
+  if (name == "ddr266") {
+    out = ddr266();
+  } else if (name == "ddr400") {
+    out = ddr400();
+  } else if (name == "toy") {
+    out = toy_timing();
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace ahbp::ddr

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/time.hpp"
 
@@ -42,5 +43,9 @@ DdrTiming ddr400();
 
 /// A fast "toy" timing useful in unit tests (small constants, no refresh).
 DdrTiming toy_timing();
+
+/// Look a preset up by name ("ddr266", "ddr400", "toy").  Returns false
+/// (and leaves `out` untouched) on an unknown name.
+bool timing_preset(std::string_view name, DdrTiming& out);
 
 }  // namespace ahbp::ddr

@@ -1,0 +1,76 @@
+#include "scenario/lexer.hpp"
+
+#include <cctype>
+
+#include "scenario/scenario.hpp"
+
+namespace ahbp::scenario::lex {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void for_each_line(std::string_view text,
+                   const std::function<void(const Line&)>& cb) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    Line line;
+    line.number = line_no;
+    line.raw = raw;
+
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) {
+      raw = raw.substr(0, hash);
+    }
+    const std::string_view s = trim(raw);
+    if (s.empty()) {
+      continue;
+    }
+
+    if (s.front() == '[') {
+      if (s.back() != ']') {
+        throw ScenarioError("malformed section header", line_no);
+      }
+      line.kind = Line::Kind::kSection;
+      line.section = trim(s.substr(1, s.size() - 2));
+      cb(line);
+      continue;
+    }
+
+    const std::size_t eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      throw ScenarioError("expected 'key = value'", line_no);
+    }
+    line.kind = Line::Kind::kKeyValue;
+    line.key = trim(s.substr(0, eq));
+    line.value = trim(s.substr(eq + 1));
+    if (line.key.empty()) {
+      throw ScenarioError("empty key", line_no);
+    }
+    cb(line);
+  }
+}
+
+bool master_section(std::string_view section_inner,
+                    std::string_view& index_text) {
+  if (section_inner.substr(0, 6) != "master") {
+    return false;
+  }
+  index_text = trim(section_inner.substr(6));
+  return true;
+}
+
+}  // namespace ahbp::scenario::lex

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+/// \file lexer.hpp
+/// The one line-lexer behind every text front end of the scenario layer.
+///
+/// Scenario files and sweep files share a surface syntax — `# comments`,
+/// `[section]` headers, `key = value` lines — and must never drift apart
+/// lexically.  This lexer owns that surface; the parsers on top of it only
+/// decide which sections and keys they accept.
+
+namespace ahbp::scenario::lex {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// One meaningful (non-blank, non-comment) line.
+struct Line {
+  enum class Kind : unsigned char {
+    kSection,   ///< `[name]` — `section` holds the trimmed inner text
+    kKeyValue,  ///< `key = value` — `key`/`value` hold the trimmed halves
+  };
+
+  Kind kind = Kind::kKeyValue;
+  std::size_t number = 0;    ///< 1-based line number in the input
+  std::string_view section;  ///< kSection only
+  std::string_view key;      ///< kKeyValue only (never empty)
+  std::string_view value;    ///< kKeyValue only (may be empty)
+  std::string_view raw;      ///< the whole original line, comment included
+};
+
+/// Walk `text` line by line, invoking `cb` for each meaningful line.
+/// Blank and comment-only lines are skipped (but still counted).  Throws
+/// ScenarioError (with the line number) on a malformed section header, a
+/// line with no '=', or an empty key.
+void for_each_line(std::string_view text,
+                   const std::function<void(const Line&)>& cb);
+
+/// If `section_inner` names a master section ("master 0", "master *"),
+/// return true and set `index_text` to the trimmed index part ("0", "*").
+bool master_section(std::string_view section_inner,
+                    std::string_view& index_text);
+
+}  // namespace ahbp::scenario::lex

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/platform.hpp"
+
+/// \file registry.hpp
+/// Named built-in scenarios.
+///
+/// Covers the paper's Table-1 suite (the twelve master-traffic mixes of
+/// core/workloads.hpp, exposed as `table1/<row>`) plus workload classes the
+/// table does not probe: bursty DMA trains, pathological single-bank
+/// conflicts, write-buffer saturation, and QoS starvation pressure.  Every
+/// preset is a plain `PlatformConfig` factory, so `ahbp_sim run <name>` and
+/// sweep bases resolve through one table.
+
+namespace ahbp::scenario {
+
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+  /// Build the configuration.  `items` scales transactions per master and
+  /// `seed` the traffic streams; pass 0 to keep the preset's default.
+  std::function<core::PlatformConfig(unsigned items, std::uint64_t seed)>
+      build;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The built-in presets (constructed once, in listing order).
+  static const ScenarioRegistry& builtin();
+
+  /// Look a preset up by name.  Table-1 rows answer to both their numeric
+  /// name (`table1/cpu-1`) and a letter alias (`table1/cpu-a`).  Returns
+  /// nullptr when unknown.
+  const ScenarioInfo* find(std::string_view name) const;
+
+  /// Build a preset's configuration (items/seed 0 = preset default).
+  /// Throws ScenarioError on an unknown name.
+  core::PlatformConfig build(std::string_view name, unsigned items = 0,
+                             std::uint64_t seed = 0) const;
+
+  const std::vector<ScenarioInfo>& entries() const noexcept {
+    return entries_;
+  }
+
+  void add(ScenarioInfo info);
+
+ private:
+  std::vector<ScenarioInfo> entries_;
+};
+
+/// Resolve a scenario reference — a built-in preset name first, a scenario
+/// file path second — the one lookup rule shared by the CLI and sweep
+/// bases.  `items`/`seed` of 0 keep the preset's (or file's) own values.
+/// Throws ScenarioError when `ref` is neither.
+core::PlatformConfig load_scenario(const std::string& ref, unsigned items = 0,
+                                   std::uint64_t seed = 0);
+
+}  // namespace ahbp::scenario

@@ -1,0 +1,174 @@
+#include "sweep/runner.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+namespace ahbp::sweep {
+
+bool model_from_string(std::string_view name, Model& out) {
+  if (name == "tlm") {
+    out = Model::kTlm;
+  } else if (name == "rtl") {
+    out = Model::kRtl;
+  } else if (name == "both") {
+    out = Model::kBoth;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double cycle_error(const core::SimResult& tlm, const core::SimResult& rtl) {
+  if (rtl.cycles == 0) {
+    return 0.0;
+  }
+  return std::abs(static_cast<double>(tlm.cycles) -
+                  static_cast<double>(rtl.cycles)) /
+         static_cast<double>(rtl.cycles);
+}
+
+double PointOutcome::cycle_error() const noexcept {
+  if (!has_tlm || !has_rtl) {
+    return 0.0;
+  }
+  return sweep::cycle_error(tlm, rtl);
+}
+
+std::vector<PointOutcome> SweepRunner::run(
+    const std::vector<SweepPoint>& points, Model model) const {
+  std::vector<PointOutcome> outcomes(points.size());
+
+  const auto simulate = [&](std::size_t i) {
+    const SweepPoint& p = points[i];
+    PointOutcome& o = outcomes[i];
+    o.index = p.index;
+    o.label = p.label;
+    try {
+      if (model == Model::kTlm || model == Model::kBoth) {
+        o.tlm = core::run_tlm(p.config);
+        o.has_tlm = true;
+      }
+      if (model == Model::kRtl || model == Model::kBoth) {
+        o.rtl = core::run_rtl(p.config);
+        o.has_rtl = true;
+      }
+    } catch (const std::exception& e) {
+      o.error = e.what();
+    } catch (...) {
+      o.error = "unknown simulation failure";
+    }
+  };
+
+  unsigned jobs = jobs_ == 0 ? std::thread::hardware_concurrency() : jobs_;
+  if (jobs == 0) {
+    jobs = 1;
+  }
+  if (jobs > points.size()) {
+    jobs = static_cast<unsigned>(points.size());
+  }
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      simulate(i);
+    }
+    return outcomes;
+  }
+
+  // Work-stealing by atomic counter: each worker grabs the next unclaimed
+  // index.  Writes land in outcomes[i], so completion order is irrelevant.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (unsigned w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= points.size()) {
+          return;
+        }
+        simulate(i);
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  return outcomes;
+}
+
+stats::TextTable aggregate_table(const std::vector<PointOutcome>& outcomes,
+                                 Model model, bool include_speed) {
+  const bool both = model == Model::kBoth;
+  const bool tlm = model != Model::kRtl;
+  const bool rtl = model != Model::kTlm;
+
+  std::vector<std::string> headers{"#", "configuration"};
+  if (tlm) {
+    headers.push_back("tlm cycles");
+  }
+  if (rtl) {
+    headers.push_back("rtl cycles");
+  }
+  if (both) {
+    headers.push_back("error");
+  }
+  headers.push_back("txns");
+  headers.push_back("qos warn");
+  headers.push_back("errors");
+  if (include_speed && tlm) {
+    headers.push_back("tlm kcyc/s");
+  }
+  if (include_speed && rtl) {
+    headers.push_back("rtl kcyc/s");
+  }
+  stats::TextTable table(std::move(headers));
+
+  for (const PointOutcome& o : outcomes) {
+    std::vector<std::string> row{std::to_string(o.index), o.label};
+    const core::SimResult& primary = o.has_tlm ? o.tlm : o.rtl;
+    const auto cycles_cell = [](bool has, const core::SimResult& r) {
+      if (!has) {
+        return std::string("-");
+      }
+      return r.finished ? std::to_string(r.cycles)
+                        : std::to_string(r.cycles) + " (timeout)";
+    };
+    if (tlm) {
+      row.push_back(cycles_cell(o.has_tlm, o.tlm));
+    }
+    if (rtl) {
+      row.push_back(cycles_cell(o.has_rtl, o.rtl));
+    }
+    if (both) {
+      row.push_back(o.has_tlm && o.has_rtl
+                        ? stats::fmt_percent(o.cycle_error())
+                        : "-");
+    }
+    if (!o.error.empty()) {
+      row.push_back("FAILED: " + o.error);
+      row.push_back("-");
+      row.push_back("-");
+    } else {
+      row.push_back(std::to_string(primary.completed));
+      row.push_back(std::to_string(o.has_rtl ? o.rtl.qos_warnings
+                                             : o.tlm.qos_warnings));
+      row.push_back(std::to_string(primary.protocol_errors));
+    }
+    if (include_speed && tlm) {
+      row.push_back(o.has_tlm
+                        ? stats::fmt_double(core::kcycles_per_sec(o.tlm), 0)
+                        : "-");
+    }
+    if (include_speed && rtl) {
+      row.push_back(o.has_rtl
+                        ? stats::fmt_double(core::kcycles_per_sec(o.rtl), 0)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace ahbp::sweep

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "stats/report.hpp"
+#include "sweep/spec.hpp"
+
+/// \file runner.hpp
+/// Parallel execution of expanded sweeps.
+///
+/// Simulation runs are fully self-contained (`run_tlm` / `run_rtl` share no
+/// mutable state), so a sweep fans out across a `std::thread` pool and
+/// scales with cores.  Results are collected *by expansion index*, never by
+/// completion order, so the aggregate report is byte-identical no matter
+/// how many workers raced to produce it — determinism the tests pin down.
+
+namespace ahbp::sweep {
+
+/// Which model(s) each point runs on.
+enum class Model : std::uint8_t {
+  kTlm = 0,
+  kRtl = 1,
+  kBoth = 2,  ///< both, plus the TLM-vs-RTL accuracy column
+};
+
+/// Parse "tlm" / "rtl" / "both".  Returns false on an unknown name.
+bool model_from_string(std::string_view name, Model& out);
+
+/// The Table-1 accuracy metric: |tlm - rtl| / rtl total cycles (0 when the
+/// RTL count is 0).  One definition, used by run reports and sweep tables.
+double cycle_error(const core::SimResult& tlm, const core::SimResult& rtl);
+
+/// Outcome of one sweep point.
+struct PointOutcome {
+  std::size_t index = 0;
+  std::string label;
+  bool has_tlm = false;
+  bool has_rtl = false;
+  core::SimResult tlm;
+  core::SimResult rtl;
+  std::string error;  ///< non-empty when the run threw instead of finishing
+
+  /// |tlm - rtl| / rtl cycle error (0 unless both models ran).
+  double cycle_error() const noexcept;
+};
+
+class SweepRunner {
+ public:
+  /// `jobs` worker threads (clamped to [1, points]; 0 = hardware
+  /// concurrency).
+  explicit SweepRunner(unsigned jobs = 1) : jobs_(jobs) {}
+
+  unsigned jobs() const noexcept { return jobs_; }
+
+  /// Run every point, in parallel, deterministically ordered by index.
+  std::vector<PointOutcome> run(const std::vector<SweepPoint>& points,
+                                Model model) const;
+
+ private:
+  unsigned jobs_;
+};
+
+/// Aggregate comparison table: index, label, cycles, completed
+/// transactions, QoS warnings, protocol errors; with `Model::kBoth` also
+/// the TLM-vs-RTL error column.  `include_speed` adds kcycles/sec columns —
+/// wall-clock dependent, so leave it off wherever byte-stable output
+/// matters (the default everywhere except interactive reports).
+stats::TextTable aggregate_table(const std::vector<PointOutcome>& outcomes,
+                                 Model model, bool include_speed = false);
+
+}  // namespace ahbp::sweep

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/platform.hpp"
+
+/// \file spec.hpp
+/// Sweep specifications: a base scenario plus axis lists whose cross
+/// product is the set of configurations to run.
+///
+/// This is the §3.7 design-space exploration loop made declarative.  A
+/// sweep file is a scenario file with one extra `[sweep]` section whose
+/// keys are dotted scenario overrides (scenario::apply_key) and whose
+/// values are comma-separated lists:
+///
+/// ```
+/// base = table1/rt-1          # registry preset (or a scenario file path)
+///
+/// [sweep]
+/// bus.write_buffer_depth = 0, 2, 4, 8
+/// bus.filter_mask = 0x7f, 0x77
+/// ddr.preset = ddr266, ddr400
+/// ```
+///
+/// expands to 4 x 2 x 2 = 16 configurations.  The first axis varies
+/// slowest, so expansion order — and therefore every report — is stable.
+
+namespace ahbp::sweep {
+
+/// One swept knob: a dotted scenario key and its candidate values.
+struct Axis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+struct SweepSpec {
+  std::string base;  ///< registry preset name or scenario file path
+  core::PlatformConfig base_config;
+  std::vector<Axis> axes;
+
+  /// Number of configurations expand() will produce.
+  std::size_t points() const noexcept;
+};
+
+/// One expanded configuration of the cross product.
+struct SweepPoint {
+  std::size_t index = 0;  ///< position in expansion order
+  std::string label;      ///< "wbuf_depth=4 filter_mask=0x77"
+  core::PlatformConfig config;
+};
+
+/// Parse sweep text.  `base =` may name a registry preset or a scenario
+/// file path (resolved relative to the process CWD); all other sections
+/// are scenario sections overriding the base.  Throws scenario::ScenarioError.
+SweepSpec parse_spec(std::string_view text);
+
+/// Parse a sweep file from disk.
+SweepSpec parse_spec_file(const std::string& path);
+
+/// Expand the cross product, first axis slowest.  A spec with no axes
+/// yields the single base configuration.
+std::vector<SweepPoint> expand(const SweepSpec& spec);
+
+}  // namespace ahbp::sweep

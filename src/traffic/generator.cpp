@@ -220,6 +220,21 @@ std::string to_string(PatternKind k) {
   return "?";
 }
 
+bool pattern_from_string(std::string_view name, PatternKind& out) {
+  if (name == "cpu") {
+    out = PatternKind::kCpu;
+  } else if (name == "dma") {
+    out = PatternKind::kDma;
+  } else if (name == "rt-stream") {
+    out = PatternKind::kRtStream;
+  } else if (name == "random") {
+    out = PatternKind::kRandom;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Script make_script(const PatternConfig& cfg, ahb::MasterId master) {
   if (cfg.items == 0) {
     return {};

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <random>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ahb/transaction.hpp"
@@ -44,6 +45,10 @@ enum class PatternKind : std::uint8_t {
 };
 
 std::string to_string(PatternKind k);
+
+/// Inverse of to_string(): parse "cpu" / "dma" / "rt-stream" / "random".
+/// Returns false (and leaves `out` untouched) on an unknown name.
+bool pattern_from_string(std::string_view name, PatternKind& out);
 
 /// Parameters of one master's traffic.
 struct PatternConfig {

@@ -1,0 +1,236 @@
+// Scenario subsystem: the parse <-> serialize round trip is exact, every
+// malformed input fails with a diagnostic (never a silently-default
+// config), and every built-in preset is a valid, runnable platform.
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace ahbp;
+using scenario::ScenarioError;
+
+// ------------------------------------------------------------ parsing ----
+
+TEST(ScenarioParse, MinimalScenario) {
+  const auto cfg = scenario::parse(R"(
+[bus]
+write_buffer_depth = 8
+
+[master 0]
+pattern = dma
+items = 50
+span = 0x40000
+)");
+  EXPECT_EQ(cfg.bus.write_buffer_depth, 8u);
+  ASSERT_EQ(cfg.masters.size(), 1u);
+  EXPECT_EQ(cfg.masters[0].traffic.kind, traffic::PatternKind::kDma);
+  EXPECT_EQ(cfg.masters[0].traffic.items, 50u);
+  EXPECT_EQ(cfg.masters[0].traffic.span, 0x40000u);
+}
+
+TEST(ScenarioParse, CommentsWhitespaceAndHexAccepted) {
+  const auto cfg = scenario::parse(
+      "# leading comment\n"
+      "[bus]\n"
+      "  filter_mask   =  0x5f   # trailing comment\n"
+      "\n"
+      "[platform]\n"
+      "ddr_base = 0x1000\n");
+  EXPECT_EQ(cfg.bus.filter_mask, 0x5F);
+  EXPECT_EQ(cfg.ddr_base, 0x1000u);
+}
+
+TEST(ScenarioParse, DdrPresetThenOverride) {
+  const auto cfg = scenario::parse(
+      "[ddr]\n"
+      "preset = toy\n"
+      "tRFC = 11\n");
+  EXPECT_EQ(cfg.timing.tRCD, ddr::toy_timing().tRCD);
+  EXPECT_EQ(cfg.timing.tRFC, 11u);  // override wins over the preset
+}
+
+TEST(ScenarioParse, MasterWildcardSectionAppliesToAll) {
+  const auto cfg = scenario::parse(
+      "[master 0]\nitems = 10\n"
+      "[master 1]\nitems = 20\n"
+      "[master *]\nseed = 77\n");
+  ASSERT_EQ(cfg.masters.size(), 2u);
+  EXPECT_EQ(cfg.masters[0].traffic.seed, 77u);
+  EXPECT_EQ(cfg.masters[1].traffic.seed, 77u);
+  EXPECT_EQ(cfg.masters[0].traffic.items, 10u);
+  // Wildcard before any master exists has nothing to apply to.
+  EXPECT_THROW(scenario::parse("[master *]\nitems = 5\n"), ScenarioError);
+}
+
+TEST(ScenarioParse, RevisitingMasterSectionAllowed) {
+  const auto cfg = scenario::parse(
+      "[master 0]\nitems = 10\n"
+      "[master 1]\nitems = 20\n"
+      "[master 0]\nseed = 9\n");
+  ASSERT_EQ(cfg.masters.size(), 2u);
+  EXPECT_EQ(cfg.masters[0].traffic.items, 10u);
+  EXPECT_EQ(cfg.masters[0].traffic.seed, 9u);
+  EXPECT_EQ(cfg.masters[1].traffic.items, 20u);
+}
+
+// -------------------------------------------------------- error paths ----
+
+TEST(ScenarioErrors, UnknownSection) {
+  EXPECT_THROW(scenario::parse("[bogus]\nx = 1\n"), ScenarioError);
+}
+
+TEST(ScenarioErrors, UnknownKeyNamesSectionAndLine) {
+  try {
+    scenario::parse("[bus]\nnot_a_knob = 1\n");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("not_a_knob"), std::string::npos);
+  }
+}
+
+TEST(ScenarioErrors, BadValues) {
+  EXPECT_THROW(scenario::parse("[bus]\nwrite_buffer_depth = soon\n"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse("[bus]\nwrite_buffer = maybe\n"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse("[bus]\nfilter_mask = 0x80\n"),
+               ScenarioError);  // beyond the 7 filters
+  EXPECT_THROW(scenario::parse("[bus]\nwrite_buffer_depth = 4 trailing\n"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse("[master 0]\nread_ratio = 1.5\n"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse("[master 0]\npattern = fancy\n"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse("[ddr]\npreset = ddr9000\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[ddr]\nmapping = diagonal\n"), ScenarioError);
+  // Negative numbers must not wrap through stoull to huge unsigneds.
+  EXPECT_THROW(scenario::parse("[master 0]\nitems = -1\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[platform]\nmax_cycles = -5\n"),
+               ScenarioError);
+  // Zero geometry would divide by zero inside Geometry::decode.
+  EXPECT_THROW(scenario::parse("[ddr]\ncols = 0\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[ddr]\nbanks = 0\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[bus]\ndata_width_bytes = 0\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioErrors, StructuralProblems) {
+  EXPECT_THROW(scenario::parse("stray = 1\n"), ScenarioError);  // no section
+  EXPECT_THROW(scenario::parse("[bus]\njust a line\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[master 2]\nitems = 1\n"),
+               ScenarioError);  // indices must be contiguous from 0
+  EXPECT_THROW(scenario::parse("[master]\nitems = 1\n"), ScenarioError);
+}
+
+TEST(ScenarioErrors, ApplyKeyValidation) {
+  auto cfg = scenario::parse("[master 0]\nitems = 5\n");
+  EXPECT_THROW(scenario::apply_key(cfg, "nodot", "1"), ScenarioError);
+  EXPECT_THROW(scenario::apply_key(cfg, "master5.items", "1"), ScenarioError);
+  EXPECT_THROW(scenario::apply_key(cfg, "galaxy.items", "1"), ScenarioError);
+  scenario::apply_key(cfg, "master*.items", "7");
+  EXPECT_EQ(cfg.masters[0].traffic.items, 7u);
+  scenario::apply_key(cfg, "bus.write_buffer_depth", "16");
+  EXPECT_EQ(cfg.bus.write_buffer_depth, 16u);
+}
+
+TEST(ScenarioErrors, MissingFile) {
+  EXPECT_THROW(scenario::parse_file("/nonexistent/path.scn"), ScenarioError);
+}
+
+// ---------------------------------------------------------- round trip ----
+
+TEST(ScenarioRoundTrip, SerializeParseSerializeIsIdentity) {
+  const auto& reg = scenario::ScenarioRegistry::builtin();
+  for (const auto& e : reg.entries()) {
+    const auto cfg = e.build(0, 0);
+    const std::string text = scenario::serialize(cfg);
+    const auto reparsed = scenario::parse(text);
+    EXPECT_EQ(scenario::serialize(reparsed), text) << e.name;
+  }
+}
+
+TEST(ScenarioRoundTrip, FieldsSurvive) {
+  auto cfg = scenario::ScenarioRegistry::builtin().build("qos-starvation");
+  cfg.bus.filter_mask = 0x55;
+  cfg.bus.request_pipelining = false;
+  cfg.timing = ddr::ddr400();
+  cfg.geom.mapping = ddr::Mapping::kBankRowCol;
+  cfg.masters[2].traffic.read_ratio = 0.125;
+  cfg.max_cycles = 123456;
+
+  const auto rt = scenario::parse(scenario::serialize(cfg));
+  EXPECT_EQ(rt.bus.filter_mask, 0x55);
+  EXPECT_FALSE(rt.bus.request_pipelining);
+  EXPECT_EQ(rt.timing.tRFC, ddr::ddr400().tRFC);
+  EXPECT_EQ(rt.geom.mapping, ddr::Mapping::kBankRowCol);
+  ASSERT_EQ(rt.masters.size(), cfg.masters.size());
+  EXPECT_DOUBLE_EQ(rt.masters[2].traffic.read_ratio, 0.125);
+  EXPECT_EQ(rt.masters[2].qos.cls, cfg.masters[2].qos.cls);
+  EXPECT_EQ(rt.max_cycles, 123456u);
+}
+
+// ------------------------------------------------------------ registry ----
+
+TEST(ScenarioRegistry, PresetsAreValidPlatforms) {
+  const auto& reg = scenario::ScenarioRegistry::builtin();
+  EXPECT_GE(reg.entries().size(), 17u);  // 12 table1 + single + 4 classes
+  for (const auto& e : reg.entries()) {
+    const auto cfg = e.build(0, 0);
+    EXPECT_EQ(cfg.timing.validate(), "") << e.name;
+    EXPECT_FALSE(cfg.masters.empty()) << e.name;
+    for (const auto& m : cfg.masters) {
+      EXPECT_GE(m.traffic.span, 1024u) << e.name;  // generator minimum
+      EXPECT_LE(m.traffic.base + m.traffic.span, cfg.geom.capacity())
+          << e.name;
+      EXPECT_GT(m.traffic.items, 0u) << e.name;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, LetterAliasesResolve) {
+  const auto& reg = scenario::ScenarioRegistry::builtin();
+  ASSERT_NE(reg.find("table1/cpu-a"), nullptr);
+  EXPECT_EQ(reg.find("table1/cpu-a"), reg.find("table1/cpu-1"));
+  EXPECT_EQ(reg.find("table1/rt-d"), reg.find("table1/rt-4"));
+  EXPECT_EQ(reg.find("table1/cpu-e"), nullptr);
+  EXPECT_EQ(reg.find("no-such"), nullptr);
+  EXPECT_THROW(reg.build("no-such"), ScenarioError);
+}
+
+TEST(ScenarioRegistry, ItemsAndSeedOverrides) {
+  const auto& reg = scenario::ScenarioRegistry::builtin();
+  const auto cfg = reg.build("bursty-dma", 33, 99);
+  for (const auto& m : cfg.masters) {
+    EXPECT_EQ(m.traffic.items, 33u);
+    EXPECT_EQ(m.traffic.seed, 99u);
+  }
+}
+
+TEST(ScenarioRegistry, NewWorkloadClassesRunCleanOnTlm) {
+  const auto& reg = scenario::ScenarioRegistry::builtin();
+  for (const char* name :
+       {"bursty-dma", "bank-conflict", "wbuf-stress", "qos-starvation"}) {
+    auto cfg = reg.build(name, 30, 3);
+    const auto r = core::run_tlm(cfg);
+    EXPECT_TRUE(r.finished) << name;
+    EXPECT_EQ(r.protocol_errors, 0u) << name << "\n" << r.first_violations;
+    EXPECT_EQ(r.completed, 30u * cfg.masters.size()) << name;
+  }
+}
+
+TEST(ScenarioRegistry, ParsedPresetRunsLikeBuiltPreset) {
+  // A preset pushed through the text format must simulate identically.
+  const auto& reg = scenario::ScenarioRegistry::builtin();
+  const auto direct = reg.build("table1/cpu-1", 40, 5);
+  const auto via_text = scenario::parse(scenario::serialize(direct));
+  const auto r1 = core::run_tlm(direct);
+  const auto r2 = core::run_tlm(via_text);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.completed, r2.completed);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Sweep subsystem: cross-product expansion is exact and ordered, the
+// threaded runner produces byte-identical aggregates at any worker count
+// (results are keyed by expansion index, never completion order), and spec
+// files compose with the scenario layer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace {
+
+using namespace ahbp;
+using scenario::ScenarioError;
+
+const char* kSweepText = R"(
+base = table1/rt-1
+
+[master *]
+items = 40
+
+[sweep]
+bus.write_buffer_depth = 0, 2, 4, 8
+bus.filter_mask = 0x7f, 0x77
+)";
+
+// ---------------------------------------------------------- expansion ----
+
+TEST(SweepSpec, CrossProductExpansion) {
+  const auto spec = sweep::parse_spec(kSweepText);
+  EXPECT_EQ(spec.base, "table1/rt-1");
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.points(), 8u);
+
+  const auto points = sweep::expand(spec);
+  ASSERT_EQ(points.size(), 8u);
+  // First axis slowest: depth changes every 2 points, mask alternates.
+  EXPECT_EQ(points[0].config.bus.write_buffer_depth, 0u);
+  EXPECT_EQ(points[1].config.bus.write_buffer_depth, 0u);
+  EXPECT_EQ(points[2].config.bus.write_buffer_depth, 2u);
+  EXPECT_EQ(points[7].config.bus.write_buffer_depth, 8u);
+  EXPECT_EQ(points[0].config.bus.filter_mask, 0x7F);
+  EXPECT_EQ(points[1].config.bus.filter_mask, 0x77);
+  // Base override applied before axes.
+  EXPECT_EQ(points[5].config.masters.at(0).traffic.items, 40u);
+  // Labels carry the axis assignments, indices are positional.
+  EXPECT_EQ(points[3].index, 3u);
+  EXPECT_EQ(points[3].label,
+            "bus.write_buffer_depth=2 bus.filter_mask=0x77");
+}
+
+TEST(SweepSpec, NoAxesYieldsSingleBasePoint) {
+  const auto spec = sweep::parse_spec("base = single-master\n");
+  const auto points = sweep::expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].label, "base");
+  EXPECT_EQ(points[0].config.masters.size(), 1u);
+}
+
+TEST(SweepSpec, InlineScenarioAsBase) {
+  const auto spec = sweep::parse_spec(R"(
+[master 0]
+pattern = dma
+items = 10
+
+[sweep]
+ddr.preset = toy, ddr266
+)");
+  const auto points = sweep::expand(spec);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].config.timing.tRFC, ddr::toy_timing().tRFC);
+  EXPECT_EQ(points[1].config.timing.tRFC, ddr::ddr266().tRFC);
+}
+
+TEST(SweepSpec, Errors) {
+  EXPECT_THROW(sweep::parse_spec(""), ScenarioError);  // no base, no scenario
+  EXPECT_THROW(sweep::parse_spec("base = not-a-scenario-or-file\n"),
+               ScenarioError);
+  EXPECT_THROW(sweep::parse_spec("base = single-master\n[sweep]\nnodot = 1\n"),
+               ScenarioError);
+  EXPECT_THROW(
+      sweep::parse_spec("base = single-master\n[sweep]\nbus.depth = \n"),
+      ScenarioError);
+  EXPECT_THROW(sweep::parse_spec("[bus]\nwrite_buffer_depth = 1\n"
+                                 "base = single-master\n"),
+               ScenarioError);  // base after sections
+  EXPECT_THROW(sweep::parse_spec("stray = 1\n"), ScenarioError);
+}
+
+TEST(SweepSpec, InlineScenarioErrorsKeepSweepFileLineNumbers) {
+  // Blank lines, comments, and the [sweep] section above the bad key must
+  // not shift the reported line number.
+  try {
+    sweep::parse_spec(
+        "# header comment\n"       // 1
+        "\n"                       // 2
+        "[sweep]\n"                // 3
+        "bus.filter_mask = 1, 2\n" // 4
+        "\n"                       // 5
+        "[master 0]\n"             // 6
+        "items = nope\n");         // 7
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.line(), 7u) << e.what();
+  }
+}
+
+TEST(SweepSpec, BadAxisSurfacesAtExpand) {
+  const auto bad_value = sweep::parse_spec(
+      "base = single-master\n[sweep]\nbus.write_buffer_depth = 1, soon\n");
+  EXPECT_THROW(sweep::expand(bad_value), ScenarioError);
+  const auto bad_key = sweep::parse_spec(
+      "base = single-master\n[sweep]\nbus.bogus = 1, 2\n");
+  EXPECT_THROW(sweep::expand(bad_key), ScenarioError);
+}
+
+// -------------------------------------------------------------- runner ----
+
+TEST(SweepRunner, ModelNames) {
+  sweep::Model m = sweep::Model::kTlm;
+  EXPECT_TRUE(sweep::model_from_string("rtl", m));
+  EXPECT_EQ(m, sweep::Model::kRtl);
+  EXPECT_TRUE(sweep::model_from_string("both", m));
+  EXPECT_FALSE(sweep::model_from_string("spice", m));
+}
+
+std::string render(const std::vector<sweep::PointOutcome>& outcomes,
+                   sweep::Model model) {
+  std::ostringstream os;
+  sweep::aggregate_table(outcomes, model).print(os);
+  return os.str();
+}
+
+TEST(SweepRunner, DeterministicAcrossJobCounts) {
+  const auto spec = sweep::parse_spec(kSweepText);
+  const auto points = sweep::expand(spec);
+  ASSERT_GE(points.size(), 8u);
+
+  const auto seq = sweep::SweepRunner(1).run(points, sweep::Model::kTlm);
+  const auto par4 = sweep::SweepRunner(4).run(points, sweep::Model::kTlm);
+  const auto par0 = sweep::SweepRunner(0).run(points, sweep::Model::kTlm);
+
+  ASSERT_EQ(seq.size(), par4.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].index, i);
+    EXPECT_EQ(par4[i].index, i);
+    EXPECT_EQ(seq[i].label, par4[i].label);
+    EXPECT_EQ(seq[i].tlm.cycles, par4[i].tlm.cycles) << i;
+    EXPECT_EQ(seq[i].tlm.completed, par4[i].tlm.completed) << i;
+    EXPECT_EQ(seq[i].tlm.cycles, par0[i].tlm.cycles) << i;
+  }
+  // The rendered aggregate (the artifact reports diff) is byte-identical.
+  EXPECT_EQ(render(seq, sweep::Model::kTlm), render(par4, sweep::Model::kTlm));
+  EXPECT_EQ(render(seq, sweep::Model::kTlm), render(par0, sweep::Model::kTlm));
+}
+
+TEST(SweepRunner, RunsCleanAndAggregates) {
+  const auto spec = sweep::parse_spec(kSweepText);
+  const auto points = sweep::expand(spec);
+  const auto outcomes =
+      sweep::SweepRunner(4).run(points, sweep::Model::kTlm);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.error.empty()) << o.error;
+    EXPECT_TRUE(o.has_tlm);
+    EXPECT_FALSE(o.has_rtl);
+    EXPECT_TRUE(o.tlm.finished) << o.label;
+    EXPECT_EQ(o.tlm.protocol_errors, 0u) << o.label;
+    EXPECT_EQ(o.tlm.completed, 160u) << o.label;  // 4 masters x 40
+  }
+  const auto table = sweep::aggregate_table(outcomes, sweep::Model::kTlm);
+  EXPECT_EQ(table.rows(), outcomes.size());
+}
+
+TEST(SweepRunner, BothModelsProduceAccuracyColumn) {
+  auto spec = sweep::parse_spec(
+      "base = single-master\n"
+      "[master *]\nitems = 25\n"
+      "[sweep]\nbus.write_buffer_depth = 2, 4\n");
+  const auto outcomes =
+      sweep::SweepRunner(2).run(sweep::expand(spec), sweep::Model::kBoth);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.has_tlm);
+    EXPECT_TRUE(o.has_rtl);
+    EXPECT_TRUE(o.tlm.finished);
+    EXPECT_TRUE(o.rtl.finished);
+    EXPECT_LT(o.cycle_error(), 0.25) << o.label;  // models stay close
+  }
+  const std::string text = render(outcomes, sweep::Model::kBoth);
+  EXPECT_NE(text.find("error"), std::string::npos);
+}
+
+TEST(SweepRunner, FailedPointIsReportedNotFatal) {
+  // max_cycles too small to drain: the run "fails" (finished == false) but
+  // the sweep still completes and reports it.
+  auto spec = sweep::parse_spec(
+      "base = single-master\n"
+      "[platform]\nmax_cycles = 50\n"
+      "[sweep]\nbus.write_buffer_depth = 2, 4\n");
+  const auto outcomes =
+      sweep::SweepRunner(2).run(sweep::expand(spec), sweep::Model::kTlm);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.error.empty());
+    EXPECT_FALSE(o.tlm.finished);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,340 @@
+// ahbp_sim — run the AHB+ platform models without writing C++.
+//
+// The paper's TLM exists so architects can explore the design space early;
+// this driver closes the loop: scenarios are small text files (or built-in
+// presets), sweeps are scenario files with a [sweep] section of axis lists,
+// and both execute through the exact `run_tlm` / `run_rtl` entry points the
+// accuracy and speed claims are measured with.
+//
+//   ahbp_sim list
+//   ahbp_sim show <scenario>
+//   ahbp_sim run <scenario> [--model tlm|rtl|both] [--items N] [--seed S]
+//                           [--vcd FILE] [--csv] [--quiet]
+//   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv] [--speed]
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "stats/report.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace {
+
+using namespace ahbp;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: ahbp_sim <command> [args]\n"
+        "\n"
+        "  list                      list built-in scenarios\n"
+        "  show <scenario>           print a scenario as a scenario file\n"
+        "  run <scenario>            simulate one scenario\n"
+        "      --model tlm|rtl|both  model(s) to run (default tlm)\n"
+        "      --items N             transactions per master (preset default"
+        " otherwise)\n"
+        "      --seed S              traffic seed (preset default otherwise)\n"
+        "      --vcd FILE            dump RTL waveform (rtl/both only)\n"
+        "      --csv                 machine-readable per-master report\n"
+        "      --quiet               summary line only\n"
+        "  sweep <spec>              expand and run a sweep file\n"
+        "      --jobs N              worker threads (default 1, 0 = all"
+        " cores)\n"
+        "      --model tlm|rtl|both  model(s) per point (default tlm)\n"
+        "      --csv                 aggregate table as CSV\n"
+        "      --speed               add kcycles/sec columns (wall-clock"
+        " dependent)\n"
+        "\n"
+        "<scenario> is a built-in name (see list) or a scenario file path.\n";
+  return code;
+}
+
+void print_run(const core::SimResult& r, bool csv, bool quiet) {
+  std::cout << r.model << ": " << (r.finished ? "finished" : "TIMED OUT")
+            << " at cycle " << r.cycles << ", " << r.completed
+            << " transactions, " << r.protocol_errors << " protocol errors, "
+            << r.qos_warnings << " QoS warnings, "
+            << stats::fmt_double(core::kcycles_per_sec(r), 0) << " kcycles/s\n";
+  if (r.protocol_errors != 0 && !r.first_violations.empty()) {
+    std::cout << r.first_violations << "\n";
+  }
+  if (quiet) {
+    return;
+  }
+  std::cout << "\n";
+  if (csv) {
+    stats::print_csv(std::cout, r.profile);
+  } else {
+    stats::print_report(std::cout, r.profile, r.model + " run profile");
+  }
+  std::cout << "\n";
+}
+
+int cmd_list() {
+  stats::TextTable t({"name", "description"});
+  for (const auto& e : scenario::ScenarioRegistry::builtin().entries()) {
+    t.add_row({e.name, e.description});
+  }
+  t.print(std::cout);
+  std::cout << "\nTable-1 rows also answer to letter aliases"
+               " (table1/cpu-a == table1/cpu-1).\n";
+  return 0;
+}
+
+int cmd_show(const std::string& name) {
+  std::cout << scenario::serialize(scenario::load_scenario(name));
+  return 0;
+}
+
+int cmd_run(const std::string& name, const std::string& model_s,
+            unsigned items, std::uint64_t seed, const std::string& vcd_path,
+            bool csv, bool quiet) {
+  sweep::Model model = sweep::Model::kTlm;
+  if (!sweep::model_from_string(model_s, model)) {
+    std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
+    return 2;
+  }
+  const core::PlatformConfig cfg = scenario::load_scenario(name, items, seed);
+  if (cfg.masters.empty()) {
+    std::cerr << "scenario '" << name << "' defines no masters\n";
+    return 2;
+  }
+  if (!vcd_path.empty() && model == sweep::Model::kTlm) {
+    std::cerr << "--vcd needs the signal-level model (--model rtl|both)\n";
+    return 2;
+  }
+
+  core::SimResult tlm, rtl;
+  bool ran_tlm = false, ran_rtl = false;
+  if (model != sweep::Model::kRtl) {
+    tlm = core::run_tlm(cfg);
+    ran_tlm = true;
+    print_run(tlm, csv, quiet);
+  }
+  if (model != sweep::Model::kTlm) {
+    std::ofstream vcd;
+    std::ostream* vcd_os = nullptr;
+    if (!vcd_path.empty()) {
+      vcd.open(vcd_path);
+      if (!vcd) {
+        std::cerr << "cannot open '" << vcd_path << "' for writing\n";
+        return 2;
+      }
+      vcd_os = &vcd;
+    }
+    rtl = core::run_rtl(cfg, vcd_os);
+    ran_rtl = true;
+    print_run(rtl, csv, quiet);
+    if (vcd_os != nullptr) {
+      std::cout << "waveform written to " << vcd_path
+                << " (open with gtkwave)\n";
+    }
+  }
+  if (ran_tlm && ran_rtl && rtl.cycles != 0) {
+    std::cout << "tlm vs rtl: " << tlm.cycles << " vs " << rtl.cycles
+              << " cycles, error "
+              << stats::fmt_percent(sweep::cycle_error(tlm, rtl)) << "\n";
+  }
+
+  const bool ok = (!ran_tlm || (tlm.finished && tlm.protocol_errors == 0)) &&
+                  (!ran_rtl || (rtl.finished && rtl.protocol_errors == 0));
+  return ok ? 0 : 1;
+}
+
+int cmd_sweep(const std::string& path, const std::string& model_s,
+              unsigned jobs, bool csv, bool speed) {
+  sweep::Model model = sweep::Model::kTlm;
+  if (!sweep::model_from_string(model_s, model)) {
+    std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
+    return 2;
+  }
+  const sweep::SweepSpec spec = sweep::parse_spec_file(path);
+  const auto points = sweep::expand(spec);
+  std::cout << "sweep: " << points.size() << " configurations ("
+            << spec.axes.size() << " axes), base '" << spec.base
+            << "'\n\n";
+
+  const sweep::SweepRunner runner(jobs);
+  const auto outcomes = runner.run(points, model);
+
+  stats::TextTable table = sweep::aggregate_table(outcomes, model, speed);
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  int failures = 0;
+  for (const auto& o : outcomes) {
+    const bool bad =
+        !o.error.empty() ||
+        (o.has_tlm && (!o.tlm.finished || o.tlm.protocol_errors != 0)) ||
+        (o.has_rtl && (!o.rtl.finished || o.rtl.protocol_errors != 0));
+    failures += bad ? 1 : 0;
+  }
+  if (failures != 0) {
+    std::cout << "\n" << failures << " of " << outcomes.size()
+              << " configurations failed\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return usage(std::cerr, 2);
+  }
+  const std::string cmd = args[0];
+
+  // Collect options and positionals uniformly; which options each command
+  // accepts is checked afterwards so irrelevant flags error instead of
+  // being silently ignored.
+  std::vector<std::string> given_options;
+  std::string positional;
+  std::string model = "tlm";
+  std::string vcd_path;
+  unsigned items = 0;
+  std::uint64_t seed = 0;
+  unsigned jobs = 1;
+  bool csv = false, quiet = false, speed = false;
+
+  const auto need_value = [&](std::size_t& i) -> std::string {
+    if (i + 1 >= args.size()) {
+      std::cerr << args[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return args[++i];
+  };
+  // Digits only: stoul("-1") would wrap to a huge count and try to
+  // generate billions of transactions.
+  const auto need_unsigned = [&](std::size_t& i,
+                                 std::uint64_t max) -> std::uint64_t {
+    const std::string flag = args[i];
+    const std::string v = need_value(i);
+    if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+      std::cerr << flag << " needs a non-negative integer, got '" << v
+                << "'\n";
+      std::exit(2);
+    }
+    try {
+      const std::uint64_t x = std::stoull(v);
+      if (x > max) {
+        throw std::out_of_range(v);
+      }
+      return x;
+    } catch (const std::exception&) {
+      std::cerr << flag << " value out of range: '" << v << "'\n";
+      std::exit(2);
+    }
+  };
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (!a.empty() && a[0] == '-' && a != "--help" && a != "-h") {
+      given_options.push_back(a);
+    }
+    if (a == "--model") {
+      model = need_value(i);
+    } else if (a == "--items") {
+      items = static_cast<unsigned>(need_unsigned(i, 100'000'000));
+      if (items == 0) {
+        std::cerr << "--items must be nonzero (omit the flag for the"
+                     " scenario's default)\n";
+        return 2;
+      }
+    } else if (a == "--seed") {
+      seed = need_unsigned(i, ~std::uint64_t{0});
+      if (seed == 0) {
+        std::cerr << "--seed must be nonzero (omit the flag for the"
+                     " scenario's default)\n";
+        return 2;
+      }
+    } else if (a == "--vcd") {
+      vcd_path = need_value(i);
+    } else if (a == "--jobs") {
+      jobs = static_cast<unsigned>(need_unsigned(i, 4096));
+    } else if (a == "--csv") {
+      csv = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--speed") {
+      speed = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(std::cout, 0);
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option '" << a << "'\n";
+      return usage(std::cerr, 2);
+    } else if (positional.empty()) {
+      positional = a;
+    } else {
+      std::cerr << "unexpected argument '" << a << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  const auto check_options =
+      [&](std::initializer_list<const char*> allowed) -> bool {
+    for (const std::string& o : given_options) {
+      bool ok = false;
+      for (const char* a : allowed) {
+        ok = ok || o == a;
+      }
+      if (!ok) {
+        std::cerr << "'" << cmd << "' does not take " << o << "\n";
+        return false;
+      }
+    }
+    return true;
+  };
+
+  try {
+    if (cmd == "list") {
+      if (!check_options({})) {
+        return 2;
+      }
+      return cmd_list();
+    }
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      return usage(std::cout, 0);
+    }
+    if (positional.empty()) {
+      std::cerr << cmd << " needs a scenario argument\n";
+      return usage(std::cerr, 2);
+    }
+    if (cmd == "show") {
+      if (!check_options({})) {
+        return 2;
+      }
+      return cmd_show(positional);
+    }
+    if (cmd == "run") {
+      if (!check_options(
+              {"--model", "--items", "--seed", "--vcd", "--csv", "--quiet"})) {
+        return 2;
+      }
+      return cmd_run(positional, model, items, seed, vcd_path, csv, quiet);
+    }
+    if (cmd == "sweep") {
+      if (!check_options({"--jobs", "--model", "--csv", "--speed"})) {
+        return 2;
+      }
+      return cmd_sweep(positional, model, jobs, csv, speed);
+    }
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const scenario::ScenarioError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
