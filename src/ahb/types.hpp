@@ -92,6 +92,34 @@ constexpr unsigned size_bytes(Size s) noexcept {
   return 1U << static_cast<unsigned>(s);
 }
 
+/// True when `bytes` is a beat width HSIZE can encode on a bus up to 64 bit
+/// wide: a power of two in {1, 2, 4, 8}.  This is also the validity rule for
+/// `BusConfig::data_width_bytes` (a 3-byte beat has no HSIZE encoding).
+constexpr bool valid_beat_bytes(unsigned bytes) noexcept {
+  return bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8;
+}
+
+/// Inverse of size_bytes().  Pre: valid_beat_bytes(bytes) — callers must
+/// validate first (the default case exists only to keep this constexpr;
+/// invalid widths would otherwise silently decay to kWord).
+constexpr Size size_for_bytes(unsigned bytes) noexcept {
+  switch (bytes) {
+    case 1: return Size::kByte;
+    case 2: return Size::kHalf;
+    case 8: return Size::kDword;
+    default: return Size::kWord;
+  }
+}
+
+/// Widest legal beat for moving `total_bytes` on a `bus_bytes`-wide bus:
+/// a beat can never exceed the bus width, and a transfer smaller than the
+/// bus occupies only its own lanes.  Pre: `total_bytes` is a power of two
+/// and `bus_bytes` satisfies valid_beat_bytes().
+constexpr unsigned beat_bytes_for(unsigned total_bytes,
+                                  unsigned bus_bytes) noexcept {
+  return total_bytes < bus_bytes ? total_bytes : bus_bytes;
+}
+
 /// Pick the burst kind matching `beats` beats of an incrementing burst.
 /// Unmatched counts return kIncr (undefined length).
 constexpr Burst incr_burst_for(unsigned beats) noexcept {

@@ -22,6 +22,7 @@ void BusChecker::on_cycle(const BusCycleView& v) {
   check_grant(v);
   check_stability(v);
   check_alignment(v);
+  check_width(v);
   check_burst(v);
   check_wbuf(v);
 
@@ -72,6 +73,22 @@ void BusChecker::check_alignment(const BusCycleView& v) {
     log_.record(Severity::kError, v.cycle, "ahb.align",
                 "HADDR " + hex(v.haddr) + " unaligned for HSIZE " +
                     std::string(ahb::to_string(v.hsize)));
+  }
+}
+
+void BusChecker::check_width(const BusCycleView& v) {
+  if (cfg_.bus_width_bytes == 0) {
+    return;  // width rule disabled
+  }
+  if (v.htrans != ahb::Trans::kNonSeq && v.htrans != ahb::Trans::kSeq) {
+    return;
+  }
+  if (ahb::size_bytes(v.hsize) > cfg_.bus_width_bytes) {
+    log_.record(Severity::kError, v.cycle, "ahb.hsize-width",
+                "HSIZE " + std::string(ahb::to_string(v.hsize)) + " (" +
+                    std::to_string(ahb::size_bytes(v.hsize)) +
+                    " bytes) exceeds the " +
+                    std::to_string(cfg_.bus_width_bytes) + "-byte bus");
   }
 }
 

@@ -47,6 +47,9 @@ struct CheckerConfig {
   unsigned masters = 0;            ///< real masters (pseudo-master excluded)
   unsigned write_buffer_depth = 0;
   bool write_buffer_enabled = false;
+  /// HWDATA/HRDATA width in bytes; 0 disables the width rule (legacy
+  /// checker instantiations that predate the configurable datapath).
+  unsigned bus_width_bytes = 0;
 };
 
 /// The protocol rule suite.  Rules implemented:
@@ -60,6 +63,7 @@ struct CheckerConfig {
 ///  * `ahb.burst-len` — fixed-length bursts transfer exactly their count.
 ///  * `ahb.align` — HADDR aligned to HSIZE.
 ///  * `ahb.1kb` — INCR bursts never cross a 1KB boundary.
+///  * `ahb.hsize-width` — HSIZE never exceeds the configured bus width.
 ///  * `ahbp.wbuf-depth` — write-buffer occupancy within its configured depth.
 class BusChecker {
  public:
@@ -76,6 +80,7 @@ class BusChecker {
   void check_stability(const BusCycleView& v);
   void check_burst(const BusCycleView& v);
   void check_alignment(const BusCycleView& v);
+  void check_width(const BusCycleView& v);
   void check_wbuf(const BusCycleView& v);
 
   CheckerConfig cfg_;

@@ -14,11 +14,18 @@
 namespace ahbp::core {
 
 std::vector<traffic::Script> make_scripts(const PlatformConfig& cfg) {
+  AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg.bus.data_width_bytes),
+                  "bus.data_width_bytes must be 1, 2, 4 or 8");
   std::vector<traffic::Script> scripts;
   scripts.reserve(cfg.masters.size());
   for (std::size_t m = 0; m < cfg.masters.size(); ++m) {
-    scripts.push_back(traffic::make_script(cfg.masters[m].traffic,
-                                           static_cast<ahb::MasterId>(m)));
+    // The §3.7 bus-width knob reaches the stimulus here: patterns keep the
+    // bytes per transfer invariant and emit beats of the configured width,
+    // so both models see the same wide-beat workload.
+    traffic::PatternConfig pat = cfg.masters[m].traffic;
+    pat.beat_bytes = cfg.bus.data_width_bytes;
+    scripts.push_back(
+        traffic::make_script(pat, static_cast<ahb::MasterId>(m)));
   }
   return scripts;
 }

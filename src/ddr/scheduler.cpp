@@ -15,17 +15,6 @@ constexpr unsigned kMaxCasBeats = 8;
 /// Posted-write queue capacity (column-command chunks).
 constexpr std::size_t kMaxWriteQueue = 8;
 
-ahb::Size size_for_bytes(unsigned bytes) {
-  switch (bytes) {
-    case 1: return ahb::Size::kByte;
-    case 2: return ahb::Size::kHalf;
-    case 4: return ahb::Size::kWord;
-    case 8: return ahb::Size::kDword;
-    default:
-      throw std::invalid_argument("DdrcEngine: beat_bytes must be 1/2/4/8");
-  }
-}
-
 }  // namespace
 
 BankAffinity bank_affinity(BankState state, std::uint32_t open_row,
@@ -47,7 +36,15 @@ DdrcEngine::DdrcEngine(const DdrTiming& timing, const Geometry& geom)
     : timing_(timing), geom_(geom), engine_(timing, geom) {}
 
 void DdrcEngine::decompose(CurrentTxn& txn) const {
-  const auto size = size_for_bytes(txn.req.beat_bytes);
+  if (!ahb::valid_beat_bytes(txn.req.beat_bytes)) {
+    throw std::invalid_argument("DdrcEngine: beat_bytes must be 1/2/4/8");
+  }
+  const auto size = ahb::size_for_bytes(txn.req.beat_bytes);
+  // Columns one sequential beat may advance: 1 for column-sized or
+  // narrower beats (several narrow beats share a column, then step by
+  // one), >1 for beats wider than a column.
+  const std::uint32_t col_step =
+      std::max(1u, txn.req.beat_bytes / geom_.col_bytes);
   txn.beat_addr.resize(txn.req.beats);
   txn.chunks.clear();
   Coord prev{};
@@ -55,13 +52,16 @@ void DdrcEngine::decompose(CurrentTxn& txn) const {
     txn.beat_addr[i] =
         ahb::burst_beat_addr(txn.req.addr, size, txn.req.burst, i);
     const Coord c = geom_.decode(txn.beat_addr[i]);
-    // A chunk is a run of beats in one (bank,row) whose columns advance by
-    // at most one per beat (sub-column beats repeat the same column).  Each
-    // chunk maps onto a single CAS command, capped at kMaxCasBeats.
+    // A chunk is a run of beats in one (bank,row) whose columns advance
+    // sequentially (sub-column beats repeat the same column, wide beats
+    // stride several).  Each chunk maps onto a single CAS command, capped
+    // at kMaxCasBeats.
     const bool extend =
         i > 0 && !txn.chunks.empty() &&
         txn.chunks.back().beats < kMaxCasBeats && prev.bank == c.bank &&
-        prev.row == c.row && (c.col == prev.col || c.col == prev.col + 1);
+        prev.row == c.row &&
+        (c.col == prev.col ||
+         (c.col > prev.col && c.col - prev.col <= col_step));
     if (extend) {
       ++txn.chunks.back().beats;
     } else {

@@ -24,6 +24,8 @@ RtlFabric::RtlFabric(const RtlFabricConfig& cfg,
       observer_(kernel_, "observer", [this] { observe_edge(); }),
       user_hooks_(masters_) {
   AHBP_ASSERT_MSG(masters_ >= 1, "at least one master required");
+  AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg_.bus.data_width_bytes),
+                  "bus.data_width_bytes must be 1, 2, 4 or 8");
   AHBP_ASSERT_MSG(cfg_.qos.size() == masters_,
                   "one QosConfig per master required");
   for (unsigned m = 0; m < masters_; ++m) {
@@ -89,7 +91,8 @@ RtlFabric::RtlFabric(const RtlFabricConfig& cfg,
   if (cfg_.enable_checkers) {
     checker_ = std::make_unique<chk::BusChecker>(
         chk::CheckerConfig{masters_, cfg_.bus.write_buffer_depth,
-                           cfg_.bus.write_buffer_enabled},
+                           cfg_.bus.write_buffer_enabled,
+                           cfg_.bus.data_width_bytes},
         log_);
   }
   clock_.signal().subscribe(observer_, sim::Edge::kPos);
@@ -235,9 +238,12 @@ void RtlFabric::enable_vcd(std::ostream& os) {
   vcd_->add_signal(clock_.signal(), 1);
   vcd_->add_signal(sh_.hmaster, 8);
   vcd_->add_signal(sh_.htrans, 2);
+  // Data buses are as wide as the configured datapath (HSIZE semantics:
+  // a beat occupies the low size_bytes lanes of this width).
+  const unsigned data_bits = cfg_.bus.data_width_bytes * 8;
   vcd_->add_signal(sh_.haddr, 32);
-  vcd_->add_signal(sh_.hwdata, 32);
-  vcd_->add_signal(sh_.hrdata, 32);
+  vcd_->add_signal(sh_.hwdata, data_bits);
+  vcd_->add_signal(sh_.hrdata, data_bits);
   vcd_->add_signal(sh_.hready, 1);
   for (unsigned m = 0; m < masters_; ++m) {
     vcd_->add_signal(columns_[m]->hbusreq, 1);

@@ -36,6 +36,10 @@ struct MasterWires {
   Signal<std::uint64_t> haddr;
   Signal<std::uint8_t> htrans;
   Signal<std::uint8_t> hburst;
+  /// HSIZE encodes log2(bytes per beat), up to the configured
+  /// `BusConfig::data_width_bytes` (1/2/4/8; the `ahb.hsize-width` checker
+  /// rule enforces the ceiling).  A beat occupies the low size_bytes lanes
+  /// of HWDATA/HRDATA — the uint64 signal payload carries any legal width.
   Signal<std::uint8_t> hsize;
   Signal<std::uint8_t> hwrite;
   Signal<std::uint64_t> hwdata;

@@ -123,7 +123,14 @@ void apply_bus(core::PlatformConfig& cfg, std::string_view key,
                std::string_view value, std::size_t line) {
   ahb::BusConfig& b = cfg.bus;
   if (key == "data_width_bytes") {
-    b.data_width_bytes = static_cast<unsigned>(parse_u64_range(value, 1, 8, line));
+    const auto w = static_cast<unsigned>(parse_u64_range(value, 1, 8, line));
+    if (!ahb::valid_beat_bytes(w)) {
+      // HSIZE encodes log2(bytes): a 3-byte beat does not exist on AHB.
+      throw ScenarioError("data_width_bytes must be 1, 2, 4 or 8 (got " +
+                              std::to_string(w) + ")",
+                          line);
+    }
+    b.data_width_bytes = w;
   } else if (key == "filter_mask") {
     b.filter_mask =
         static_cast<std::uint8_t>(parse_u64_max(value, 0x7F, line));

@@ -20,6 +20,8 @@ AhbPlusBus::AhbPlusBus(const ahb::BusConfig& cfg, ahb::QosRegisterFile& qos,
       master_profiles_(masters) {
   AHBP_ASSERT_MSG(masters >= 1 && masters <= 30,
                   "AhbPlusBus supports 1..30 masters");
+  AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg.data_width_bytes),
+                  "bus.data_width_bytes must be 1, 2, 4 or 8");
   AHBP_ASSERT(qos.masters() == masters);
   for (unsigned m = 0; m < masters; ++m) {
     master_profiles_[m].name = "M" + std::to_string(m);
@@ -27,7 +29,7 @@ AhbPlusBus::AhbPlusBus(const ahb::BusConfig& cfg, ahb::QosRegisterFile& qos,
   if (checker_log != nullptr) {
     checker_.emplace(
         chk::CheckerConfig{masters, cfg.write_buffer_depth,
-                           cfg.write_buffer_enabled},
+                           cfg.write_buffer_enabled, cfg.data_width_bytes},
         *checker_log);
     qos_checker_.emplace(qos_, *checker_log);
   }

@@ -1,6 +1,7 @@
 #include "traffic/generator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "ahb/address.hpp"
@@ -38,6 +39,27 @@ ahb::Addr place_burst(Rng& rng, ahb::Addr base, ahb::Addr span, unsigned bytes,
   return base + block * 1024 + slot * bytes;
 }
 
+/// Shape a transfer of `total_bytes` (a power of two) for a `bus_bytes`
+/// wide bus: the widest legal beat, the resulting beat count, and the
+/// incrementing burst kind carrying that count.  This is where the §3.7
+/// "bus width" knob becomes real work: the bytes moved stay fixed while
+/// beats = total / width.
+void shape_transfer(ahb::Transaction& t, unsigned total_bytes,
+                    unsigned bus_bytes) {
+  const unsigned beat = ahb::beat_bytes_for(total_bytes, bus_bytes);
+  AHBP_ASSERT_MSG(ahb::valid_beat_bytes(beat),
+                  "transfer quantum must be a power of two");
+  t.size = ahb::size_for_bytes(beat);
+  t.beats = total_bytes / beat;
+  t.burst = ahb::incr_burst_for(t.beats);
+}
+
+/// Smallest multiple of `bytes` at or above `a` (start-address alignment
+/// for beats wider than the legacy 32-bit word).
+ahb::Addr align_up(ahb::Addr a, unsigned bytes) {
+  return (a + bytes - 1) & ~static_cast<ahb::Addr>(bytes - 1);
+}
+
 void fill_write_data(Rng& rng, ahb::Transaction& t) {
   if (t.dir != ahb::Dir::kWrite) {
     return;
@@ -59,14 +81,16 @@ sim::Cycle geometric_gap(Rng& rng, sim::Cycle mean) {
 Script make_cpu(const PatternConfig& cfg, Rng& rng) {
   Script s;
   s.reserve(cfg.items);
+  const unsigned bus = cfg.beat_bytes;
   // CPU traffic: runs of cache-line activity inside a hot region that
-  // periodically jumps (working-set change).  Line fill = INCR4 read of
-  // words; eviction = INCR4 write; plus occasional single-word accesses.
-  ahb::Addr hot = place_burst(rng, cfg.base, cfg.span, 4, 16);
+  // periodically jumps (working-set change).  Line fill/eviction moves one
+  // 16-byte cache line, occasional scalar accesses move one 32-bit datum;
+  // both are expressed in however many bus-wide beats that takes.
+  ahb::Addr hot = place_burst(rng, cfg.base, cfg.span, bus, 64 / bus);
   unsigned run_left = 0;
   for (unsigned i = 0; i < cfg.items; ++i) {
     if (run_left == 0) {
-      hot = place_burst(rng, cfg.base, cfg.span, 4, 16);
+      hot = place_burst(rng, cfg.base, cfg.span, bus, 64 / bus);
       run_left = 4 + static_cast<unsigned>(rng() % 12);
     }
     --run_left;
@@ -77,24 +101,18 @@ Script make_cpu(const PatternConfig& cfg, Rng& rng) {
     const bool read =
         std::uniform_real_distribution<double>(0, 1)(rng) < cfg.read_ratio;
     t.dir = read ? ahb::Dir::kRead : ahb::Dir::kWrite;
-    t.size = ahb::Size::kWord;
-    if (line) {
-      t.burst = ahb::Burst::kIncr4;
-      t.beats = 4;
-    } else {
-      t.burst = ahb::Burst::kSingle;
-      t.beats = 1;
-    }
+    shape_transfer(t, line ? 16 : 4, bus);
     // Stay close to the hot line: wander within +-8 lines.
     const ahb::Addr line_bytes = 16;
     const std::int64_t wander =
         static_cast<std::int64_t>(rng() % 17) - 8;
     ahb::Addr a = hot + static_cast<ahb::Addr>(wander * static_cast<std::int64_t>(line_bytes));
     a = std::clamp<ahb::Addr>(a, cfg.base, cfg.base + cfg.span - 64);
-    a &= ~ahb::Addr{3};  // word align
+    a &= ~static_cast<ahb::Addr>(ahb::size_bytes(t.size) - 1);  // beat align
     // Keep the burst inside its 1KB block.
     const ahb::Addr block_off = a % 1024;
-    const ahb::Addr burst_bytes = static_cast<ahb::Addr>(t.beats) * 4;
+    const ahb::Addr burst_bytes = static_cast<ahb::Addr>(t.beats) *
+                                  ahb::size_bytes(t.size);
     if (block_off + burst_bytes > 1024) {
       a -= block_off + burst_bytes - 1024;
     }
@@ -109,28 +127,32 @@ Script make_dma(const PatternConfig& cfg, Rng& rng) {
   Script s;
   s.reserve(cfg.items);
   // DMA: long bursts marching sequentially through the window; a read and
-  // a write phase alternate (memory-to-memory copy shape).
-  unsigned beats = cfg.dma_burst_beats;
-  if (beats != 4 && beats != 8 && beats != 16) {
-    beats = 16;
+  // a write phase alternate (memory-to-memory copy shape).  The burst
+  // quantum is `dma_burst_beats` 32-bit-reference words; a wider bus moves
+  // the same bytes in proportionally fewer beats.
+  unsigned ref_beats = cfg.dma_burst_beats;
+  if (ref_beats != 4 && ref_beats != 8 && ref_beats != 16) {
+    ref_beats = 16;
   }
-  const ahb::Burst burst = ahb::incr_burst_for(beats);
-  const ahb::Addr stride = static_cast<ahb::Addr>(beats) * 4;
-  ahb::Addr rd_cursor = cfg.base;
-  ahb::Addr wr_cursor = cfg.base + cfg.span / 2;
+  const unsigned total_bytes = ref_beats * 4;
+  const ahb::Addr stride = total_bytes;
+  // Cursors are aligned to the burst stride, not just the beat: a
+  // stride-aligned burst of `stride` bytes (a power of two <= 64) can
+  // never straddle the AHB 1KB boundary.
+  ahb::Addr rd_cursor = align_up(cfg.base, total_bytes);
+  ahb::Addr wr_cursor = align_up(cfg.base + cfg.span / 2, total_bytes);
   for (unsigned i = 0; i < cfg.items; ++i) {
     TrafficItem item;
     item.gap = i % 2 == 0 ? 1 : 0;  // copy loop: tight back-to-back
     ahb::Transaction& t = item.txn;
     const bool read = i % 2 == 0;
     t.dir = read ? ahb::Dir::kRead : ahb::Dir::kWrite;
-    t.size = ahb::Size::kWord;
-    t.burst = burst;
-    t.beats = beats;
+    shape_transfer(t, total_bytes, cfg.beat_bytes);
     ahb::Addr& cursor = read ? rd_cursor : wr_cursor;
     const ahb::Addr half = cfg.span / 2;
-    const ahb::Addr lo = read ? cfg.base : cfg.base + half;
-    if (cursor + stride > lo + half) {
+    const ahb::Addr lo =
+        align_up(read ? cfg.base : cfg.base + half, total_bytes);
+    if (cursor + stride > cfg.base + (read ? half : cfg.span)) {
       cursor = lo;
     }
     t.addr = cursor;
@@ -144,23 +166,23 @@ Script make_dma(const PatternConfig& cfg, Rng& rng) {
 Script make_rt_stream(const PatternConfig& cfg, Rng& rng) {
   Script s;
   s.reserve(cfg.items);
-  // Real-time stream: fixed INCR8 read bursts sweeping a frame buffer, one
-  // per period.  The gap models the period minus the transfer itself; the
-  // source re-arms from completion, so use period as think time directly —
-  // the shape (periodic, deadline-sensitive) is what matters.
-  const unsigned beats = 8;
-  const ahb::Addr stride = beats * 4;
-  ahb::Addr cursor = cfg.base;
+  // Real-time stream: fixed 32-byte read bursts sweeping a frame buffer,
+  // one per period (INCR8 of words on the reference 32-bit bus).  The gap
+  // models the period minus the transfer itself; the source re-arms from
+  // completion, so use period as think time directly — the shape
+  // (periodic, deadline-sensitive) is what matters.
+  const unsigned total_bytes = 32;
+  const ahb::Addr stride = total_bytes;
+  // Stride-aligned 32-byte bursts can never straddle the 1KB boundary.
+  ahb::Addr cursor = align_up(cfg.base, total_bytes);
   for (unsigned i = 0; i < cfg.items; ++i) {
     TrafficItem item;
     item.gap = cfg.period;
     ahb::Transaction& t = item.txn;
     t.dir = ahb::Dir::kRead;
-    t.size = ahb::Size::kWord;
-    t.burst = ahb::Burst::kIncr8;
-    t.beats = beats;
+    shape_transfer(t, total_bytes, cfg.beat_bytes);
     if (cursor + stride > cfg.base + cfg.span) {
-      cursor = cfg.base;
+      cursor = align_up(cfg.base, total_bytes);
     }
     t.addr = cursor;
     cursor += stride;
@@ -186,7 +208,9 @@ Script make_random(const PatternConfig& cfg, Rng& rng) {
                 ? ahb::Dir::kRead
                 : ahb::Dir::kWrite;
     t.burst = kBursts[rng() % std::size(kBursts)];
-    t.size = static_cast<ahb::Size>(rng() % 3);  // byte/half/word
+    // Any HSIZE up to the bus width (byte/half/word on the 32-bit bus,
+    // plus dword once the bus is 8 bytes wide).
+    t.size = static_cast<ahb::Size>(rng() % std::bit_width(cfg.beat_bytes));
     unsigned beats = ahb::burst_fixed_beats(t.burst);
     if (beats == 0) {
       beats = 2 + static_cast<unsigned>(rng() % 15);  // INCR 2..16
@@ -236,6 +260,10 @@ bool pattern_from_string(std::string_view name, PatternKind& out) {
 }
 
 Script make_script(const PatternConfig& cfg, ahb::MasterId master) {
+  AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg.beat_bytes),
+                  "beat_bytes must be 1, 2, 4 or 8 (HSIZE-encodable)");
+  AHBP_ASSERT_MSG(cfg.base % cfg.beat_bytes == 0,
+                  "traffic window base must be aligned to the bus width");
   if (cfg.items == 0) {
     return {};
   }

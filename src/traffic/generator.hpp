@@ -62,7 +62,15 @@ struct PatternConfig {
   double read_ratio = 0.7;     ///< P(read) where the pattern allows choice
   sim::Cycle period = 64;      ///< kRtStream: target issue period
   sim::Cycle mean_gap = 4;     ///< kCpu/kRandom: mean think time
-  unsigned dma_burst_beats = 16;  ///< kDma: beats per burst (4/8/16)
+  unsigned dma_burst_beats = 16;  ///< kDma: 32-bit-reference beats (4/8/16)
+
+  /// Bus beat width in bytes ({1,2,4,8}; HSIZE-encodable).  Set from
+  /// `BusConfig::data_width_bytes` by `core::make_scripts` so the §3.7 bus
+  /// width knob reaches the stimulus: every archetype keeps the *bytes* it
+  /// moves per transfer invariant and derives the beat count from this
+  /// width — a wider bus needs fewer beats for the same work, a narrower
+  /// one more.  The default reproduces the legacy 32-bit scripts exactly.
+  unsigned beat_bytes = 4;
 };
 
 /// Expand a pattern into its deterministic script for master `master`.

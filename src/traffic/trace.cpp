@@ -28,14 +28,10 @@ ahb::Burst parse_burst(const std::string& token) {
 namespace {
 
 ahb::Size size_from_bytes(unsigned bytes) {
-  switch (bytes) {
-    case 1: return ahb::Size::kByte;
-    case 2: return ahb::Size::kHalf;
-    case 4: return ahb::Size::kWord;
-    case 8: return ahb::Size::kDword;
-    default:
-      throw std::runtime_error("size must be 1/2/4/8 bytes");
+  if (!ahb::valid_beat_bytes(bytes)) {
+    throw std::runtime_error("size must be 1/2/4/8 bytes");
   }
+  return ahb::size_for_bytes(bytes);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 //                           [--vcd FILE] [--csv] [--quiet]
 //   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv] [--speed]
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -50,6 +51,10 @@ int usage(std::ostream& os, int code) {
         "      --csv                 aggregate table as CSV\n"
         "      --speed               add kcycles/sec columns (wall-clock"
         " dependent)\n"
+        "      --max-cycle-error P   with --model both: fail when any"
+        " point's\n"
+        "                            TLM-vs-RTL cycle error exceeds P"
+        " percent\n"
         "\n"
         "<scenario> is a built-in name (see list) or a scenario file path.\n";
   return code;
@@ -148,10 +153,14 @@ int cmd_run(const std::string& name, const std::string& model_s,
 }
 
 int cmd_sweep(const std::string& path, const std::string& model_s,
-              unsigned jobs, bool csv, bool speed) {
+              unsigned jobs, bool csv, bool speed, double max_cycle_error) {
   sweep::Model model = sweep::Model::kTlm;
   if (!sweep::model_from_string(model_s, model)) {
     std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
+    return 2;
+  }
+  if (max_cycle_error >= 0.0 && model != sweep::Model::kBoth) {
+    std::cerr << "--max-cycle-error needs --model both\n";
     return 2;
   }
   const sweep::SweepSpec spec = sweep::parse_spec_file(path);
@@ -172,10 +181,20 @@ int cmd_sweep(const std::string& path, const std::string& model_s,
 
   int failures = 0;
   for (const auto& o : outcomes) {
-    const bool bad =
+    bool bad =
         !o.error.empty() ||
         (o.has_tlm && (!o.tlm.finished || o.tlm.protocol_errors != 0)) ||
         (o.has_rtl && (!o.rtl.finished || o.rtl.protocol_errors != 0));
+    // Accuracy gate: the Table-1 contract says the TLM tracks the RTL
+    // cycle count; a point whose error exceeds the budget is a failure.
+    if (!bad && max_cycle_error >= 0.0 && o.has_tlm && o.has_rtl &&
+        o.cycle_error() * 100.0 > max_cycle_error) {
+      std::cout << "point " << o.index << " (" << o.label
+                << "): cycle error "
+                << stats::fmt_percent(o.cycle_error()) << " exceeds "
+                << stats::fmt_double(max_cycle_error, 2) << "%\n";
+      bad = true;
+    }
     failures += bad ? 1 : 0;
   }
   if (failures != 0) {
@@ -205,6 +224,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   unsigned jobs = 1;
   bool csv = false, quiet = false, speed = false;
+  double max_cycle_error = -1.0;  // negative = gate off
 
   const auto need_value = [&](std::size_t& i) -> std::string {
     if (i + 1 >= args.size()) {
@@ -261,6 +281,23 @@ int main(int argc, char** argv) {
       vcd_path = need_value(i);
     } else if (a == "--jobs") {
       jobs = static_cast<unsigned>(need_unsigned(i, 4096));
+    } else if (a == "--max-cycle-error") {
+      const std::string flag = a;
+      const std::string v = need_value(i);
+      try {
+        std::size_t pos = 0;
+        max_cycle_error = std::stod(v, &pos);
+        // The negated form also rejects NaN (which would silently
+        // disable the gate: any comparison against NaN is false).
+        if (pos != v.size() || !(max_cycle_error >= 0.0) ||
+            !std::isfinite(max_cycle_error)) {
+          throw std::invalid_argument(v);
+        }
+      } catch (const std::exception&) {
+        std::cerr << flag << " needs a non-negative percentage, got '" << v
+                  << "'\n";
+        return 2;
+      }
     } else if (a == "--csv") {
       csv = true;
     } else if (a == "--quiet") {
@@ -323,10 +360,11 @@ int main(int argc, char** argv) {
       return cmd_run(positional, model, items, seed, vcd_path, csv, quiet);
     }
     if (cmd == "sweep") {
-      if (!check_options({"--jobs", "--model", "--csv", "--speed"})) {
+      if (!check_options({"--jobs", "--model", "--csv", "--speed",
+                          "--max-cycle-error"})) {
         return 2;
       }
-      return cmd_sweep(positional, model, jobs, csv, speed);
+      return cmd_sweep(positional, model, jobs, csv, speed, max_cycle_error);
     }
     std::cerr << "unknown command '" << cmd << "'\n";
     return usage(std::cerr, 2);
