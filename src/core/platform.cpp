@@ -13,6 +13,14 @@
 
 namespace ahbp::core {
 
+std::vector<ddr::ChannelConfig> ddr_channel_configs(const PlatformConfig& cfg) {
+  AHBP_ASSERT_MSG(cfg.interleave.valid(),
+                  "ddr.channels must be 1/2/4/8 with a power-of-two"
+                  " interleave stripe >= 8 bytes");
+  return ddr::resolve_channels(cfg.timing, cfg.geom, cfg.interleave,
+                               cfg.ddr_channels);
+}
+
 std::vector<traffic::Script> make_scripts(const PlatformConfig& cfg) {
   AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg.bus.data_width_bytes),
                   "bus.data_width_bytes must be 1, 2, 4 or 8");
@@ -40,7 +48,7 @@ SimResult run_tlm(const PlatformConfig& cfg) {
     qos.program(static_cast<ahb::MasterId>(m), cfg.masters[m].qos);
   }
   chk::ViolationLog log;
-  tlm::TlmDdrc ddrc(cfg.timing, cfg.geom, cfg.ddr_base);
+  tlm::TlmDdrc ddrc(ddr_channel_configs(cfg), cfg.interleave, cfg.ddr_base);
   tlm::AhbPlusBus bus(cfg.bus, qos, ddrc, n,
                       cfg.enable_checkers ? &log : nullptr);
   kernel.add(bus);
@@ -82,8 +90,8 @@ SimResult run_tlm(const PlatformConfig& cfg) {
   r.profile.bus = bus.bus_profile();
   r.profile.bus.grants = bus.arbiter().grants();
   r.profile.write_buffer = bus.write_buffer().profile();
-  r.profile.ddr.commands = ddrc.engine().banks().counters();
-  r.profile.ddr.hits = ddrc.engine().hit_stats();
+  r.profile.ddr.commands = ddrc.channels().command_counters();
+  r.profile.ddr.hits = ddrc.channels().hit_stats();
   r.profile.total_cycles = last_completion;
   r.profile.completed_txns = r.completed;
   r.protocol_errors = log.errors();
@@ -101,6 +109,8 @@ SimResult run_rtl(const PlatformConfig& cfg, std::ostream* vcd_out) {
   fc.bus = cfg.bus;
   fc.timing = cfg.timing;
   fc.geom = cfg.geom;
+  fc.interleave = cfg.interleave;
+  fc.ddr_channels = cfg.ddr_channels;
   fc.ddr_base = cfg.ddr_base;
   fc.enable_checkers = cfg.enable_checkers;
   for (const MasterSpec& m : cfg.masters) {

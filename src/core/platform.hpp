@@ -7,7 +7,9 @@
 
 #include "ahb/config.hpp"
 #include "ahb/qos.hpp"
+#include "ddr/channels.hpp"
 #include "ddr/geometry.hpp"
+#include "ddr/interleave.hpp"
 #include "ddr/timing.hpp"
 #include "sim/time.hpp"
 #include "stats/profiles.hpp"
@@ -31,13 +33,25 @@ struct MasterSpec {
 
 struct PlatformConfig {
   ahb::BusConfig bus;
+  /// Shared DDR part description; with `interleave.channels > 1` every
+  /// channel starts from this and `ddr_channels[k]` layers its overrides.
   ddr::DdrTiming timing = ddr::ddr266();
   ddr::Geometry geom;
+  /// Memory-side sharding: channel count + stripe granularity.  The
+  /// default (1 channel) reproduces the single-controller platform
+  /// bit-exactly in both models.
+  ddr::Interleave interleave;
+  /// Per-channel `channelK.*` overrides (may be shorter than the channel
+  /// count; missing tails inherit timing/geom unchanged).
+  std::vector<ddr::ChannelOverride> ddr_channels;
   ahb::Addr ddr_base = 0;
   std::vector<MasterSpec> masters;
   bool enable_checkers = true;
   sim::Cycle max_cycles = 4'000'000;
 };
+
+/// Resolved per-channel DDR configuration (shared base + overrides).
+std::vector<ddr::ChannelConfig> ddr_channel_configs(const PlatformConfig& cfg);
 
 /// Outcome of one simulation run.
 struct SimResult {

@@ -1,0 +1,13 @@
+#include "ddr/interleave.hpp"
+
+namespace ahbp::ddr {
+
+bool Interleave::valid() const noexcept {
+  if (channels != 1 && channels != 2 && channels != 4 && channels != 8) {
+    return false;
+  }
+  // >= 8: the widest AHB beat is 8 bytes and a beat must stay channel-local.
+  return is_power_of_two(stripe_bytes) && stripe_bytes >= 8;
+}
+
+}  // namespace ahbp::ddr

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ahb/types.hpp"
+#include "ddr/geometry.hpp"
+
+/// \file interleave.hpp
+/// Channel address-interleave: the decoder in front of a sharded DDR
+/// subsystem.
+///
+/// The memory side scales by decomposition-by-channel: N independent DDR
+/// controllers, each with its own command/data bus and bank state, behind
+/// one decoder that stripes the flat DDR aperture across them.  The stripe
+/// granularity is a sweepable knob — fine stripes spread even short bursts
+/// across channels, coarse stripes keep whole pages channel-local — and
+/// both models consume this one decoder, so the mapping can never drift
+/// between the TLM and the signal-level reference.
+
+namespace ahbp::ddr {
+
+/// The one power-of-two rule the interleave's validity (and the scenario
+/// parser's accept-set) are both defined by.
+constexpr bool is_power_of_two(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Coordinates of a column access inside a sharded memory subsystem: which
+/// channel owns it, and where inside that channel's device it lands.
+struct ChannelCoord {
+  std::uint32_t channel = 0;
+  Coord coord;
+
+  bool operator==(const ChannelCoord&) const = default;
+};
+
+/// The address-interleave decoder: physical aperture offset ->
+/// {channel, channel-local offset}.  `channels == 1` is the identity
+/// mapping (local_of(a) == a), which is what keeps the single-channel
+/// platform bit-exact with the pre-sharding model.
+struct Interleave {
+  /// Independent DDR channels (1, 2, 4 or 8).
+  std::uint32_t channels = 1;
+  /// Stripe granularity in bytes: consecutive `stripe_bytes` runs of the
+  /// aperture rotate round-robin across channels.  Power of two, >= 8 so a
+  /// single bus beat (max 8 bytes) can never straddle two channels.
+  ahb::Addr stripe_bytes = 1024;
+
+  bool operator==(const Interleave&) const = default;
+
+  /// True when the parameters are usable (see member docs).
+  bool valid() const noexcept;
+
+  /// Channel owning aperture offset `a`.
+  std::uint32_t channel_of(ahb::Addr a) const noexcept {
+    return channels == 1
+               ? 0u
+               : static_cast<std::uint32_t>((a / stripe_bytes) % channels);
+  }
+
+  /// Channel-local offset of aperture offset `a`.
+  ahb::Addr local_of(ahb::Addr a) const noexcept {
+    if (channels == 1) {
+      return a;
+    }
+    return (a / (stripe_bytes * channels)) * stripe_bytes + a % stripe_bytes;
+  }
+
+  /// Inverse: channel + channel-local offset back to the aperture offset.
+  /// For every offset a: global_of(channel_of(a), local_of(a)) == a.
+  ahb::Addr global_of(std::uint32_t channel, ahb::Addr local) const noexcept {
+    if (channels == 1) {
+      return local;
+    }
+    return (local / stripe_bytes) * (stripe_bytes * channels) +
+           static_cast<ahb::Addr>(channel) * stripe_bytes +
+           local % stripe_bytes;
+  }
+};
+
+}  // namespace ahbp::ddr

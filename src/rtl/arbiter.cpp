@@ -8,15 +8,17 @@ namespace ahbp::rtl {
 RtlArbiter::RtlArbiter(sim::EventKernel& kernel, const ahb::BusConfig& cfg,
                        ahb::QosRegisterFile& qos, SharedWires& shared,
                        std::vector<MasterWires*> masters,
-                       RtlWriteBuffer& wbuf, const ddr::Geometry& geom,
-                       ahb::Addr ddr_base, const sim::Cycle* now,
-                       chk::ViolationLog* qos_log)
+                       RtlWriteBuffer& wbuf,
+                       std::vector<ddr::ChannelConfig> channels,
+                       const ddr::Interleave& ilv, ahb::Addr ddr_base,
+                       const sim::Cycle* now, chk::ViolationLog* qos_log)
     : cfg_(cfg),
       qos_(qos),
       sh_(shared),
       mw_(std::move(masters)),
       wbuf_(wbuf),
-      geom_(geom),
+      channels_(std::move(channels)),
+      ilv_(ilv),
       ddr_base_(ddr_base),
       now_(now),
       arbiter_(cfg, qos),
@@ -25,9 +27,20 @@ RtlArbiter::RtlArbiter(sim::EventKernel& kernel, const ahb::BusConfig& cfg,
       prev_req_(masters_, false),
       take_pulse_(masters_, false),
       absorbed_wait_(masters_, false) {
+  bank_base_ = ddr::bank_bases(channels_);
   if (qos_log != nullptr) {
     qos_checker_.emplace(qos_, *qos_log);
   }
+}
+
+ddr::BankAffinity RtlArbiter::wire_affinity(ahb::Addr bus_addr) const {
+  const ahb::Addr off = bus_addr - ddr_base_;
+  const std::uint32_t ch = ilv_.channel_of(off);
+  const ddr::Coord coord = channels_[ch].geom.decode(ilv_.local_of(off));
+  const std::uint32_t w = bank_base_[ch] + coord.bank;
+  return ddr::bank_affinity(
+      static_cast<ddr::BankState>(sh_.bi_bank_state[w]->read()),
+      sh_.bi_open_row[w]->read(), coord);
 }
 
 void RtlArbiter::bind_clock(sim::Signal<bool>& clk) {
@@ -162,10 +175,7 @@ void RtlArbiter::do_arbitration(sim::Cycle now) {
     c.locked = t.locked;
     c.beats = t.beats;
     if (cfg_.bi_hints_enabled && t.addr >= ddr_base_) {
-      const ddr::Coord coord = geom_.decode(t.addr - ddr_base_);
-      c.affinity = ddr::bank_affinity(
-          static_cast<ddr::BankState>(sh_.bi_bank_state[coord.bank]->read()),
-          sh_.bi_open_row[coord.bank]->read(), coord);
+      c.affinity = wire_affinity(t.addr);
     }
     if (wbuf_.overlaps(t.addr, t.addr + t.bytes())) {
       c.blocked_by_hazard = true;
@@ -184,10 +194,7 @@ void RtlArbiter::do_arbitration(sim::Cycle now) {
     if (cfg_.bi_hints_enabled) {
       const ahb::Addr a = sh_.wb_req_addr.read();
       if (a >= ddr_base_) {
-        const ddr::Coord coord = geom_.decode(a - ddr_base_);
-        wc.affinity = ddr::bank_affinity(
-            static_cast<ddr::BankState>(sh_.bi_bank_state[coord.bank]->read()),
-            sh_.bi_open_row[coord.bank]->read(), coord);
+        wc.affinity = wire_affinity(a);
       }
     }
   }

@@ -6,7 +6,7 @@
 #include "ahb/config.hpp"
 #include "ahb/qos.hpp"
 #include "assertions/bus_checker.hpp"
-#include "ddr/geometry.hpp"
+#include "ddr/channels.hpp"
 #include "rtl/signals.hpp"
 #include "sim/event_kernel.hpp"
 #include "tlm/arbiter.hpp"
@@ -31,10 +31,14 @@ class RtlWriteBuffer;  // forward (reservation interface)
 
 class RtlArbiter {
  public:
+  /// `channels` + `ilv` describe the sharded DDR subsystem: candidate
+  /// affinity is evaluated from the per-channel BI bank-state wire slices
+  /// through the same interleave decode the controllers use.
   RtlArbiter(sim::EventKernel& kernel, const ahb::BusConfig& cfg,
              ahb::QosRegisterFile& qos, SharedWires& shared,
              std::vector<MasterWires*> masters, RtlWriteBuffer& wbuf,
-             const ddr::Geometry& geom, ahb::Addr ddr_base,
+             std::vector<ddr::ChannelConfig> channels,
+             const ddr::Interleave& ilv, ahb::Addr ddr_base,
              const sim::Cycle* now, chk::ViolationLog* qos_log);
 
   RtlArbiter(const RtlArbiter&) = delete;
@@ -58,13 +62,18 @@ class RtlArbiter {
   void do_arbitration(sim::Cycle now);
   void do_takes(sim::Cycle now);
   ahb::Transaction txn_from_sideband(unsigned m) const;
+  /// Affinity of a candidate's target bank, read from the BI wires of the
+  /// channel the interleave routes `bus_addr` to.
+  ddr::BankAffinity wire_affinity(ahb::Addr bus_addr) const;
 
   const ahb::BusConfig& cfg_;
   ahb::QosRegisterFile& qos_;
   SharedWires& sh_;
   std::vector<MasterWires*> mw_;
   RtlWriteBuffer& wbuf_;
-  ddr::Geometry geom_;
+  std::vector<ddr::ChannelConfig> channels_;
+  ddr::Interleave ilv_;
+  std::vector<std::uint32_t> bank_base_;  ///< BI wire offset per channel
   ahb::Addr ddr_base_;
   const sim::Cycle* now_;
   tlm::Arbiter arbiter_;  ///< shared bookkeeping + FilterPipeline

@@ -4,11 +4,12 @@
 
 namespace ahbp::rtl {
 
-RtlDdrc::RtlDdrc(sim::EventKernel& kernel, const ddr::DdrTiming& timing,
-                 const ddr::Geometry& geom, ahb::Addr region_base,
+RtlDdrc::RtlDdrc(sim::EventKernel& kernel,
+                 const std::vector<ddr::ChannelConfig>& channels,
+                 const ddr::Interleave& ilv, ahb::Addr region_base,
                  const ahb::BusConfig& cfg, SharedWires& shared,
                  const sim::Cycle* now)
-    : engine_(timing, geom),
+    : set_(channels, ilv),
       base_(region_base),
       cfg_(cfg),
       sh_(shared),
@@ -35,10 +36,10 @@ void RtlDdrc::sample_inputs(sim::Cycle now) {
   const auto tr = unpack_trans(sh_.htrans.read());
 
   // 1. Write data phase completing during the previous cycle: sample the
-  //    write bus into the engine.
+  //    write bus into the channel set.
   if (cur_active_ && cur_is_write_ && hready_prev &&
       puts_done_ < addr_accepted_) {
-    engine_.put_write_beat(now, sh_.hwdata.read());
+    set_.put_write_beat(now, sh_.hwdata.read());
     ++puts_done_;
   }
 
@@ -52,15 +53,15 @@ void RtlDdrc::sample_inputs(sim::Cycle now) {
     }
   }
 
-  // 3. Completion of the current engine transaction.
-  if (engine_.busy() && engine_.done()) {
-    engine_.finish();
+  // 3. Completion of the current transaction.
+  if (set_.busy() && set_.done()) {
+    set_.finish();
     cur_active_ = false;
   }
 
   // 4. Begin the newly accepted transaction.
   if (begin_now) {
-    AHBP_ASSERT_MSG(!engine_.busy(),
+    AHBP_ASSERT_MSG(!set_.busy(),
                     "NONSEQ accepted while a transaction is in flight");
     AHBP_ASSERT_MSG(announce_.has_value(),
                     "NONSEQ accepted without a BI announce");
@@ -73,7 +74,7 @@ void RtlDdrc::sample_inputs(sim::Cycle now) {
     req.beat_bytes = ahb::size_bytes(a.size);
     req.beats = a.beats;
     req.burst = a.burst;
-    engine_.begin(req, now);
+    set_.begin(req, now);
     cur_active_ = true;
     cur_is_write_ = a.is_write;
     cur_beats_ = a.beats;
@@ -82,20 +83,21 @@ void RtlDdrc::sample_inputs(sim::Cycle now) {
     announce_.reset();
   }
 
-  // 5. Bank-prep hint from the (unconsumed) announce.
+  // 5. Bank-prep hint from the (unconsumed) announce, routed to the
+  //    owning channel.
   if (cfg_.bi_hints_enabled && announce_) {
-    engine_.set_hint(engine_.geometry().decode(announce_->addr - base_));
+    set_.set_hint(set_.coord_of(announce_->addr - base_));
   } else {
-    engine_.set_hint(std::nullopt);
+    set_.set_hint(std::nullopt);
   }
 }
 
 void RtlDdrc::drive_outputs(sim::Cycle now) {
   sh_.hresp.write(static_cast<std::uint8_t>(ahb::Resp::kOkay));
-  if (engine_.busy()) {
+  if (set_.busy()) {
     if (!cur_is_write_) {
-      if (engine_.read_beat_available(now)) {
-        sh_.hrdata.write(engine_.take_read_beat(now));
+      if (set_.read_beat_available(now)) {
+        sh_.hrdata.write(set_.take_read_beat(now));
         sh_.hready.write(true);
       } else {
         sh_.hready.write(false);
@@ -103,7 +105,7 @@ void RtlDdrc::drive_outputs(sim::Cycle now) {
     } else {
       // Write data phase active this cycle?
       const bool data_active = puts_done_ < addr_accepted_;
-      sh_.hready.write(data_active && engine_.write_beat_ready(now));
+      sh_.hready.write(data_active && set_.write_beat_ready(now));
     }
   } else {
     sh_.hready.write(true);  // idle slave: zero-wait-state acceptance
@@ -111,21 +113,26 @@ void RtlDdrc::drive_outputs(sim::Cycle now) {
 }
 
 void RtlDdrc::drive_bi(sim::Cycle now) {
-  const ddr::BankEngine& banks = engine_.banks();
-  for (std::uint32_t b = 0; b < banks.banks(); ++b) {
-    sh_.bi_bank_state[b]->write(
-        static_cast<std::uint8_t>(banks.bank_state(b, now)));
-    sh_.bi_open_row[b]->write(banks.open_row(b));
+  // Per-channel slices: channel ch's banks occupy wire indices
+  // [bank_base(ch), bank_base(ch+1)).
+  for (std::uint32_t ch = 0; ch < set_.channels(); ++ch) {
+    const ddr::BankEngine& banks = set_.engine(ch).banks();
+    const std::uint32_t base = set_.bank_base(ch);
+    for (std::uint32_t b = 0; b < banks.banks(); ++b) {
+      sh_.bi_bank_state[base + b]->write(
+          static_cast<std::uint8_t>(banks.bank_state(b, now)));
+      sh_.bi_open_row[base + b]->write(banks.open_row(b));
+    }
   }
-  sh_.bi_idle_mask.write(engine_.idle_bank_mask(now));
-  sh_.bi_permit.write(engine_.access_permitted(now));
-  sh_.bi_remaining.write(engine_.remaining_beats());
+  sh_.bi_idle_mask.write(set_.idle_bank_mask(now));
+  sh_.bi_permit.write(set_.access_permitted(now));
+  sh_.bi_remaining.write(set_.remaining_beats());
 }
 
 void RtlDdrc::at_edge() {
   const sim::Cycle now = *now_;
   sample_inputs(now);
-  engine_.step(now);
+  set_.step(now);
   drive_outputs(now);
   drive_bi(now);
 }

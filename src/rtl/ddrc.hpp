@@ -1,28 +1,34 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "ahb/config.hpp"
 #include "ahb/types.hpp"
-#include "ddr/scheduler.hpp"
+#include "ddr/channels.hpp"
 #include "rtl/signals.hpp"
 #include "sim/event_kernel.hpp"
 
 /// \file ddrc.hpp
-/// Pin-level DDR controller.
+/// Pin-level DDR controller front end.
 ///
 /// The AHB slave interface (HREADY/HRDATA/HWDATA sampling, pipelined
 /// address acceptance) and the BI signal bundle are modeled wire-by-wire;
-/// the controller FSM inside is the shared ddr::DdrcEngine — the same
-/// "FSM as accurate as RTL" (§3.3) the TLM uses, so both models enforce
-/// identical DRAM timing.
+/// behind it sit the per-channel controllers — the shared ddr::ChannelSet
+/// of DdrcEngine FSMs, the same "FSM as accurate as RTL" (§3.3) the TLM
+/// uses, so both models enforce identical DRAM timing at every channel
+/// count.  Each channel drives its own slice of the BI bank-state wires
+/// (channel-major: channel k's banks start at wire index
+/// ChannelSet::bank_base(k)); the arbiter merges the slices when it
+/// evaluates candidate affinity through the address interleave.
 
 namespace ahbp::rtl {
 
 class RtlDdrc {
  public:
-  RtlDdrc(sim::EventKernel& kernel, const ddr::DdrTiming& timing,
-          const ddr::Geometry& geom, ahb::Addr region_base,
+  RtlDdrc(sim::EventKernel& kernel,
+          const std::vector<ddr::ChannelConfig>& channels,
+          const ddr::Interleave& ilv, ahb::Addr region_base,
           const ahb::BusConfig& cfg, SharedWires& shared,
           const sim::Cycle* now);
 
@@ -31,12 +37,12 @@ class RtlDdrc {
 
   void bind_clock(sim::Signal<bool>& clk);
 
-  const ddr::DdrcEngine& engine() const noexcept { return engine_; }
-  ddr::DdrcEngine& engine() noexcept { return engine_; }
+  const ddr::ChannelSet& channels() const noexcept { return set_; }
+  ddr::ChannelSet& channels() noexcept { return set_; }
 
-  /// Nothing in flight and no background writes pending.
+  /// Nothing in flight and no background writes pending on any channel.
   bool quiescent() const noexcept {
-    return !engine_.busy() && engine_.pending_write_chunks() == 0;
+    return !set_.busy() && set_.pending_write_chunks() == 0;
   }
 
  private:
@@ -45,7 +51,7 @@ class RtlDdrc {
   void drive_outputs(sim::Cycle now);
   void drive_bi(sim::Cycle now);
 
-  ddr::DdrcEngine engine_;
+  ddr::ChannelSet set_;
   ahb::Addr base_;
   const ahb::BusConfig& cfg_;
   SharedWires& sh_;

@@ -13,8 +13,9 @@ std::string dname(unsigned i, const char* leaf) {
 
 DetailLayer::DetailLayer(sim::EventKernel& kernel, SharedWires& shared,
                          std::vector<MasterWires*> columns,
-                         const ddr::DdrcEngine& engine, const sim::Cycle* now)
-    : sh_(shared), cols_(std::move(columns)), engine_(engine), now_(now) {
+                         const ddr::ChannelSet& channels,
+                         const sim::Cycle* now)
+    : sh_(shared), cols_(std::move(columns)), set_(channels), now_(now) {
   for (unsigned i = 0; i < cols_.size(); ++i) {
     make_column_detail(kernel, i);
   }
@@ -138,28 +139,41 @@ void DetailLayer::make_arbiter_detail(sim::EventKernel& k) {
 
 void DetailLayer::make_ddrc_detail(sim::EventKernel& k) {
   static const char* kTimerNames[] = {"trcd", "tras", "trp", "trc", "twr"};
-  const std::uint32_t banks = engine_.banks().banks();
-  for (std::uint32_t b = 0; b < banks; ++b) {
-    BankDetail d;
-    const std::string pre = "ddrc.b" + std::to_string(b) + ".";
-    d.state_onehot =
-        std::make_unique<sim::Signal<std::uint8_t>>(k, pre + "state1h");
-    d.row_r = std::make_unique<sim::Signal<std::uint32_t>>(k, pre + "row");
-    d.ready_timer =
-        std::make_unique<sim::Signal<std::uint32_t>>(k, pre + "timer");
-    signal_count_ += 3;
-    for (const char* t : kTimerNames) {
-      d.timers.push_back(
-          std::make_unique<sim::Signal<std::uint32_t>>(k, pre + t));
-      ++signal_count_;
+  // One FSM register block per bank of *every* channel (a sharded design
+  // pays the register cost per channel; single-channel names stay stable).
+  for (std::uint32_t ch = 0; ch < set_.channels(); ++ch) {
+    const std::string chpre =
+        set_.channels() == 1 ? "ddrc." : "ddrc.c" + std::to_string(ch) + ".";
+    const std::uint32_t banks = set_.engine(ch).banks().banks();
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      BankDetail d;
+      const std::string pre = chpre + "b" + std::to_string(b) + ".";
+      d.state_onehot =
+          std::make_unique<sim::Signal<std::uint8_t>>(k, pre + "state1h");
+      d.row_r = std::make_unique<sim::Signal<std::uint32_t>>(k, pre + "row");
+      d.ready_timer =
+          std::make_unique<sim::Signal<std::uint32_t>>(k, pre + "timer");
+      signal_count_ += 3;
+      for (const char* t : kTimerNames) {
+        d.timers.push_back(
+            std::make_unique<sim::Signal<std::uint32_t>>(k, pre + t));
+        ++signal_count_;
+      }
+      banks_.push_back(std::move(d));
+      bank_of_.emplace_back(ch, b);
     }
-    banks_.push_back(std::move(d));
   }
   wq_level_ = std::make_unique<sim::Signal<std::uint32_t>>(k, "ddrc.wq");
   xfer_beat_ = std::make_unique<sim::Signal<std::uint32_t>>(k, "ddrc.beat");
-  refresh_ctr_ =
-      std::make_unique<sim::Signal<std::uint32_t>>(k, "ddrc.refctr");
-  signal_count_ += 3;
+  signal_count_ += 2;
+  for (std::uint32_t ch = 0; ch < set_.channels(); ++ch) {
+    const std::string name = set_.channels() == 1
+                                 ? "ddrc.refctr"
+                                 : "ddrc.c" + std::to_string(ch) + ".refctr";
+    refresh_ctr_.push_back(
+        std::make_unique<sim::Signal<std::uint32_t>>(k, name));
+    ++signal_count_;
+  }
 
   // Data FIFOs between the AHB side and the DRAM side: 8 words each plus
   // head/tail pointers — the registers a real controller clocks data
@@ -210,10 +224,12 @@ void DetailLayer::at_edge() {
   hrdata_r_->write(sh_.hrdata.read());
 
   // DDRC register-transfer state: per-bank FSM one-hot, open row, and the
-  // interval counters an RTL controller decrements every cycle.
-  const ddr::BankEngine& be = engine_.banks();
-  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
-    BankDetail& bd = banks_[b];
+  // interval counters an RTL controller decrements every cycle — for every
+  // channel's controller.
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    const auto [ch, b] = bank_of_[i];
+    const ddr::BankEngine& be = set_.engine(ch).banks();
+    BankDetail& bd = banks_[i];
     const ddr::BankState st = be.bank_state(b, now);
     bd.state_onehot->write(
         static_cast<std::uint8_t>(1U << static_cast<unsigned>(st)));
@@ -231,12 +247,13 @@ void DetailLayer::at_edge() {
     }
   }
   wq_level_->write(
-      static_cast<std::uint32_t>(engine_.pending_write_chunks()));
-  xfer_beat_->write(engine_.remaining_beats());
-  refresh_ctr_->write(static_cast<std::uint32_t>(
-      engine_.banks().timing().tREFI == 0
-          ? 0
-          : engine_.banks().timing().tREFI - (now % (engine_.banks().timing().tREFI + 1))));
+      static_cast<std::uint32_t>(set_.pending_write_chunks()));
+  xfer_beat_->write(set_.remaining_beats());
+  for (std::uint32_t ch = 0; ch < set_.channels(); ++ch) {
+    const sim::Cycle trefi = set_.engine(ch).banks().timing().tREFI;
+    refresh_ctr_[ch]->write(static_cast<std::uint32_t>(
+        trefi == 0 ? 0 : trefi - (now % (trefi + 1))));
+  }
 
   // Data FIFO cells: the current beat circulates through the FIFO slot its
   // pointer selects (writes only when the bus actually moves data).

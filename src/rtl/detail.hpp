@@ -3,7 +3,7 @@
 #include <memory>
 #include <vector>
 
-#include "ddr/scheduler.hpp"
+#include "ddr/channels.hpp"
 #include "rtl/signals.hpp"
 #include "sim/event_kernel.hpp"
 
@@ -30,12 +30,13 @@ namespace ahbp::rtl {
 
 class DetailLayer {
  public:
-  /// \param columns  master wire columns including the write buffer's.
-  /// \param engine   the DDRC engine (bank states / timers are re-derived
-  ///                 from it each cycle, as the RTL FSM registers would).
+  /// \param columns   master wire columns including the write buffer's.
+  /// \param channels  the sharded DDRC (bank states / timers of *every*
+  ///                  channel are re-derived each cycle, as the per-channel
+  ///                  RTL FSM registers would — more channels, more wires).
   DetailLayer(sim::EventKernel& kernel, SharedWires& shared,
               std::vector<MasterWires*> columns,
-              const ddr::DdrcEngine& engine, const sim::Cycle* now);
+              const ddr::ChannelSet& channels, const sim::Cycle* now);
 
   DetailLayer(const DetailLayer&) = delete;
   DetailLayer& operator=(const DetailLayer&) = delete;
@@ -54,7 +55,7 @@ class DetailLayer {
 
   SharedWires& sh_;
   std::vector<MasterWires*> cols_;
-  const ddr::DdrcEngine& engine_;
+  const ddr::ChannelSet& set_;
   const sim::Cycle* now_;
 
   // --- per-column pipeline registers and address incrementers ---
@@ -93,9 +94,12 @@ class DetailLayer {
     std::vector<std::unique_ptr<sim::Signal<std::uint32_t>>> timers;
   };
   std::vector<BankDetail> banks_;
+  /// (channel, channel-local bank) of each banks_ entry.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> bank_of_;
   std::unique_ptr<sim::Signal<std::uint32_t>> wq_level_;   ///< write queue level
   std::unique_ptr<sim::Signal<std::uint32_t>> xfer_beat_;  ///< current beat ctr
-  std::unique_ptr<sim::Signal<std::uint32_t>> refresh_ctr_; ///< tREFI countdown
+  /// Per-channel tREFI countdowns (channels may override tREFI).
+  std::vector<std::unique_ptr<sim::Signal<std::uint32_t>>> refresh_ctr_;
 
   // --- write-buffer RAM and DDRC data FIFOs (real storage cells) ---
   std::vector<std::unique_ptr<sim::Signal<std::uint64_t>>> wbuf_ram_;

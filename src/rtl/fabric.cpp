@@ -19,13 +19,18 @@ RtlFabric::RtlFabric(const RtlFabricConfig& cfg,
       // process reads the incremented value.
       tick_(kernel_, "cycle-tick", [this] { ++cycle_; }),
       qos_(masters_),
-      sh_(kernel_, masters_, cfg.geom.banks),
+      ch_cfg_(ddr::resolve_channels(cfg.timing, cfg.geom, cfg.interleave,
+                                    cfg.ddr_channels)),
+      sh_(kernel_, masters_, ddr::bank_bases(ch_cfg_).back()),
       master_profiles_(masters_),
       observer_(kernel_, "observer", [this] { observe_edge(); }),
       user_hooks_(masters_) {
   AHBP_ASSERT_MSG(masters_ >= 1, "at least one master required");
   AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg_.bus.data_width_bytes),
                   "bus.data_width_bytes must be 1, 2, 4 or 8");
+  AHBP_ASSERT_MSG(cfg_.interleave.valid(),
+                  "ddr.channels must be 1/2/4/8 with a power-of-two"
+                  " interleave stripe >= 8 bytes");
   AHBP_ASSERT_MSG(cfg_.qos.size() == masters_,
                   "one QosConfig per master required");
   for (unsigned m = 0; m < masters_; ++m) {
@@ -64,14 +69,14 @@ RtlFabric::RtlFabric(const RtlFabricConfig& cfg,
   wbuf_ = std::make_unique<RtlWriteBuffer>(kernel_, cfg_.bus, masters_, sh_,
                                            *columns_[masters_], mw, &cycle_);
   arbiter_ = std::make_unique<RtlArbiter>(
-      kernel_, cfg_.bus, qos_, sh_, mw, *wbuf_, cfg_.geom, cfg_.ddr_base,
-      &cycle_, cfg_.enable_checkers ? &log_ : nullptr);
+      kernel_, cfg_.bus, qos_, sh_, mw, *wbuf_, ch_cfg_, cfg_.interleave,
+      cfg_.ddr_base, &cycle_, cfg_.enable_checkers ? &log_ : nullptr);
   // Subscription order: arbiter before write buffer (reservation happens
   // before the buffer's capture/drain pass, as in the TLM).
   arbiter_->bind_clock(clock_.signal());
   wbuf_->bind_clock(clock_.signal());
 
-  ddrc_ = std::make_unique<RtlDdrc>(kernel_, cfg_.timing, cfg_.geom,
+  ddrc_ = std::make_unique<RtlDdrc>(kernel_, ch_cfg_, cfg_.interleave,
                                     cfg_.ddr_base, cfg_.bus, sh_, &cycle_);
   ddrc_->bind_clock(clock_.signal());
 
@@ -81,7 +86,7 @@ RtlFabric::RtlFabric(const RtlFabricConfig& cfg,
       all_cols.push_back(c.get());
     }
     detail_ = std::make_unique<DetailLayer>(kernel_, sh_, all_cols,
-                                            ddrc_->engine(), &cycle_);
+                                            ddrc_->channels(), &cycle_);
     detail_->bind_clock(clock_.signal());
     bitlevel_ = std::make_unique<BitLevelLayer>(kernel_, sh_, all_cols);
   }
@@ -220,8 +225,8 @@ stats::RunProfile RtlFabric::profile() const {
   p.bus.grants = arbiter_->grants();
   p.bus.handovers = arbiter_->handovers();
   p.write_buffer = wbuf_->fifo().profile();
-  p.ddr.commands = ddrc_->engine().banks().counters();
-  p.ddr.hits = ddrc_->engine().hit_stats();
+  p.ddr.commands = ddrc_->channels().command_counters();
+  p.ddr.hits = ddrc_->channels().hit_stats();
   p.total_cycles = last_completion_;
   p.completed_txns = completed_;
   return p;
@@ -264,9 +269,9 @@ std::string RtlFabric::dump_state() const {
   }
   s += "  wbuf: occ=" + std::to_string(wbuf_->fifo().occupancy()) +
        (wbuf_->draining() ? " draining" : "") + "\n";
-  s += "  ddrc: " + std::string(ddrc_->engine().busy() ? "busy" : "idle") +
-       " pending-wr=" + std::to_string(ddrc_->engine().pending_write_chunks()) +
-       "\n";
+  s += "  ddrc: " + std::string(ddrc_->channels().busy() ? "busy" : "idle") +
+       " pending-wr=" +
+       std::to_string(ddrc_->channels().pending_write_chunks()) + "\n";
   s += "  " + arbiter_->debug_string() + "\n";
   s += "  hready=" + std::string(sh_.hready.read() ? "1" : "0") +
        " htrans=" + std::to_string(sh_.htrans.read()) +

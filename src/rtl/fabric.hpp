@@ -8,7 +8,9 @@
 #include "ahb/qos.hpp"
 #include "assertions/bus_checker.hpp"
 #include "assertions/violation.hpp"
+#include "ddr/channels.hpp"
 #include "ddr/geometry.hpp"
+#include "ddr/interleave.hpp"
 #include "ddr/timing.hpp"
 #include "rtl/arbiter.hpp"
 #include "rtl/bitlevel.hpp"
@@ -41,6 +43,11 @@ struct RtlFabricConfig {
   ahb::BusConfig bus;
   ddr::DdrTiming timing = ddr::ddr266();
   ddr::Geometry geom;
+  /// Memory-side sharding (default: one channel, the classic platform).
+  /// Each channel starts from timing/geom; `ddr_channels[k]` layers the
+  /// per-channel overrides.
+  ddr::Interleave interleave;
+  std::vector<ddr::ChannelOverride> ddr_channels;
   ahb::Addr ddr_base = 0;
   std::vector<ahb::QosConfig> qos;  ///< one per master
   bool enable_checkers = true;
@@ -99,6 +106,9 @@ class RtlFabric {
   sim::Process tick_;
 
   ahb::QosRegisterFile qos_;
+  /// Resolved per-channel DDR configs (sized by cfg_.interleave.channels);
+  /// declared before sh_ so the BI bank wires can be sized from it.
+  std::vector<ddr::ChannelConfig> ch_cfg_;
   std::vector<std::unique_ptr<MasterWires>> columns_;  ///< masters + wbuf
   SharedWires sh_;
 

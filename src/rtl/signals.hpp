@@ -100,7 +100,9 @@ struct SharedWires {
   Signal<std::uint32_t> bi_next_beats;
   Signal<bool> bi_next_write;
   // Upstream (DDRC -> arbiter): bank states / open rows / permission /
-  // progress of the current transfer (for request pipelining).
+  // progress of the current transfer (for request pipelining).  With a
+  // sharded DDR subsystem the bank wires span every channel,
+  // channel-major: channel k's banks start at ChannelSet::bank_base(k).
   std::vector<std::unique_ptr<Signal<std::uint8_t>>> bi_bank_state;
   std::vector<std::unique_ptr<Signal<std::uint32_t>>> bi_open_row;
   Signal<std::uint32_t> bi_idle_mask;

@@ -73,4 +73,13 @@ bool master_section(std::string_view section_inner,
   return true;
 }
 
+bool channel_section(std::string_view section_inner,
+                     std::string_view& index_text) {
+  if (section_inner.substr(0, 7) != "channel") {
+    return false;
+  }
+  index_text = trim(section_inner.substr(7));
+  return true;
+}
+
 }  // namespace ahbp::scenario::lex

@@ -44,4 +44,9 @@ void for_each_line(std::string_view text,
 bool master_section(std::string_view section_inner,
                     std::string_view& index_text);
 
+/// If `section_inner` names a DDR channel section ("channel 0"), return
+/// true and set `index_text` to the trimmed index part ("0").
+bool channel_section(std::string_view section_inner,
+                     std::string_view& index_text);
+
 }  // namespace ahbp::scenario::lex

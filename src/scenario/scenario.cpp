@@ -1,5 +1,6 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -154,38 +155,47 @@ void apply_bus(core::PlatformConfig& cfg, std::string_view key,
   }
 }
 
+/// Timing knobs are table-driven (ddr::kTimingFields) so `[ddr]`,
+/// `[channel K]` and the serializer share one key list.
+const ddr::TimingField* timing_field(std::string_view key) {
+  for (const ddr::TimingField& f : ddr::kTimingFields) {
+    if (key == f.key) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
 void apply_ddr(core::PlatformConfig& cfg, std::string_view key,
                std::string_view value, std::size_t line) {
   ddr::DdrTiming& t = cfg.timing;
   ddr::Geometry& g = cfg.geom;
-  if (key == "preset") {
+  if (const ddr::TimingField* f = timing_field(key)) {
+    t.*f->shared = parse_u64(value, line);
+  } else if (key == "channels") {
+    const auto n = parse_u64_range(value, 1, 8, line);
+    if (!ddr::is_power_of_two(n)) {
+      throw ScenarioError("channels must be 1, 2, 4 or 8 (got " +
+                              std::to_string(n) + ")",
+                          line);
+    }
+    cfg.interleave.channels = static_cast<std::uint32_t>(n);
+  } else if (key == "interleave_bytes") {
+    const auto b = parse_u64_range(value, 8, 1u << 30, line);
+    if (!ddr::is_power_of_two(b)) {
+      // The stripe rotation divides by this; non-power-of-two granules
+      // would also split beats across channels.
+      throw ScenarioError("interleave_bytes must be a power of two (got " +
+                              std::to_string(b) + ")",
+                          line);
+    }
+    cfg.interleave.stripe_bytes = b;
+  } else if (key == "preset") {
     if (!ddr::timing_preset(trim(value), t)) {
       throw ScenarioError("unknown DDR preset '" + std::string(trim(value)) +
                               "' (ddr266, ddr400, toy)",
                           line);
     }
-  } else if (key == "tRCD") {
-    t.tRCD = parse_u64(value, line);
-  } else if (key == "tRP") {
-    t.tRP = parse_u64(value, line);
-  } else if (key == "tRAS") {
-    t.tRAS = parse_u64(value, line);
-  } else if (key == "tRC") {
-    t.tRC = parse_u64(value, line);
-  } else if (key == "tRRD") {
-    t.tRRD = parse_u64(value, line);
-  } else if (key == "tCL") {
-    t.tCL = parse_u64(value, line);
-  } else if (key == "tWL") {
-    t.tWL = parse_u64(value, line);
-  } else if (key == "tWR") {
-    t.tWR = parse_u64(value, line);
-  } else if (key == "tCCD") {
-    t.tCCD = parse_u64(value, line);
-  } else if (key == "tRFC") {
-    t.tRFC = parse_u64(value, line);
-  } else if (key == "tREFI") {
-    t.tREFI = parse_u64(value, line);
   } else if (key == "banks") {
     // Minimum 1: Geometry::decode divides by these, so 0 would SIGFPE.
     g.banks =
@@ -212,6 +222,42 @@ void apply_ddr(core::PlatformConfig& cfg, std::string_view key,
     }
   } else {
     throw ScenarioError("unknown [ddr] key '" + std::string(key) + "'", line);
+  }
+}
+
+/// `[channel K]` / `channelK.*`: per-channel timing/geometry overrides.
+/// Accepts the same keys and bounds as `[ddr]`; unset keys fall back to
+/// the shared `[ddr]` configuration at resolve time.
+void apply_channel(ddr::ChannelOverride& ch, std::string_view key,
+                   std::string_view value, std::size_t line) {
+  if (const ddr::TimingField* f = timing_field(key)) {
+    ch.*f->opt = parse_u64(value, line);
+  } else if (key == "banks") {
+    ch.banks =
+        static_cast<std::uint32_t>(parse_u64_range(value, 1, 1u << 16, line));
+  } else if (key == "rows") {
+    ch.rows =
+        static_cast<std::uint32_t>(parse_u64_range(value, 1, 1u << 24, line));
+  } else if (key == "cols") {
+    ch.cols =
+        static_cast<std::uint32_t>(parse_u64_range(value, 1, 1u << 24, line));
+  } else if (key == "col_bytes") {
+    ch.col_bytes =
+        static_cast<std::uint32_t>(parse_u64_range(value, 1, 64, line));
+  } else if (key == "mapping") {
+    const std::string_view m = trim(value);
+    if (m == "row-bank-col") {
+      ch.mapping = ddr::Mapping::kRowBankCol;
+    } else if (m == "bank-row-col") {
+      ch.mapping = ddr::Mapping::kBankRowCol;
+    } else {
+      throw ScenarioError("unknown mapping '" + std::string(m) +
+                              "' (row-bank-col, bank-row-col)",
+                          line);
+    }
+  } else {
+    throw ScenarioError("unknown [channel] key '" + std::string(key) + "'",
+                        line);
   }
 }
 
@@ -263,8 +309,12 @@ void apply_master(core::MasterSpec& m, std::string_view key,
   }
 }
 
+/// Hard ceiling on `[channel K]` indices (the widest interleave).
+constexpr std::size_t kMaxChannels = 8;
+
 /// Route "section" + key to the right setter.  `master_idx` is the index
-/// for master sections, or ~0 for "every master".
+/// for master sections (~0 for "every master"), or the channel index for
+/// channel sections.
 void apply_in_section(core::PlatformConfig& cfg, std::string_view section,
                       std::size_t master_idx, std::string_view key,
                       std::string_view value, std::size_t line) {
@@ -274,6 +324,17 @@ void apply_in_section(core::PlatformConfig& cfg, std::string_view section,
     apply_bus(cfg, key, value, line);
   } else if (section == "ddr") {
     apply_ddr(cfg, key, value, line);
+  } else if (section == "channel") {
+    if (master_idx >= kMaxChannels) {
+      throw ScenarioError("channel index " + std::to_string(master_idx) +
+                              " out of range (at most " +
+                              std::to_string(kMaxChannels) + " channels)",
+                          line);
+    }
+    if (cfg.ddr_channels.size() <= master_idx) {
+      cfg.ddr_channels.resize(master_idx + 1);
+    }
+    apply_channel(cfg.ddr_channels[master_idx], key, value, line);
   } else if (section == "master") {
     if (master_idx == ~std::size_t{0}) {
       if (cfg.masters.empty()) {
@@ -300,12 +361,67 @@ void apply_in_section(core::PlatformConfig& cfg, std::string_view section,
 
 }  // namespace
 
+void validate(const core::PlatformConfig& cfg) {
+  if (!cfg.interleave.valid()) {
+    throw ScenarioError(
+        "invalid DDR interleave (channels 1/2/4/8, power-of-two"
+        " interleave_bytes >= 8)");
+  }
+  for (std::size_t k = 0; k < cfg.ddr_channels.size(); ++k) {
+    if (k >= cfg.interleave.channels && cfg.ddr_channels[k].any()) {
+      throw ScenarioError("[channel " + std::to_string(k) +
+                          "] overrides channel " + std::to_string(k) +
+                          " but ddr.channels = " +
+                          std::to_string(cfg.interleave.channels));
+    }
+  }
+  // Aperture: channels x the smallest per-channel capacity (the interleave
+  // stripes uniformly, so the smallest device bounds every channel-local
+  // address).
+  const auto channels = ddr::resolve_channels(cfg.timing, cfg.geom,
+                                              cfg.interleave,
+                                              cfg.ddr_channels);
+  std::uint64_t min_capacity = channels.front().geom.capacity();
+  for (std::size_t k = 0; k < channels.size(); ++k) {
+    const std::uint64_t cap = channels[k].geom.capacity();
+    if (cfg.interleave.channels > 1 &&
+        cap % cfg.interleave.stripe_bytes != 0) {
+      throw ScenarioError(
+          "interleave_bytes " + std::to_string(cfg.interleave.stripe_bytes) +
+          " does not divide channel " + std::to_string(k) + "'s capacity (" +
+          std::to_string(cap) + " bytes)");
+    }
+    min_capacity = std::min(min_capacity, cap);
+  }
+  const std::uint64_t aperture = min_capacity * cfg.interleave.channels;
+  for (std::size_t i = 0; i < cfg.masters.size(); ++i) {
+    const traffic::PatternConfig& t = cfg.masters[i].traffic;
+    if (t.base < cfg.ddr_base) {
+      throw ScenarioError("master " + std::to_string(i) +
+                          " window starts below ddr_base (base " +
+                          fmt_hex(t.base) + " < " + fmt_hex(cfg.ddr_base) +
+                          ")");
+    }
+    // Two-step form: `base - ddr_base + span > aperture` would wrap mod
+    // 2^64 for adversarial base/span pairs and let them through.
+    if (t.span > aperture || t.base - cfg.ddr_base > aperture - t.span) {
+      throw ScenarioError(
+          "master " + std::to_string(i) + " window [" + fmt_hex(t.base) +
+          ", " + fmt_hex(t.base + t.span) + ") exceeds the DDR aperture (" +
+          std::to_string(cfg.interleave.channels) + " channel(s) x " +
+          std::to_string(min_capacity) + " bytes from " +
+          fmt_hex(cfg.ddr_base) + ")");
+    }
+  }
+}
+
 core::PlatformConfig parse(std::string_view text) {
   core::PlatformConfig cfg;
   cfg.masters.clear();
 
   std::string section;          // current section name
-  std::size_t master_idx = 0;   // current [master N] (~0 = every master)
+  // Current [master N] (~0 = every master) or [channel K] index.
+  std::size_t master_idx = 0;
 
   lex::for_each_line(text, [&](const lex::Line& l) {
     if (l.kind == lex::Line::Kind::kSection) {
@@ -313,6 +429,13 @@ core::PlatformConfig parse(std::string_view text) {
       if (l.section == "platform" || l.section == "bus" ||
           l.section == "ddr") {
         section = l.section;
+      } else if (lex::channel_section(l.section, idx)) {
+        if (idx.empty()) {
+          throw ScenarioError("channel section needs an index: [channel K]",
+                              l.number);
+        }
+        master_idx = parse_u64(idx, l.number);
+        section = "channel";
       } else if (lex::master_section(l.section, idx)) {
         if (idx.empty()) {
           throw ScenarioError("master section needs an index: [master N]",
@@ -349,6 +472,7 @@ core::PlatformConfig parse(std::string_view text) {
     apply_in_section(cfg, section, master_idx, l.key, l.value, l.number);
   });
 
+  validate(cfg);
   return cfg;
 }
 
@@ -387,17 +511,11 @@ std::string serialize(const core::PlatformConfig& cfg) {
   const ddr::DdrTiming& t = cfg.timing;
   const ddr::Geometry& g = cfg.geom;
   os << "\n[ddr]\n";
-  os << "tRCD = " << t.tRCD << "\n";
-  os << "tRP = " << t.tRP << "\n";
-  os << "tRAS = " << t.tRAS << "\n";
-  os << "tRC = " << t.tRC << "\n";
-  os << "tRRD = " << t.tRRD << "\n";
-  os << "tCL = " << t.tCL << "\n";
-  os << "tWL = " << t.tWL << "\n";
-  os << "tWR = " << t.tWR << "\n";
-  os << "tCCD = " << t.tCCD << "\n";
-  os << "tRFC = " << t.tRFC << "\n";
-  os << "tREFI = " << t.tREFI << "\n";
+  os << "channels = " << cfg.interleave.channels << "\n";
+  os << "interleave_bytes = " << cfg.interleave.stripe_bytes << "\n";
+  for (const ddr::TimingField& f : ddr::kTimingFields) {
+    os << f.key << " = " << t.*f.shared << "\n";
+  }
   os << "banks = " << g.banks << "\n";
   os << "rows = " << g.rows << "\n";
   os << "cols = " << g.cols << "\n";
@@ -406,6 +524,34 @@ std::string serialize(const core::PlatformConfig& cfg) {
      << (g.mapping == ddr::Mapping::kRowBankCol ? "row-bank-col"
                                                 : "bank-row-col")
      << "\n";
+
+  // Per-channel overrides: only channels that deviate from [ddr] and only
+  // their set keys — the canonical form is the minimal delta.
+  for (std::size_t k = 0; k < cfg.ddr_channels.size(); ++k) {
+    const ddr::ChannelOverride& c = cfg.ddr_channels[k];
+    if (!c.any()) {
+      continue;
+    }
+    os << "\n[channel " << k << "]\n";
+    const auto emit = [&os](const char* key, const auto& opt) {
+      if (opt) {
+        os << key << " = " << *opt << "\n";
+      }
+    };
+    for (const ddr::TimingField& f : ddr::kTimingFields) {
+      emit(f.key, c.*f.opt);
+    }
+    emit("banks", c.banks);
+    emit("rows", c.rows);
+    emit("cols", c.cols);
+    emit("col_bytes", c.col_bytes);
+    if (c.mapping) {
+      os << "mapping = "
+         << (*c.mapping == ddr::Mapping::kRowBankCol ? "row-bank-col"
+                                                     : "bank-row-col")
+         << "\n";
+    }
+  }
 
   for (std::size_t i = 0; i < cfg.masters.size(); ++i) {
     const core::MasterSpec& m = cfg.masters[i];
@@ -439,6 +585,14 @@ void apply_key(core::PlatformConfig& cfg, std::string_view dotted_key,
 
   if (section == "platform" || section == "bus" || section == "ddr") {
     apply_in_section(cfg, section, 0, key, value, 0);
+    return;
+  }
+  if (section.substr(0, 7) == "channel") {
+    const std::string_view idx = section.substr(7);
+    if (idx.empty()) {
+      throw ScenarioError("channel override needs an index: 'channelK.key'");
+    }
+    apply_in_section(cfg, "channel", parse_u64(idx, 0), key, value, 0);
     return;
   }
   if (section.substr(0, 6) == "master") {

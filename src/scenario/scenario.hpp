@@ -75,11 +75,23 @@ core::PlatformConfig parse_file(const std::string& path);
 std::string serialize(const core::PlatformConfig& cfg);
 
 /// Apply one dotted-key override, e.g. ("bus.write_buffer_depth", "8"),
-/// ("ddr.preset", "ddr400"), ("master1.items", "200"), or ("master*.seed",
-/// "7") to touch every master.  This is the same setter machinery the
-/// parser uses, shared with sweep axis expansion so a sweepable knob and a
-/// scenario key can never drift apart.
+/// ("ddr.preset", "ddr400"), ("channel1.tCL", "6"), ("master1.items",
+/// "200"), or ("master*.seed", "7") to touch every master.  This is the
+/// same setter machinery the parser uses, shared with sweep axis expansion
+/// so a sweepable knob and a scenario key can never drift apart.  Single
+/// keys are checked individually; call validate() after a batch of
+/// overrides to re-establish the whole-config invariants.
 void apply_key(core::PlatformConfig& cfg, std::string_view dotted_key,
                std::string_view value);
+
+/// Whole-config consistency checks a single setter cannot make: the
+/// interleave parameters, that channel overrides name existing channels,
+/// that the stripe divides every channel's capacity, and that each
+/// master's address window fits the DDR aperture (capacity x channels
+/// from ddr_base) — `ddr_base` used to be parsed independently of the
+/// geometry, so a scenario could target an aperture the device silently
+/// wrapped.  parse() and sweep expansion both end with this.
+/// Throws ScenarioError.
+void validate(const core::PlatformConfig& cfg);
 
 }  // namespace ahbp::scenario

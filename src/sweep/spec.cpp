@@ -78,6 +78,10 @@ SweepSpec parse_spec(std::string_view text) {
                  l.section == "ddr") {
         section = l.section;
         keep_line();
+      } else if (scenario::lex::channel_section(l.section, idx)) {
+        section = "channel";
+        master_idx = std::string(idx);
+        keep_line();
       } else if (scenario::lex::master_section(l.section, idx)) {
         section = "master";
         master_idx = std::string(idx);
@@ -126,8 +130,9 @@ SweepSpec parse_spec(std::string_view text) {
     } else {
       // With a base, scenario sections are targeted overrides.
       const std::string dotted =
-          section == "master" ? "master" + master_idx + "." + key
-                              : section + "." + key;
+          section == "master" || section == "channel"
+              ? section + master_idx + "." + key
+              : section + "." + key;
       overrides.push_back({dotted, value, l.number});
     }
   });
@@ -157,6 +162,9 @@ SweepSpec parse_spec(std::string_view text) {
         throw ScenarioError(e.what(), o.line);
       }
     }
+    // Targeted overrides bypass parse(); re-establish the whole-config
+    // invariants (aperture, channel ranges, stripe divisibility) here.
+    scenario::validate(spec.base_config);
   }
 
   return spec;
@@ -196,6 +204,17 @@ std::vector<SweepPoint> expand(const SweepSpec& spec) {
         label += ' ';
       }
       label += ax.key + "=" + v;
+    }
+    if (!spec.axes.empty()) {
+      // Axis values pass through apply_key one at a time; the combined
+      // point must still satisfy the whole-config invariants (e.g. a
+      // swept ddr.rows shrinking the aperture under a master's window).
+      try {
+        scenario::validate(p.config);
+      } catch (const scenario::ScenarioError& e) {
+        throw scenario::ScenarioError("point " + std::to_string(i) + " (" +
+                                      label + "): " + e.what());
+      }
     }
     p.label = label.empty() ? "base" : label;
     out.push_back(std::move(p));

@@ -4,7 +4,7 @@
 #include <optional>
 
 #include "ahb/types.hpp"
-#include "ddr/geometry.hpp"
+#include "ddr/interleave.hpp"
 
 /// \file bi.hpp
 /// The BI (Bus Interface) — the AHB+ side channel between arbiter and
@@ -23,7 +23,9 @@ namespace ahbp::tlm {
 /// selected, sent ahead of its address phase so the controller can
 /// pre-charge / pre-activate the target bank (bank interleaving).
 struct BiDownstream {
-  std::optional<ddr::Coord> next_coord;  ///< target of the upcoming txn
+  /// Target of the upcoming txn: owning channel + device coordinates (the
+  /// sharded DDR subsystem routes the hint to that channel's controller).
+  std::optional<ddr::ChannelCoord> next_coord;
   bool next_is_write = false;
 };
 

@@ -79,7 +79,7 @@ bool AhbPlusBus::quiescent() const noexcept {
   if (inflight_ || granted_ || !wbuf_.empty() || ddrc_.busy()) {
     return false;
   }
-  if (ddrc_.engine().pending_write_chunks() != 0) {
+  if (ddrc_.channels().pending_write_chunks() != 0) {
     return false;
   }
   return std::all_of(slots_.begin(), slots_.end(), [](const Slot& s) {

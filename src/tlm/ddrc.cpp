@@ -5,14 +5,14 @@
 namespace ahbp::tlm {
 
 void TlmDdrc::begin(const ahb::Transaction& t, sim::Cycle now) {
-  AHBP_ASSERT_MSG(!engine_.busy(), "DDRC begin while busy");
+  AHBP_ASSERT_MSG(!set_.busy(), "DDRC begin while busy");
   ddr::MemRequest req;
   req.is_write = t.dir == ahb::Dir::kWrite;
   req.addr = offset(t.addr);
   req.beat_bytes = ahb::size_bytes(t.size);
   req.beats = t.beats;
   req.burst = t.burst;
-  engine_.begin(req, now);
+  set_.begin(req, now);
 }
 
 }  // namespace ahbp::tlm

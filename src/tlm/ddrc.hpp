@@ -1,88 +1,97 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "ahb/transaction.hpp"
-#include "ddr/scheduler.hpp"
+#include "ddr/channels.hpp"
 #include "sim/time.hpp"
 #include "tlm/bi.hpp"
 
 /// \file ddrc.hpp
-/// Transaction-level DDR controller (§3.3): wraps the shared DdrcEngine
+/// Transaction-level DDR controller (§3.3): wraps the sharded channel set
 /// behind the AHB+ slave-side method interface and the BI exchange.
 ///
-/// The wrapper is deliberately thin — the controller FSM lives in
-/// ddr::DdrcEngine so the signal-level model shares it — but it is the
-/// component boundary the paper describes ("AHB+ and DDRC are interfaced
-/// with a special protocol called BI"), and the TLM bus only ever talks
-/// through this interface.
+/// The wrapper is deliberately thin — the controller FSMs live in
+/// ddr::DdrcEngine and their multi-channel composition in ddr::ChannelSet,
+/// both shared with the signal-level model — but it is the component
+/// boundary the paper describes ("AHB+ and DDRC are interfaced with a
+/// special protocol called BI"), and the TLM bus only ever talks through
+/// this interface.
 
 namespace ahbp::tlm {
 
 class TlmDdrc {
  public:
+  /// Single-channel controller (the pre-sharding platform, bit-exact).
   TlmDdrc(const ddr::DdrTiming& timing, const ddr::Geometry& geom,
           ahb::Addr region_base)
-      : engine_(timing, geom), base_(region_base) {}
+      : TlmDdrc(std::vector<ddr::ChannelConfig>{{timing, geom}},
+                ddr::Interleave{}, region_base) {}
+
+  /// Sharded controller: one resolved config per channel behind `ilv`.
+  TlmDdrc(const std::vector<ddr::ChannelConfig>& cfgs,
+          const ddr::Interleave& ilv, ahb::Addr region_base)
+      : set_(cfgs, ilv), base_(region_base) {}
 
   /// --- BI exchange (once per cycle, §3.4) ---
 
   /// Arbiter -> DDRC: next transaction information.
   void bi_downstream(const BiDownstream& down) {
-    engine_.set_hint(down.next_coord);
+    set_.set_hint(down.next_coord);
   }
 
   /// DDRC -> arbiter: idle banks and access permission.
   BiUpstream bi_upstream(sim::Cycle now) const {
-    return BiUpstream{engine_.idle_bank_mask(now),
-                      engine_.access_permitted(now)};
+    return BiUpstream{set_.idle_bank_mask(now), set_.access_permitted(now)};
   }
 
   /// Bank affinity for a bus address (BI: arbiter evaluates candidates).
   ddr::BankAffinity affinity(ahb::Addr bus_addr, sim::Cycle now) const {
-    return engine_.affinity_for(offset(bus_addr), now);
+    return set_.affinity_for(offset(bus_addr), now);
   }
 
   /// --- AHB slave side ---
 
-  bool busy() const noexcept { return engine_.busy(); }
+  bool busy() const noexcept { return set_.busy(); }
 
   /// Present the address phase of a transaction (NONSEQ cycle).
   void begin(const ahb::Transaction& t, sim::Cycle now);
 
-  /// Advance the controller one cycle (issues at most one DRAM command).
-  ddr::Command step(sim::Cycle now) { return engine_.step(now); }
+  /// Advance the controller one cycle (each channel issues at most one
+  /// DRAM command).
+  ddr::Command step(sim::Cycle now) { return set_.step(now); }
 
   bool read_beat_available(sim::Cycle now) const {
-    return engine_.read_beat_available(now);
+    return set_.read_beat_available(now);
   }
   ahb::Word take_read_beat(sim::Cycle now) {
-    return engine_.take_read_beat(now);
+    return set_.take_read_beat(now);
   }
   bool write_beat_ready(sim::Cycle now) const {
-    return engine_.write_beat_ready(now);
+    return set_.write_beat_ready(now);
   }
   void put_write_beat(sim::Cycle now, ahb::Word w) {
-    engine_.put_write_beat(now, w);
+    set_.put_write_beat(now, w);
   }
 
-  bool done() const noexcept { return engine_.done(); }
-  void finish() { engine_.finish(); }
+  bool done() const noexcept { return set_.done(); }
+  void finish() { set_.finish(); }
 
-  /// Coordinates of a bus address (for BI downstream hints).
-  ddr::Coord coord_of(ahb::Addr bus_addr) const {
-    return engine_.geometry().decode(offset(bus_addr));
+  /// Channel + coordinates of a bus address (for BI downstream hints).
+  ddr::ChannelCoord coord_of(ahb::Addr bus_addr) const {
+    return set_.coord_of(offset(bus_addr));
   }
 
-  const ddr::DdrcEngine& engine() const noexcept { return engine_; }
-  ddr::DdrcEngine& engine() noexcept { return engine_; }
+  const ddr::ChannelSet& channels() const noexcept { return set_; }
+  ddr::ChannelSet& channels() noexcept { return set_; }
 
  private:
   ahb::Addr offset(ahb::Addr bus_addr) const noexcept {
     return bus_addr - base_;
   }
 
-  ddr::DdrcEngine engine_;
+  ddr::ChannelSet set_;
   ahb::Addr base_;
 };
 

@@ -141,6 +141,122 @@ TEST(ScenarioErrors, MissingFile) {
   EXPECT_THROW(scenario::parse_file("/nonexistent/path.scn"), ScenarioError);
 }
 
+// ------------------------------------------------- sharded DDR keys ----
+
+TEST(ScenarioChannels, ChannelKeysParse) {
+  const auto cfg = scenario::parse(
+      "[ddr]\n"
+      "channels = 4\n"
+      "interleave_bytes = 256\n"
+      "[channel 2]\n"
+      "tCL = 7\n"
+      "[channel 0]\n"
+      "banks = 8\n");
+  EXPECT_EQ(cfg.interleave.channels, 4u);
+  EXPECT_EQ(cfg.interleave.stripe_bytes, 256u);
+  ASSERT_EQ(cfg.ddr_channels.size(), 3u);
+  EXPECT_EQ(cfg.ddr_channels[2].tCL, 7u);
+  EXPECT_EQ(cfg.ddr_channels[0].banks, 8u);
+  EXPECT_FALSE(cfg.ddr_channels[1].any());  // untouched: inherits [ddr]
+  // Resolution: overrides layer onto the shared base, gaps inherit.
+  const auto chs = ddr::resolve_channels(cfg.timing, cfg.geom,
+                                         cfg.interleave, cfg.ddr_channels);
+  ASSERT_EQ(chs.size(), 4u);
+  EXPECT_EQ(chs[0].geom.banks, 8u);
+  EXPECT_EQ(chs[1].geom.banks, cfg.geom.banks);
+  EXPECT_EQ(chs[2].timing.tCL, 7u);
+  EXPECT_EQ(chs[3].timing.tCL, cfg.timing.tCL);
+}
+
+TEST(ScenarioChannels, BadChannelValuesRejected) {
+  EXPECT_THROW(scenario::parse("[ddr]\nchannels = 3\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[ddr]\nchannels = 0\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[ddr]\nchannels = 16\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[ddr]\ninterleave_bytes = 4\n"),
+               ScenarioError);  // below the widest beat
+  EXPECT_THROW(scenario::parse("[ddr]\ninterleave_bytes = 96\n"),
+               ScenarioError);  // not a power of two
+  EXPECT_THROW(scenario::parse("[channel 0]\nfancy = 1\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[channel]\ntCL = 2\n"), ScenarioError);
+  EXPECT_THROW(scenario::parse("[channel 9]\ntCL = 2\n"), ScenarioError);
+  // Overriding a channel the interleave does not instantiate.
+  EXPECT_THROW(
+      scenario::parse("[ddr]\nchannels = 2\n[channel 3]\ntCL = 2\n"),
+      ScenarioError);
+  // The stripe must divide the per-channel capacity.
+  EXPECT_THROW(scenario::parse("[ddr]\nchannels = 2\nbanks = 2\nrows = 4\n"
+                               "cols = 8\ncol_bytes = 4\n"
+                               "interleave_bytes = 1024\n"),
+               ScenarioError);
+  // apply_key speaks the same dialect.
+  auto cfg = scenario::parse("[master 0]\nitems = 5\n");
+  EXPECT_THROW(scenario::apply_key(cfg, "ddr.channels", "5"), ScenarioError);
+  EXPECT_THROW(scenario::apply_key(cfg, "channel.tCL", "2"), ScenarioError);
+  scenario::apply_key(cfg, "channel1.tCL", "4");
+  EXPECT_EQ(cfg.ddr_channels.at(1).tCL, 4u);
+}
+
+TEST(ScenarioChannels, ApertureMustFitCapacityTimesChannels) {
+  // Latent ddr_base coupling (fixed): a master window larger than the
+  // device is rejected at parse instead of silently wrapping.  The default
+  // geometry holds 32 MiB; one channel cannot back a 64 MiB window...
+  const char* kOversized =
+      "[master 0]\n"
+      "base = 0\n"
+      "span = 0x4000000\n";  // 64 MiB
+  EXPECT_THROW(scenario::parse(kOversized), ScenarioError);
+  // ...but two channels double the aperture and the same window fits.
+  const auto cfg = scenario::parse(std::string("[ddr]\nchannels = 2\n") +
+                                   kOversized);
+  EXPECT_EQ(cfg.interleave.channels, 2u);
+
+  // ddr_base shifts the aperture: a window straddling its end fails, and
+  // one below ddr_base can never be DDR traffic.
+  EXPECT_THROW(scenario::parse("[platform]\nddr_base = 0x1000\n"
+                               "[master 0]\nbase = 0x2000000\n"
+                               "span = 0x2000000\n"),
+               ScenarioError);
+  EXPECT_THROW(scenario::parse("[platform]\nddr_base = 0x1000\n"
+                               "[master 0]\nbase = 0\nspan = 0x100\n"),
+               ScenarioError);
+  // Shrinking the geometry shrinks the aperture with it.
+  EXPECT_THROW(scenario::parse("[ddr]\nrows = 16\n"
+                               "[master 0]\nspan = 0x100000\n"),
+               ScenarioError);
+  // base + span summing past 2^64 must not wrap around the check.
+  EXPECT_THROW(scenario::parse("[master 0]\nbase = 0x8000000000000000\n"
+                               "span = 0x8000000000000000\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioChannels, ChannelSectionsRoundTrip) {
+  const char* kText =
+      "[ddr]\n"
+      "channels = 4\n"
+      "interleave_bytes = 512\n"
+      "[channel 1]\n"
+      "tCL = 6\n"
+      "[channel 3]\n"
+      "banks = 8\n"
+      "mapping = bank-row-col\n"
+      "[master 0]\n"
+      "items = 10\n";
+  const auto cfg = scenario::parse(kText);
+  const std::string text = scenario::serialize(cfg);
+  // Canonical form: only overridden channels, only their set keys.
+  EXPECT_NE(text.find("[channel 1]"), std::string::npos);
+  EXPECT_NE(text.find("[channel 3]"), std::string::npos);
+  EXPECT_EQ(text.find("[channel 0]"), std::string::npos);
+  EXPECT_EQ(text.find("[channel 2]"), std::string::npos);
+  const auto reparsed = scenario::parse(text);
+  EXPECT_EQ(scenario::serialize(reparsed), text);
+  EXPECT_EQ(reparsed.interleave.channels, 4u);
+  EXPECT_EQ(reparsed.interleave.stripe_bytes, 512u);
+  EXPECT_EQ(reparsed.ddr_channels.at(1).tCL, 6u);
+  EXPECT_EQ(reparsed.ddr_channels.at(3).banks, 8u);
+  EXPECT_EQ(reparsed.ddr_channels.at(3).mapping, ddr::Mapping::kBankRowCol);
+}
+
 // ---------------------------------------------------------- round trip ----
 
 TEST(ScenarioRoundTrip, SerializeParseSerializeIsIdentity) {

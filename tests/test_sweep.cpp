@@ -108,6 +108,28 @@ TEST(SweepSpec, InlineScenarioErrorsKeepSweepFileLineNumbers) {
   }
 }
 
+TEST(SweepSpec, ExpandEnforcesWholeConfigValidation) {
+  // Axis values go through apply_key one at a time, which cannot see
+  // whole-config invariants; expand() must re-validate each point.  A
+  // swept ddr.rows shrinking the aperture under the base's master windows
+  // is an error, not a silently wrapping run.
+  const auto spec = sweep::parse_spec(
+      "base = table1/dma-1\n"
+      "[sweep]\nddr.rows = 4096, 4\n");
+  EXPECT_THROW(sweep::expand(spec), ScenarioError);
+  // Same rule for the sweep file's own targeted overrides of the base.
+  EXPECT_THROW(sweep::parse_spec("base = table1/dma-1\n"
+                                 "[ddr]\nrows = 4\n"
+                                 "[sweep]\nbus.filter_mask = 0x7f\n"),
+               ScenarioError);
+  // A channel override the interleave does not instantiate is an error
+  // at expand, not silently dropped by resolution.
+  const auto ch = sweep::parse_spec(
+      "base = table1/dma-1\n"
+      "[sweep]\nchannel1.tCL = 4, 6\n");
+  EXPECT_THROW(sweep::expand(ch), ScenarioError);
+}
+
 TEST(SweepSpec, BadAxisSurfacesAtExpand) {
   const auto bad_value = sweep::parse_spec(
       "base = single-master\n[sweep]\nbus.write_buffer_depth = 1, soon\n");
@@ -155,6 +177,37 @@ TEST(SweepRunner, DeterministicAcrossJobCounts) {
   // The rendered aggregate (the artifact reports diff) is byte-identical.
   EXPECT_EQ(render(seq, sweep::Model::kTlm), render(par4, sweep::Model::kTlm));
   EXPECT_EQ(render(seq, sweep::Model::kTlm), render(par0, sweep::Model::kTlm));
+}
+
+TEST(SweepRunner, ChannelAxisDeterministicAcrossJobCounts) {
+  // `ddr.channels` is a sweepable axis like any other knob, and the
+  // index-ordered aggregates stay byte-identical at every worker count.
+  const auto spec = sweep::parse_spec(
+      "base = table1/dma-1\n"
+      "[master *]\nitems = 30\n"
+      "[sweep]\n"
+      "ddr.channels = 1, 2, 4\n"
+      "ddr.interleave_bytes = 256, 1024\n");
+  const auto points = sweep::expand(spec);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].config.interleave.channels, 1u);
+  EXPECT_EQ(points[5].config.interleave.channels, 4u);
+  EXPECT_EQ(points[5].config.interleave.stripe_bytes, 1024u);
+
+  const auto seq = sweep::SweepRunner(1).run(points, sweep::Model::kTlm);
+  const auto par = sweep::SweepRunner(4).run(points, sweep::Model::kTlm);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_TRUE(seq[i].tlm.finished) << seq[i].label;
+    EXPECT_EQ(seq[i].tlm.cycles, par[i].tlm.cycles) << i;
+    EXPECT_EQ(seq[i].tlm.completed, par[i].tlm.completed) << i;
+  }
+  EXPECT_EQ(render(seq, sweep::Model::kTlm), render(par, sweep::Model::kTlm));
+
+  // Sharding pays on the bandwidth-bound base (points are ordered
+  // channels-major, stripe-minor; the strict per-step monotonicity
+  // property lives in test_multi_channel.cpp at full workload size).
+  EXPECT_LE(seq[5].tlm.cycles, seq[1].tlm.cycles);  // 4ch vs 1ch @1024B
 }
 
 TEST(SweepRunner, RunsCleanAndAggregates) {
