@@ -64,6 +64,24 @@ void AddressMap::add(Region region) {
   regions_.push_back(std::move(region));
 }
 
+void BurstSequencer::save_state(state::StateWriter& w) const {
+  w.put_u64(start_);
+  w.put_u64(cur_);
+  w.put_u8(static_cast<std::uint8_t>(size_));
+  w.put_u8(static_cast<std::uint8_t>(burst_));
+  w.put_u32(beats_);
+  w.put_u32(beat_);
+}
+
+void BurstSequencer::restore_state(state::StateReader& r) {
+  start_ = r.get_u64();
+  cur_ = r.get_u64();
+  size_ = static_cast<Size>(r.get_u8());
+  burst_ = static_cast<Burst>(r.get_u8());
+  beats_ = r.get_u32();
+  beat_ = r.get_u32();
+}
+
 std::optional<int> AddressMap::decode(Addr a) const noexcept {
   for (const Region& r : regions_) {
     if (r.contains(a)) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ahb/types.hpp"
+#include "state/snapshot.hpp"
 
 /// \file address.hpp
 /// Burst address sequencing and the system address map.
@@ -53,6 +54,9 @@ class BurstSequencer {
 
   /// Move to the next beat.
   void advance() noexcept;
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   Addr start_ = 0;

@@ -28,4 +28,37 @@ std::int64_t QosRegisterFile::rt_slack(MasterId m, sim::Cycle now) const {
   return static_cast<std::int64_t>(cfg.objective) - waited;
 }
 
+void QosRegisterFile::save_state(state::StateWriter& w) const {
+  w.begin("qos");
+  w.put_u64(states_.size());
+  for (const QosState& s : states_) {
+    w.put_bool(s.requesting);
+    w.put_u64(s.request_since);
+    w.put_i64(s.budget);
+    w.put_u64(s.grants);
+    w.put_u64(s.qos_misses);
+  }
+  w.put_u64(epoch_);
+  w.end();
+}
+
+void QosRegisterFile::restore_state(state::StateReader& r) {
+  r.enter("qos");
+  const std::uint64_t n = r.get_u64();
+  if (n != states_.size()) {
+    throw state::StateError(
+        "QosRegisterFile: snapshot has " + std::to_string(n) +
+        " masters, platform has " + std::to_string(states_.size()));
+  }
+  for (QosState& s : states_) {
+    s.requesting = r.get_bool();
+    s.request_since = r.get_u64();
+    s.budget = r.get_i64();
+    s.grants = r.get_u64();
+    s.qos_misses = r.get_u64();
+  }
+  epoch_ = r.get_u64();
+  r.leave();
+}
+
 }  // namespace ahbp::ahb

@@ -6,6 +6,7 @@
 
 #include "ahb/types.hpp"
 #include "sim/time.hpp"
+#include "state/snapshot.hpp"
 
 /// \file qos.hpp
 /// AHB+ QoS register file.
@@ -81,6 +82,11 @@ class QosRegisterFile {
   /// Slack of a requesting RT master at cycle `now`: objective minus cycles
   /// already waited.  Negative slack means the objective is already missed.
   std::int64_t rt_slack(MasterId m, sim::Cycle now) const;
+
+  /// Snapshot the runtime QoS state (the programmed configs are platform
+  /// configuration and are re-programmed at construction, not restored).
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   QosConfig& at(MasterId m) {

@@ -28,4 +28,42 @@ bool structurally_valid(const Transaction& t) noexcept {
   return true;
 }
 
+void save_state(state::StateWriter& w, const Transaction& t) {
+  w.put_u64(t.id);
+  w.put_u8(t.master);
+  w.put_u8(static_cast<std::uint8_t>(t.dir));
+  w.put_u64(t.addr);
+  w.put_u8(static_cast<std::uint8_t>(t.size));
+  w.put_u8(static_cast<std::uint8_t>(t.burst));
+  w.put_u32(t.beats);
+  w.put_bool(t.locked);
+  w.put_u64(t.data.size());
+  for (const Word d : t.data) {
+    w.put_u64(d);
+  }
+  w.put_u64(t.issued_at);
+  w.put_u64(t.granted_at);
+  w.put_u64(t.started_at);
+  w.put_u64(t.finished_at);
+}
+
+void restore_state(state::StateReader& r, Transaction& t) {
+  t.id = r.get_u64();
+  t.master = r.get_u8();
+  t.dir = static_cast<Dir>(r.get_u8());
+  t.addr = r.get_u64();
+  t.size = static_cast<Size>(r.get_u8());
+  t.burst = static_cast<Burst>(r.get_u8());
+  t.beats = r.get_u32();
+  t.locked = r.get_bool();
+  t.data.assign(r.get_count(), 0);
+  for (Word& d : t.data) {
+    d = r.get_u64();
+  }
+  t.issued_at = r.get_u64();
+  t.granted_at = r.get_u64();
+  t.started_at = r.get_u64();
+  t.finished_at = r.get_u64();
+}
+
 }  // namespace ahbp::ahb

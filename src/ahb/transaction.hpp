@@ -5,6 +5,7 @@
 
 #include "ahb/types.hpp"
 #include "sim/time.hpp"
+#include "state/snapshot.hpp"
 
 /// \file transaction.hpp
 /// The transaction descriptor — the unit of work in the TLM.
@@ -73,5 +74,11 @@ enum class PortStatus : std::uint8_t {
 /// consistent with burst kind, 1KB rule, non-empty).  Returns true if legal;
 /// used by model-debug assertions (§3.5 first family).
 bool structurally_valid(const Transaction& t) noexcept;
+
+/// Snapshot a transaction descriptor (all fields, including data beats and
+/// timestamps) — transactions appear inside bus slots, write-buffer FIFOs
+/// and in-flight registers of both models.
+void save_state(state::StateWriter& w, const Transaction& t);
+void restore_state(state::StateReader& r, Transaction& t);
 
 }  // namespace ahbp::ahb

@@ -181,4 +181,74 @@ void QosChecker::on_grant(ahb::MasterId m, sim::Cycle waited, sim::Cycle now) {
   }
 }
 
+namespace {
+
+void save_view(state::StateWriter& w, const BusCycleView& v) {
+  w.put_u64(v.cycle);
+  w.put_u32(v.request_mask);
+  w.put_u8(v.hmaster);
+  w.put_u8(static_cast<std::uint8_t>(v.htrans));
+  w.put_u64(v.haddr);
+  w.put_u8(static_cast<std::uint8_t>(v.hburst));
+  w.put_u8(static_cast<std::uint8_t>(v.hsize));
+  w.put_u8(static_cast<std::uint8_t>(v.hwrite));
+  w.put_bool(v.hready);
+  w.put_u8(static_cast<std::uint8_t>(v.hresp));
+  w.put_u32(v.wbuf_occupancy);
+}
+
+void restore_view(state::StateReader& r, BusCycleView& v) {
+  v.cycle = r.get_u64();
+  v.request_mask = r.get_u32();
+  v.hmaster = r.get_u8();
+  v.htrans = static_cast<ahb::Trans>(r.get_u8());
+  v.haddr = r.get_u64();
+  v.hburst = static_cast<ahb::Burst>(r.get_u8());
+  v.hsize = static_cast<ahb::Size>(r.get_u8());
+  v.hwrite = static_cast<ahb::Dir>(r.get_u8());
+  v.hready = r.get_bool();
+  v.hresp = static_cast<ahb::Resp>(r.get_u8());
+  v.wbuf_occupancy = r.get_u32();
+}
+
+}  // namespace
+
+void BusChecker::save_state(state::StateWriter& w) const {
+  w.begin("bus-checker");
+  w.put_u64(cycles_);
+  w.put_bool(prev_.has_value());
+  if (prev_) {
+    save_view(w, *prev_);
+  }
+  w.put_u32(prev_requests_);
+  w.put_u32(pending_requests_);
+  w.put_bool(in_burst_);
+  seq_.save_state(w);
+  w.put_u8(static_cast<std::uint8_t>(burst_kind_));
+  w.put_u8(static_cast<std::uint8_t>(burst_size_));
+  w.put_u8(static_cast<std::uint8_t>(burst_dir_));
+  w.put_u32(beats_seen_);
+  w.end();
+}
+
+void BusChecker::restore_state(state::StateReader& r) {
+  r.enter("bus-checker");
+  cycles_ = r.get_u64();
+  if (r.get_bool()) {
+    prev_.emplace();
+    restore_view(r, *prev_);
+  } else {
+    prev_.reset();
+  }
+  prev_requests_ = r.get_u32();
+  pending_requests_ = r.get_u32();
+  in_burst_ = r.get_bool();
+  seq_.restore_state(r);
+  burst_kind_ = static_cast<ahb::Burst>(r.get_u8());
+  burst_size_ = static_cast<ahb::Size>(r.get_u8());
+  burst_dir_ = static_cast<ahb::Dir>(r.get_u8());
+  beats_seen_ = r.get_u32();
+  r.leave();
+}
+
 }  // namespace ahbp::chk

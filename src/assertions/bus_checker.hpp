@@ -75,6 +75,12 @@ class BusChecker {
 
   std::uint64_t cycles_checked() const noexcept { return cycles_; }
 
+  /// The checker carries cross-cycle protocol state (previous view, burst
+  /// follower, pending-request set) — it must snapshot with the platform or
+  /// a resumed run would re-flag / miss rules at the boundary.
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   void check_grant(const BusCycleView& v);
   void check_stability(const BusCycleView& v);
@@ -115,6 +121,9 @@ class QosChecker {
   void on_grant(ahb::MasterId m, sim::Cycle waited, sim::Cycle now);
 
   std::uint64_t misses() const noexcept { return misses_; }
+
+  void save_state(state::StateWriter& w) const { w.put_u64(misses_); }
+  void restore_state(state::StateReader& r) { misses_ = r.get_u64(); }
 
  private:
   const ahb::QosRegisterFile& regs_;

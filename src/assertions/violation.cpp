@@ -37,4 +37,30 @@ std::string ViolationLog::to_string(std::size_t max) const {
   return ss.str();
 }
 
+void ViolationLog::save_state(state::StateWriter& w) const {
+  w.begin("violations");
+  w.put_u64(violations_.size());
+  for (const Violation& v : violations_) {
+    w.put_u8(static_cast<std::uint8_t>(v.severity));
+    w.put_u64(v.cycle);
+    w.put_str(v.rule);
+    w.put_str(v.detail);
+  }
+  w.put_u64(errors_);
+  w.end();
+}
+
+void ViolationLog::restore_state(state::StateReader& r) {
+  r.enter("violations");
+  violations_.assign(r.get_count(), Violation{});
+  for (Violation& v : violations_) {
+    v.severity = static_cast<Severity>(r.get_u8());
+    v.cycle = r.get_u64();
+    v.rule = r.get_str();
+    v.detail = r.get_str();
+  }
+  errors_ = r.get_u64();
+  r.leave();
+}
+
 }  // namespace ahbp::chk

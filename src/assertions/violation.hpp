@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "state/snapshot.hpp"
 
 /// \file violation.hpp
 /// Recorded property violations — the second assertion family of §3.5:
@@ -44,6 +45,9 @@ class ViolationLog {
 
   /// Render the first `max` violations, one per line.
   std::string to_string(std::size_t max = 20) const;
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   std::vector<Violation> violations_;

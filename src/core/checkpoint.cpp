@@ -1,0 +1,294 @@
+#include "core/checkpoint.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "assertions/assert.hpp"
+#include "assertions/violation.hpp"
+#include "rtl/fabric.hpp"
+#include "sim/cycle_kernel.hpp"
+#include "tlm/bus.hpp"
+#include "tlm/ddrc.hpp"
+#include "tlm/master.hpp"
+
+namespace ahbp::core {
+
+std::string_view to_string(ModelKind m) noexcept {
+  return m == ModelKind::kTlm ? "tlm" : "rtl";
+}
+
+bool model_kind_from_string(std::string_view name, ModelKind& out) {
+  if (name == "tlm") {
+    out = ModelKind::kTlm;
+  } else if (name == "rtl") {
+    out = ModelKind::kRtl;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ Impl --
+
+struct Platform::Impl {
+  PlatformConfig cfg;
+  ModelKind model;
+  double wall = 0.0;  ///< this instance's accumulated simulation time
+
+  // --- transaction-level assembly (mirrors the historical run_tlm) ---
+  sim::CycleKernel kernel;
+  std::unique_ptr<ahb::QosRegisterFile> qos;
+  chk::ViolationLog log;
+  std::unique_ptr<tlm::TlmDdrc> ddrc;
+  std::unique_ptr<tlm::AhbPlusBus> bus;
+  std::vector<std::unique_ptr<tlm::TlmMaster>> masters;
+  sim::Cycle last_completion = 0;
+
+  // --- signal-level assembly ---
+  std::unique_ptr<rtl::RtlFabric> fabric;
+
+  bool tlm_done() const {
+    for (const auto& m : masters) {
+      if (!m->finished()) {
+        return false;
+      }
+    }
+    return bus->quiescent();
+  }
+};
+
+Platform::Platform(const PlatformConfig& cfg, ModelKind model)
+    : impl_(std::make_unique<Impl>()) {
+  AHBP_ASSERT_MSG(!cfg.masters.empty(), "platform needs at least one master");
+  impl_->cfg = cfg;
+  impl_->model = model;
+
+  if (model == ModelKind::kTlm) {
+    Impl& im = *impl_;
+    const unsigned n = static_cast<unsigned>(cfg.masters.size());
+    im.qos = std::make_unique<ahb::QosRegisterFile>(n);
+    for (unsigned m = 0; m < n; ++m) {
+      im.qos->program(static_cast<ahb::MasterId>(m), cfg.masters[m].qos);
+    }
+    im.ddrc = std::make_unique<tlm::TlmDdrc>(ddr_channel_configs(cfg),
+                                             cfg.interleave, cfg.ddr_base);
+    im.bus = std::make_unique<tlm::AhbPlusBus>(
+        cfg.bus, *im.qos, *im.ddrc, n,
+        cfg.enable_checkers ? &im.log : nullptr);
+    im.kernel.add(*im.bus);
+
+    auto scripts = make_scripts(cfg);
+    for (unsigned m = 0; m < n; ++m) {
+      im.masters.push_back(std::make_unique<tlm::TlmMaster>(
+          static_cast<ahb::MasterId>(m), *im.bus, std::move(scripts[m])));
+      im.masters[m]->on_complete = [&im](const ahb::Transaction&) {
+        im.last_completion = im.kernel.now();
+      };
+      im.kernel.add(*im.masters[m]);
+    }
+  } else {
+    rtl::RtlFabricConfig fc;
+    fc.bus = cfg.bus;
+    fc.timing = cfg.timing;
+    fc.geom = cfg.geom;
+    fc.interleave = cfg.interleave;
+    fc.ddr_channels = cfg.ddr_channels;
+    fc.ddr_base = cfg.ddr_base;
+    fc.enable_checkers = cfg.enable_checkers;
+    for (const MasterSpec& m : cfg.masters) {
+      fc.qos.push_back(m.qos);
+    }
+    impl_->fabric = std::make_unique<rtl::RtlFabric>(fc, make_scripts(cfg));
+  }
+}
+
+Platform::~Platform() = default;
+
+ModelKind Platform::model() const noexcept { return impl_->model; }
+
+const PlatformConfig& Platform::config() const noexcept { return impl_->cfg; }
+
+sim::Cycle Platform::now() const {
+  return impl_->model == ModelKind::kTlm ? impl_->kernel.now()
+                                         : impl_->fabric->cycle();
+}
+
+bool Platform::finished() const {
+  return impl_->model == ModelKind::kTlm ? impl_->tlm_done()
+                                         : impl_->fabric->finished();
+}
+
+sim::Cycle Platform::run(sim::Cycle n) {
+  Impl& im = *impl_;
+  const sim::Cycle done = now();
+  const sim::Cycle budget =
+      im.cfg.max_cycles > done ? im.cfg.max_cycles - done : 0;
+  const sim::Cycle quota = n < budget ? n : budget;
+  if (quota == 0) {
+    return 0;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Cycle ran = 0;
+  if (im.model == ModelKind::kTlm) {
+    ran = im.kernel.run_until([&im] { return im.tlm_done(); }, quota);
+  } else {
+    ran = im.fabric->run(quota);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  im.wall += std::chrono::duration<double>(t1 - t0).count();
+  return ran;
+}
+
+void Platform::run_to_completion() {
+  // run() already caps at max_cycles total and stops when finished.
+  run(impl_->cfg.max_cycles);
+}
+
+SimResult Platform::result() const {
+  const Impl& im = *impl_;
+  SimResult r;
+  if (im.model == ModelKind::kTlm) {
+    r.model = "tlm";
+    r.finished = im.tlm_done();
+    r.cycles = im.last_completion;
+    r.ran_cycles = im.kernel.now();
+    for (const auto& m : im.masters) {
+      r.completed += m->completed();
+    }
+    r.profile.masters = im.bus->master_profiles();
+    r.profile.bus = im.bus->bus_profile();
+    r.profile.bus.grants = im.bus->arbiter().grants();
+    r.profile.write_buffer = im.bus->write_buffer().profile();
+    r.profile.ddr.commands = im.ddrc->channels().command_counters();
+    r.profile.ddr.hits = im.ddrc->channels().hit_stats();
+    r.profile.total_cycles = im.last_completion;
+    r.profile.completed_txns = r.completed;
+    r.protocol_errors = im.log.errors();
+    r.qos_warnings = im.log.warnings();
+    r.first_violations = im.log.to_string();
+    r.kernel_activity = im.kernel.evaluations();
+  } else {
+    const rtl::RtlFabric& f = *im.fabric;
+    r.model = "rtl";
+    r.finished = f.finished();
+    r.cycles = f.last_completion();
+    r.ran_cycles = f.cycle();
+    r.completed = f.completed_txns();
+    r.profile = f.profile();
+    r.protocol_errors = f.violations().errors();
+    r.qos_warnings = f.violations().warnings();
+    r.first_violations = f.violations().to_string();
+    r.kernel_activity = f.kernel().stats().deltas;
+  }
+  r.wall_seconds = im.wall;
+  return r;
+}
+
+void Platform::enable_vcd(std::ostream& os) {
+  if (impl_->model != ModelKind::kRtl) {
+    // Precondition violation, not a snapshot failure — keep StateError for
+    // genuinely bad checkpoint streams.
+    throw std::logic_error("VCD dumping needs the signal-level model");
+  }
+  impl_->fabric->enable_vcd(os);
+}
+
+void Platform::checkpoint_at(sim::Cycle at, state::StateWriter& w) {
+  const sim::Cycle done = now();
+  if (at > done) {
+    run(at - done);
+  }
+  save_state(w);
+}
+
+void Platform::save_state(state::StateWriter& w) const {
+  const Impl& im = *impl_;
+  w.begin("platform");
+  w.put_u8(static_cast<std::uint8_t>(im.model));
+  if (im.model == ModelKind::kTlm) {
+    w.put_u64(im.last_completion);
+    im.kernel.save_state(w);
+    im.qos->save_state(w);
+    im.log.save_state(w);
+    im.ddrc->channels().save_state(w);
+    im.bus->save_state(w);
+    w.put_u64(im.masters.size());
+    for (const auto& m : im.masters) {
+      m->save_state(w);
+    }
+  } else {
+    im.fabric->save_state(w);
+  }
+  w.end();
+}
+
+void Platform::restore_state(state::StateReader& r) {
+  Impl& im = *impl_;
+  r.enter("platform");
+  const auto snap_model = static_cast<ModelKind>(r.get_u8());
+  if (snap_model != im.model) {
+    throw state::StateError(
+        "checkpoint was taken on the " + std::string(to_string(snap_model)) +
+        " model but this platform is " + std::string(to_string(im.model)));
+  }
+  if (im.model == ModelKind::kTlm) {
+    im.last_completion = r.get_u64();
+    im.kernel.restore_state(r);
+    im.qos->restore_state(r);
+    im.log.restore_state(r);
+    im.ddrc->channels().restore_state(r);
+    im.bus->restore_state(r);
+    const std::uint64_t n = r.get_u64();
+    if (n != im.masters.size()) {
+      throw state::StateError(
+          "checkpoint has " + std::to_string(n) + " masters, platform has " +
+          std::to_string(im.masters.size()));
+    }
+    for (auto& m : im.masters) {
+      m->restore_state(r);
+    }
+  } else {
+    im.fabric->restore_state(r);
+  }
+  r.leave();
+}
+
+// ------------------------------------------------------ checkpoint files --
+
+void write_checkpoint(state::StateWriter& w, const Platform& p,
+                      std::string_view scenario_text) {
+  w.begin("checkpoint");
+  w.put_str(to_string(p.model()));
+  w.put_u64(p.now());
+  w.put_str(scenario_text);
+  w.end();
+  p.save_state(w);
+}
+
+void write_checkpoint_file(const std::string& path, const Platform& p,
+                           std::string_view scenario_text) {
+  state::StateWriter w;
+  write_checkpoint(w, p, scenario_text);
+  w.write_file(path);
+}
+
+CheckpointInfo read_checkpoint_header(state::StateReader& r) {
+  CheckpointInfo info;
+  r.enter("checkpoint");
+  info.model = r.get_str();
+  info.taken_at = r.get_u64();
+  info.scenario_text = r.get_str();
+  r.leave();
+  return info;
+}
+
+SimResult run_from(const PlatformConfig& cfg, ModelKind model,
+                   state::StateReader& r) {
+  Platform p(cfg, model);
+  p.restore_state(r);
+  p.run_to_completion();
+  return p.result();
+}
+
+}  // namespace ahbp::core

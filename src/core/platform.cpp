@@ -1,15 +1,7 @@
 #include "core/platform.hpp"
 
-#include <chrono>
-#include <memory>
-
 #include "assertions/assert.hpp"
-#include "assertions/violation.hpp"
-#include "rtl/fabric.hpp"
-#include "sim/cycle_kernel.hpp"
-#include "tlm/bus.hpp"
-#include "tlm/ddrc.hpp"
-#include "tlm/master.hpp"
+#include "core/checkpoint.hpp"
 
 namespace ahbp::core {
 
@@ -39,106 +31,18 @@ std::vector<traffic::Script> make_scripts(const PlatformConfig& cfg) {
 }
 
 SimResult run_tlm(const PlatformConfig& cfg) {
-  AHBP_ASSERT_MSG(!cfg.masters.empty(), "platform needs at least one master");
-  const unsigned n = static_cast<unsigned>(cfg.masters.size());
-
-  sim::CycleKernel kernel;
-  ahb::QosRegisterFile qos(n);
-  for (unsigned m = 0; m < n; ++m) {
-    qos.program(static_cast<ahb::MasterId>(m), cfg.masters[m].qos);
-  }
-  chk::ViolationLog log;
-  tlm::TlmDdrc ddrc(ddr_channel_configs(cfg), cfg.interleave, cfg.ddr_base);
-  tlm::AhbPlusBus bus(cfg.bus, qos, ddrc, n,
-                      cfg.enable_checkers ? &log : nullptr);
-  kernel.add(bus);
-
-  auto scripts = make_scripts(cfg);
-  std::vector<std::unique_ptr<tlm::TlmMaster>> masters;
-  sim::Cycle last_completion = 0;
-  for (unsigned m = 0; m < n; ++m) {
-    masters.push_back(std::make_unique<tlm::TlmMaster>(
-        static_cast<ahb::MasterId>(m), bus, std::move(scripts[m])));
-    masters[m]->on_complete = [&last_completion, &kernel](const ahb::Transaction&) {
-      last_completion = kernel.now();
-    };
-    kernel.add(*masters[m]);
-  }
-
-  auto all_done = [&] {
-    for (const auto& m : masters) {
-      if (!m->finished()) {
-        return false;
-      }
-    }
-    return bus.quiescent();
-  };
-
-  const auto t0 = std::chrono::steady_clock::now();
-  kernel.run_until(all_done, cfg.max_cycles);
-  const auto t1 = std::chrono::steady_clock::now();
-
-  SimResult r;
-  r.model = "tlm";
-  r.finished = all_done();
-  r.cycles = last_completion;
-  r.ran_cycles = kernel.now();
-  for (const auto& m : masters) {
-    r.completed += m->completed();
-  }
-  r.profile.masters = bus.master_profiles();
-  r.profile.bus = bus.bus_profile();
-  r.profile.bus.grants = bus.arbiter().grants();
-  r.profile.write_buffer = bus.write_buffer().profile();
-  r.profile.ddr.commands = ddrc.channels().command_counters();
-  r.profile.ddr.hits = ddrc.channels().hit_stats();
-  r.profile.total_cycles = last_completion;
-  r.profile.completed_txns = r.completed;
-  r.protocol_errors = log.errors();
-  r.qos_warnings = log.warnings();
-  r.first_violations = log.to_string();
-  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  r.kernel_activity = kernel.evaluations();
-  return r;
+  Platform p(cfg, ModelKind::kTlm);
+  p.run_to_completion();
+  return p.result();
 }
 
 SimResult run_rtl(const PlatformConfig& cfg, std::ostream* vcd_out) {
-  AHBP_ASSERT_MSG(!cfg.masters.empty(), "platform needs at least one master");
-
-  rtl::RtlFabricConfig fc;
-  fc.bus = cfg.bus;
-  fc.timing = cfg.timing;
-  fc.geom = cfg.geom;
-  fc.interleave = cfg.interleave;
-  fc.ddr_channels = cfg.ddr_channels;
-  fc.ddr_base = cfg.ddr_base;
-  fc.enable_checkers = cfg.enable_checkers;
-  for (const MasterSpec& m : cfg.masters) {
-    fc.qos.push_back(m.qos);
-  }
-
-  rtl::RtlFabric fabric(fc, make_scripts(cfg));
+  Platform p(cfg, ModelKind::kRtl);
   if (vcd_out != nullptr) {
-    fabric.enable_vcd(*vcd_out);
+    p.enable_vcd(*vcd_out);
   }
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const sim::Cycle ran = fabric.run(cfg.max_cycles);
-  const auto t1 = std::chrono::steady_clock::now();
-
-  SimResult r;
-  r.model = "rtl";
-  r.finished = fabric.finished();
-  r.cycles = fabric.last_completion();
-  r.ran_cycles = ran;
-  r.completed = fabric.completed_txns();
-  r.profile = fabric.profile();
-  r.protocol_errors = fabric.violations().errors();
-  r.qos_warnings = fabric.violations().warnings();
-  r.first_violations = fabric.violations().to_string();
-  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  r.kernel_activity = fabric.kernel().stats().deltas;
-  return r;
+  p.run_to_completion();
+  return p.result();
 }
 
 double kcycles_per_sec(const SimResult& r) {

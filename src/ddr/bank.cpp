@@ -267,4 +267,81 @@ bool BankEngine::can_refresh(sim::Cycle now) const noexcept {
   return true;
 }
 
+void Bank::save_state(state::StateWriter& w) const {
+  w.put_bool(row_open_);
+  w.put_u32(open_row_);
+  w.put_u64(activated_at_);
+  w.put_u64(activate_ready_);
+  w.put_u64(column_ready_);
+  w.put_u64(precharge_ready_);
+  w.put_u64(idle_at_);
+  w.put_bool(ever_activated_);
+}
+
+void Bank::restore_state(state::StateReader& r) {
+  row_open_ = r.get_bool();
+  open_row_ = r.get_u32();
+  activated_at_ = r.get_u64();
+  activate_ready_ = r.get_u64();
+  column_ready_ = r.get_u64();
+  precharge_ready_ = r.get_u64();
+  idle_at_ = r.get_u64();
+  ever_activated_ = r.get_bool();
+}
+
+void BankEngine::save_state(state::StateWriter& w) const {
+  w.begin("bank-engine");
+  w.put_u64(banks_.size());
+  for (const Bank& b : banks_) {
+    b.save_state(w);
+  }
+  w.put_u64(last_activate_any_);
+  w.put_bool(any_activate_);
+  w.put_u64(last_column_any_);
+  w.put_bool(any_column_);
+  w.put_u64(data_free_at_);
+  w.put_u64(last_cmd_at_);
+  w.put_bool(any_cmd_issued_);
+  w.put_u64(last_refresh_);
+  w.put_u64(refresh_busy_until_);
+  w.put_u64(counters_.activates);
+  w.put_u64(counters_.reads);
+  w.put_u64(counters_.writes);
+  w.put_u64(counters_.precharges);
+  w.put_u64(counters_.refreshes);
+  w.put_u64(counters_.read_beats);
+  w.put_u64(counters_.write_beats);
+  w.end();
+}
+
+void BankEngine::restore_state(state::StateReader& r) {
+  r.enter("bank-engine");
+  const std::uint64_t n = r.get_u64();
+  if (n != banks_.size()) {
+    throw state::StateError(
+        "BankEngine: snapshot has " + std::to_string(n) +
+        " banks, configuration has " + std::to_string(banks_.size()));
+  }
+  for (Bank& b : banks_) {
+    b.restore_state(r);
+  }
+  last_activate_any_ = r.get_u64();
+  any_activate_ = r.get_bool();
+  last_column_any_ = r.get_u64();
+  any_column_ = r.get_bool();
+  data_free_at_ = r.get_u64();
+  last_cmd_at_ = r.get_u64();
+  any_cmd_issued_ = r.get_bool();
+  last_refresh_ = r.get_u64();
+  refresh_busy_until_ = r.get_u64();
+  counters_.activates = r.get_u64();
+  counters_.reads = r.get_u64();
+  counters_.writes = r.get_u64();
+  counters_.precharges = r.get_u64();
+  counters_.refreshes = r.get_u64();
+  counters_.read_beats = r.get_u64();
+  counters_.write_beats = r.get_u64();
+  r.leave();
+}
+
 }  // namespace ahbp::ddr

@@ -7,6 +7,7 @@
 #include "ddr/geometry.hpp"
 #include "ddr/timing.hpp"
 #include "sim/time.hpp"
+#include "state/snapshot.hpp"
 
 /// \file bank.hpp
 /// Per-bank DDR state machine and the rank-level BankEngine.
@@ -58,6 +59,10 @@ class Bank {
   /// Rank-level refresh forces all banks idle; the engine calls this after
   /// verifying every bank is idle.
   void refresh(sim::Cycle now, sim::Cycle trfc) noexcept;
+
+  /// FSM registers only — the timing table is configuration.
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   const DdrTiming* t_;
@@ -133,6 +138,9 @@ class BankEngine {
     std::uint64_t write_beats = 0;
   };
   const Counters& counters() const noexcept { return counters_; }
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   const Bank& bank(std::uint32_t b) const;

@@ -333,6 +333,45 @@ BankEngine::Counters ChannelSet::command_counters() const noexcept {
   return sum;
 }
 
+void ChannelSet::save_state(state::StateWriter& w) const {
+  w.begin("channel-set");
+  w.put_u32(channels());
+  for (const auto& e : engines_) {
+    e->save_state(w);
+  }
+  w.put_bool(txn_active_);
+  w.put_u64(segments_.size());
+  for (const Segment& s : segments_) {
+    w.put_u32(s.channel);
+    ddr::save_state(w, s.req);
+    w.put_bool(s.begun);
+  }
+  w.put_u64(active_);
+  w.end();
+}
+
+void ChannelSet::restore_state(state::StateReader& r) {
+  r.enter("channel-set");
+  const std::uint32_t n = r.get_u32();
+  if (n != channels()) {
+    throw state::StateError(
+        "ChannelSet: snapshot has " + std::to_string(n) +
+        " channels, configuration has " + std::to_string(channels()));
+  }
+  for (auto& e : engines_) {
+    e->restore_state(r);
+  }
+  txn_active_ = r.get_bool();
+  segments_.assign(r.get_count(), Segment{});
+  for (Segment& s : segments_) {
+    s.channel = r.get_u32();
+    ddr::restore_state(r, s.req);
+    s.begun = r.get_bool();
+  }
+  active_ = r.get_u64();
+  r.leave();
+}
+
 DdrcEngine::HitStats ChannelSet::hit_stats() const noexcept {
   DdrcEngine::HitStats sum;
   for (const auto& e : engines_) {

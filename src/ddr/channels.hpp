@@ -195,6 +195,11 @@ class ChannelSet {
   /// Aggregate row-buffer locality counters across channels (profiling).
   DdrcEngine::HitStats hit_stats() const noexcept;
 
+  /// Snapshot every channel engine plus the segment decomposition of the
+  /// transaction currently striping across channels.
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   /// One channel-local slice of the current transaction.
   struct Segment {

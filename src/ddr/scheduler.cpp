@@ -375,4 +375,136 @@ Command DdrcEngine::step(sim::Cycle now) {
   return cmd;
 }
 
+namespace {
+
+void save_coord(state::StateWriter& w, const Coord& c) {
+  w.put_u32(c.bank);
+  w.put_u32(c.row);
+  w.put_u32(c.col);
+}
+
+Coord restore_coord(state::StateReader& r) {
+  Coord c;
+  c.bank = r.get_u32();
+  c.row = r.get_u32();
+  c.col = r.get_u32();
+  return c;
+}
+
+}  // namespace
+
+void save_state(state::StateWriter& w, const MemRequest& m) {
+  w.put_bool(m.is_write);
+  w.put_u64(m.addr);
+  w.put_u32(m.beat_bytes);
+  w.put_u32(m.beats);
+  w.put_u8(static_cast<std::uint8_t>(m.burst));
+}
+
+void restore_state(state::StateReader& r, MemRequest& m) {
+  m.is_write = r.get_bool();
+  m.addr = r.get_u64();
+  m.beat_bytes = r.get_u32();
+  m.beats = r.get_u32();
+  m.burst = static_cast<ahb::Burst>(r.get_u8());
+}
+
+void DdrcEngine::save_state(state::StateWriter& w) const {
+  w.begin("ddrc-engine");
+  engine_.save_state(w);
+  mem_.save_state(w);
+  w.put_bool(current_.has_value());
+  if (current_) {
+    const CurrentTxn& t = *current_;
+    ddr::save_state(w, t.req);
+    w.put_u64(t.beat_addr.size());
+    for (const ahb::Addr a : t.beat_addr) {
+      w.put_u64(a);
+    }
+    w.put_u64(t.chunks.size());
+    for (const Chunk& c : t.chunks) {
+      save_coord(w, c.start);
+      w.put_u32(c.beats);
+      w.put_u32(c.issued);
+      w.put_bool(c.classified);
+    }
+    w.put_u64(t.active_chunk);
+    w.put_u64(t.beat_ready.size());
+    for (const sim::Cycle c : t.beat_ready) {
+      w.put_u64(c);
+    }
+    w.put_u32(t.beats_issued);
+    w.put_u32(t.beats_consumed);
+    w.put_u64(t.last_consume);
+    w.put_u32(t.beats_accepted);
+  }
+  w.put_u64(write_queue_.size());
+  for (const WriteChunk& c : write_queue_) {
+    save_coord(w, c.start);
+    w.put_u32(c.beats);
+  }
+  w.put_bool(hint_.has_value());
+  if (hint_) {
+    save_coord(w, *hint_);
+  }
+  w.put_u64(hits_.row_hits);
+  w.put_u64(hits_.row_misses);
+  w.put_u64(hits_.row_conflicts);
+  w.put_u64(hits_.hint_activates);
+  w.put_u64(hits_.hint_precharges);
+  w.end();
+}
+
+void DdrcEngine::restore_state(state::StateReader& r) {
+  r.enter("ddrc-engine");
+  engine_.restore_state(r);
+  mem_.restore_state(r);
+  if (r.get_bool()) {
+    current_.emplace();
+    CurrentTxn& t = *current_;
+    ddr::restore_state(r, t.req);
+    t.beat_addr.assign(r.get_count(), 0);
+    for (ahb::Addr& a : t.beat_addr) {
+      a = r.get_u64();
+    }
+    t.chunks.assign(r.get_count(), Chunk{});
+    for (Chunk& c : t.chunks) {
+      c.start = restore_coord(r);
+      c.beats = r.get_u32();
+      c.issued = r.get_u32();
+      c.classified = r.get_bool();
+    }
+    t.active_chunk = r.get_u64();
+    t.beat_ready.assign(r.get_count(), 0);
+    for (sim::Cycle& c : t.beat_ready) {
+      c = r.get_u64();
+    }
+    t.beats_issued = r.get_u32();
+    t.beats_consumed = r.get_u32();
+    t.last_consume = r.get_u64();
+    t.beats_accepted = r.get_u32();
+  } else {
+    current_.reset();
+  }
+  write_queue_.clear();
+  const std::uint64_t wq = r.get_count();
+  for (std::uint64_t i = 0; i < wq; ++i) {
+    WriteChunk c;
+    c.start = restore_coord(r);
+    c.beats = r.get_u32();
+    write_queue_.push_back(c);
+  }
+  if (r.get_bool()) {
+    hint_ = restore_coord(r);
+  } else {
+    hint_.reset();
+  }
+  hits_.row_hits = r.get_u64();
+  hits_.row_misses = r.get_u64();
+  hits_.row_conflicts = r.get_u64();
+  hits_.hint_activates = r.get_u64();
+  hits_.hint_precharges = r.get_u64();
+  r.leave();
+}
+
 }  // namespace ahbp::ddr

@@ -62,6 +62,11 @@ enum class BankAffinity : std::uint8_t {
 BankAffinity bank_affinity(BankState state, std::uint32_t open_row,
                            const Coord& want) noexcept;
 
+/// Snapshot helpers for the flattened request (used by the engine's own
+/// state and by ChannelSet's segment decomposition).
+void save_state(state::StateWriter& w, const MemRequest& m);
+void restore_state(state::StateReader& r, MemRequest& m);
+
 class DdrcEngine {
  public:
   DdrcEngine(const DdrTiming& timing, const Geometry& geom);
@@ -155,6 +160,12 @@ class DdrcEngine {
     std::uint64_t hint_precharges = 0;
   };
   const HitStats& hit_stats() const noexcept { return hits_; }
+
+  /// Snapshot the full controller FSM: current transaction (decomposed
+  /// chunks, beat readiness), posted-write queue, BI hint, locality
+  /// counters, the bank engine and the storage deltas.
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   /// A run of consecutive-column beats within one (bank, row).

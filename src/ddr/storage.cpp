@@ -1,5 +1,6 @@
 #include "ddr/storage.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ahbp::ddr {
@@ -43,6 +44,39 @@ void SparseMemory::write(ahb::Addr addr, ahb::Word value, unsigned bytes) {
     touch_page(base)[a - base] =
         static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF);
   }
+}
+
+void SparseMemory::save_state(state::StateWriter& w) const {
+  w.begin("memory");
+  std::vector<ahb::Addr> bases;
+  bases.reserve(pages_.size());
+  for (const auto& [base, page] : pages_) {
+    bases.push_back(base);
+  }
+  std::sort(bases.begin(), bases.end());
+  w.put_u64(bases.size());
+  for (const ahb::Addr base : bases) {
+    const std::vector<std::uint8_t>& page = pages_.at(base);
+    w.put_u64(base);
+    w.put_blob(page.data(), page.size());
+  }
+  w.end();
+}
+
+void SparseMemory::restore_state(state::StateReader& r) {
+  r.enter("memory");
+  pages_.clear();
+  // Each page record owes a u64 base + a blob header (9 + 9 bytes).
+  const std::uint64_t n = r.get_count(18);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ahb::Addr base = r.get_u64();
+    std::vector<std::uint8_t> page = r.get_blob();
+    if (page.size() != kPageBytes) {
+      throw state::StateError("SparseMemory: page size mismatch");
+    }
+    pages_.emplace(base, std::move(page));
+  }
+  r.leave();
 }
 
 }  // namespace ahbp::ddr

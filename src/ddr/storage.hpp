@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ahb/types.hpp"
+#include "state/snapshot.hpp"
 
 /// \file storage.hpp
 /// Sparse byte-addressable backing store for the DDR device.
@@ -28,6 +29,12 @@ class SparseMemory {
 
   /// Number of materialized pages (for tests / memory diagnostics).
   std::size_t pages() const noexcept { return pages_.size(); }
+
+  /// Snapshot the storage *deltas*: only materialized pages are written,
+  /// sorted by page base so the byte stream is canonical (restore-then-save
+  /// reproduces it bit-for-bit regardless of hash-map iteration order).
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   const std::vector<std::uint8_t>* find_page(ahb::Addr page_base) const;

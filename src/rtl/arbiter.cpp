@@ -311,4 +311,68 @@ void RtlArbiter::at_edge() {
   do_handover(now);
 }
 
+void RtlArbiter::save_state(state::StateWriter& w) const {
+  w.begin("rtl-arbiter");
+  arbiter_.save_state(w);
+  w.put_bool(qos_checker_.has_value());
+  if (qos_checker_) {
+    qos_checker_->save_state(w);
+  }
+  const auto save_flags = [&w](const std::vector<bool>& v) {
+    w.put_u64(v.size());
+    for (const bool b : v) {
+      w.put_bool(b);
+    }
+  };
+  save_flags(prev_req_);
+  save_flags(take_pulse_);
+  save_flags(absorbed_wait_);
+  w.put_bool(pending_);
+  w.put_u8(pending_master_);
+  ahb::save_state(w, pending_txn_);
+  w.put_bool(grant_pulse_);
+  w.put_u8(grant_pulse_master_);
+  w.put_bool(owner_active_);
+  w.put_u8(owner_);
+  w.put_u32(owner_beats_);
+  w.put_u32(owner_addr_accepted_);
+  w.put_bool(owner_locked_);
+  w.put_u64(handovers_);
+  w.end();
+}
+
+void RtlArbiter::restore_state(state::StateReader& r) {
+  r.enter("rtl-arbiter");
+  arbiter_.restore_state(r);
+  state::expect_presence_match(r.get_bool(), qos_checker_.has_value(),
+                               "RtlArbiter QoS checkers");
+  if (qos_checker_) {
+    qos_checker_->restore_state(r);
+  }
+  const auto restore_flags = [&r](std::vector<bool>& v, const char* what) {
+    if (r.get_u64() != v.size()) {
+      throw state::StateError(std::string("RtlArbiter: ") + what +
+                              " width mismatch");
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = r.get_bool();
+    }
+  };
+  restore_flags(prev_req_, "prev_req");
+  restore_flags(take_pulse_, "take_pulse");
+  restore_flags(absorbed_wait_, "absorbed_wait");
+  pending_ = r.get_bool();
+  pending_master_ = r.get_u8();
+  ahb::restore_state(r, pending_txn_);
+  grant_pulse_ = r.get_bool();
+  grant_pulse_master_ = r.get_u8();
+  owner_active_ = r.get_bool();
+  owner_ = r.get_u8();
+  owner_beats_ = r.get_u32();
+  owner_addr_accepted_ = r.get_u32();
+  owner_locked_ = r.get_bool();
+  handovers_ = r.get_u64();
+  r.leave();
+}
+
 }  // namespace ahbp::rtl

@@ -54,6 +54,11 @@ class RtlArbiter {
   /// One-line diagnostic state summary.
   std::string debug_string() const;
 
+  /// Pending-grant/owner/handshake registers plus the shared bookkeeping
+  /// arbiter and QoS-checker counters.
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   void at_edge();
   void track_requests(sim::Cycle now);

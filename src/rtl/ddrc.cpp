@@ -137,4 +137,44 @@ void RtlDdrc::at_edge() {
   drive_bi(now);
 }
 
+void RtlDdrc::save_state(state::StateWriter& w) const {
+  w.begin("rtl-ddrc");
+  set_.save_state(w);
+  w.put_bool(announce_.has_value());
+  if (announce_) {
+    w.put_u64(announce_->addr);
+    w.put_u8(static_cast<std::uint8_t>(announce_->burst));
+    w.put_u8(static_cast<std::uint8_t>(announce_->size));
+    w.put_u32(announce_->beats);
+    w.put_bool(announce_->is_write);
+  }
+  w.put_bool(cur_active_);
+  w.put_bool(cur_is_write_);
+  w.put_u32(cur_beats_);
+  w.put_u32(addr_accepted_);
+  w.put_u32(puts_done_);
+  w.end();
+}
+
+void RtlDdrc::restore_state(state::StateReader& r) {
+  r.enter("rtl-ddrc");
+  set_.restore_state(r);
+  if (r.get_bool()) {
+    announce_.emplace();
+    announce_->addr = r.get_u64();
+    announce_->burst = static_cast<ahb::Burst>(r.get_u8());
+    announce_->size = static_cast<ahb::Size>(r.get_u8());
+    announce_->beats = r.get_u32();
+    announce_->is_write = r.get_bool();
+  } else {
+    announce_.reset();
+  }
+  cur_active_ = r.get_bool();
+  cur_is_write_ = r.get_bool();
+  cur_beats_ = r.get_u32();
+  addr_accepted_ = r.get_u32();
+  puts_done_ = r.get_u32();
+  r.leave();
+}
+
 }  // namespace ahbp::rtl

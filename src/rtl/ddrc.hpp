@@ -45,6 +45,10 @@ class RtlDdrc {
     return !set_.busy() && set_.pending_write_chunks() == 0;
   }
 
+  /// Channel engines + the AHB-front announce/transfer registers.
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   void at_edge();
   void sample_inputs(sim::Cycle now);

@@ -199,8 +199,14 @@ void RtlFabric::observe_edge() {
 sim::Cycle RtlFabric::run(sim::Cycle max_cycles) {
   const sim::Cycle start = cycle_;
   while (cycle_ - start < max_cycles && !finished()) {
-    const sim::Cycle chunk = std::min<sim::Cycle>(
-        256, max_cycles - (cycle_ - start));
+    // Chunks align to *absolute* 256-cycle boundaries, not to this call's
+    // entry point: finished() is only sampled between chunks, so a resumed
+    // fabric (entering mid-interval after a checkpoint restore) must test
+    // it at the same cycles an uninterrupted run does or the two runs stop
+    // at different ran_cycles.
+    const sim::Cycle to_boundary = 256 - cycle_ % 256;
+    const sim::Cycle chunk =
+        std::min(to_boundary, max_cycles - (cycle_ - start));
     kernel_.run_until(kernel_.now() + chunk * kClockPeriod);
   }
   return cycle_ - start;
@@ -258,6 +264,67 @@ void RtlFabric::enable_vcd(std::ostream& os) {
   vcd_->add_signal(sh_.wbuf_occupancy, 4);
   vcd_->add_signal(sh_.bi_permit, 1);
   vcd_->write_header();
+}
+
+void RtlFabric::save_state(state::StateWriter& w) const {
+  w.begin("rtl-fabric");
+  w.put_u64(cycle_);
+  w.put_u64(last_completion_);
+  w.put_u64(completed_);
+  w.put_u32(obs_pending_data_);
+  w.put_u32(obs_beat_bytes_);
+  clock_.save_state(w);
+  qos_.save_state(w);
+  log_.save_state(w);
+  bus_profile_.save_state(w);
+  w.put_u64(master_profiles_.size());
+  for (const stats::MasterProfile& p : master_profiles_) {
+    p.save_state(w);
+  }
+  for (const auto& m : rtl_masters_) {
+    m->save_state(w);
+  }
+  wbuf_->save_state(w);
+  arbiter_->save_state(w);
+  ddrc_->save_state(w);
+  w.put_bool(checker_ != nullptr);
+  if (checker_) {
+    checker_->save_state(w);
+  }
+  kernel_.save_signals(w);
+  w.end();
+}
+
+void RtlFabric::restore_state(state::StateReader& r) {
+  r.enter("rtl-fabric");
+  cycle_ = r.get_u64();
+  last_completion_ = r.get_u64();
+  completed_ = r.get_u64();
+  obs_pending_data_ = r.get_u32();
+  obs_beat_bytes_ = r.get_u32();
+  clock_.restore_state(r);
+  qos_.restore_state(r);
+  log_.restore_state(r);
+  bus_profile_.restore_state(r);
+  if (r.get_u64() != master_profiles_.size()) {
+    throw state::StateError("RtlFabric: snapshot master count mismatch");
+  }
+  for (stats::MasterProfile& p : master_profiles_) {
+    p.restore_state(r);
+  }
+  for (auto& m : rtl_masters_) {
+    m->restore_state(r);
+  }
+  wbuf_->restore_state(r);
+  arbiter_->restore_state(r);
+  ddrc_->restore_state(r);
+  state::expect_presence_match(r.get_bool(), checker_ != nullptr,
+                               "RtlFabric checkers");
+  if (checker_) {
+    checker_->restore_state(r);
+  }
+  kernel_.restore_signals(r);
+  r.leave();
 }
 
 std::string RtlFabric::dump_state() const {

@@ -56,7 +56,7 @@ struct RtlFabricConfig {
   bool rt_detail = true;
 };
 
-class RtlFabric {
+class RtlFabric : public state::Snapshottable {
  public:
   RtlFabric(const RtlFabricConfig& cfg,
             std::vector<traffic::Script> scripts);
@@ -69,6 +69,9 @@ class RtlFabric {
   sim::Cycle run(sim::Cycle max_cycles);
 
   bool finished() const;
+
+  /// Total bus cycles simulated so far (continues across restore).
+  sim::Cycle cycle() const noexcept { return cycle_; }
 
   /// Bus cycle at which the last master transaction completed.
   sim::Cycle last_completion() const noexcept { return last_completion_; }
@@ -93,6 +96,15 @@ class RtlFabric {
   /// Dump the architectural bus signals to a VCD stream (viewable in
   /// GTKWave).  Call before run(); samples once per clock edge.
   void enable_vcd(std::ostream& os);
+
+  // ------------------------------------------------------------ snapshot
+  // Whole-model checkpoint: counters, every component's FSM registers and
+  // every wire's committed value.  Valid between run() calls (the kernel is
+  // settled one tick before the next rising edge, which is exactly the
+  // alignment a freshly constructed fabric starts from — so a restored
+  // fabric resumes cycle-exactly without touching the timed-event queue).
+  void save_state(state::StateWriter& w) const override;
+  void restore_state(state::StateReader& r) override;
 
  private:
   void make_muxes();

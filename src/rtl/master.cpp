@@ -154,4 +154,28 @@ void RtlMaster::at_edge() {
   }
 }
 
+void RtlMaster::save_state(state::StateWriter& w) const {
+  w.begin("rtl-master");
+  w.put_u8(static_cast<std::uint8_t>(state_));
+  ahb::save_state(w, txn_);
+  w.put_u32(addr_accepted_);
+  w.put_u32(data_done_);
+  w.put_u32(stream_beat_);
+  w.put_u64(completed_);
+  source_.save_state(w);
+  w.end();
+}
+
+void RtlMaster::restore_state(state::StateReader& r) {
+  r.enter("rtl-master");
+  state_ = static_cast<State>(r.get_u8());
+  ahb::restore_state(r, txn_);
+  addr_accepted_ = r.get_u32();
+  data_done_ = r.get_u32();
+  stream_beat_ = r.get_u32();
+  completed_ = r.get_u64();
+  source_.restore_state(r);
+  r.leave();
+}
+
 }  // namespace ahbp::rtl

@@ -47,6 +47,10 @@ class RtlMaster {
   /// Test hook: observes every retired transaction.
   std::function<void(const ahb::Transaction&)> on_complete;
 
+  /// FSM registers + script position (wires snapshot with the kernel).
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   enum class State { kIdle, kRequest, kTransfer, kBufStream };
 

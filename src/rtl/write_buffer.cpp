@@ -167,4 +167,48 @@ void RtlWriteBuffer::at_edge() {
   fifo_.sample();
 }
 
+void RtlWriteBuffer::save_state(state::StateWriter& w) const {
+  w.begin("rtl-wbuf");
+  fifo_.save_state(w);
+  w.put_u64(staging_.size());
+  for (const std::optional<Staging>& s : staging_) {
+    w.put_bool(s.has_value());
+    if (s) {
+      ahb::save_state(w, s->txn);
+      w.put_u32(s->filled);
+    }
+  }
+  w.put_u32(reserved_);
+  w.put_bool(drain_active_);
+  w.put_u32(owed_);
+  ahb::save_state(w, drain_txn_);
+  w.put_u32(drain_addr_accepted_);
+  w.put_u32(drain_data_done_);
+  w.end();
+}
+
+void RtlWriteBuffer::restore_state(state::StateReader& r) {
+  r.enter("rtl-wbuf");
+  fifo_.restore_state(r);
+  if (r.get_u64() != staging_.size()) {
+    throw state::StateError("RtlWriteBuffer: staging slot count mismatch");
+  }
+  for (std::optional<Staging>& s : staging_) {
+    if (r.get_bool()) {
+      s.emplace();
+      ahb::restore_state(r, s->txn);
+      s->filled = r.get_u32();
+    } else {
+      s.reset();
+    }
+  }
+  reserved_ = r.get_u32();
+  drain_active_ = r.get_bool();
+  owed_ = r.get_u32();
+  ahb::restore_state(r, drain_txn_);
+  drain_addr_accepted_ = r.get_u32();
+  drain_data_done_ = r.get_u32();
+  r.leave();
+}
+
 }  // namespace ahbp::rtl

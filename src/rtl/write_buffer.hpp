@@ -81,6 +81,10 @@ class RtlWriteBuffer {
 
   std::uint64_t drained() const noexcept { return fifo_.profile().drained; }
 
+  /// FIFO + per-master staging slots + drain-transfer registers.
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   struct Staging {
     ahb::Transaction txn;

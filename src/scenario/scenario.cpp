@@ -309,6 +309,18 @@ void apply_master(core::MasterSpec& m, std::string_view key,
   }
 }
 
+void apply_checkpoint(core::PlatformConfig& cfg, std::string_view key,
+                      std::string_view value, std::size_t line) {
+  if (key == "at_cycle") {
+    cfg.checkpoint.at_cycle = parse_u64(value, line);
+  } else if (key == "path") {
+    cfg.checkpoint.path = std::string(trim(value));
+  } else {
+    throw ScenarioError("unknown [checkpoint] key '" + std::string(key) + "'",
+                        line);
+  }
+}
+
 /// Hard ceiling on `[channel K]` indices (the widest interleave).
 constexpr std::size_t kMaxChannels = 8;
 
@@ -324,6 +336,8 @@ void apply_in_section(core::PlatformConfig& cfg, std::string_view section,
     apply_bus(cfg, key, value, line);
   } else if (section == "ddr") {
     apply_ddr(cfg, key, value, line);
+  } else if (section == "checkpoint") {
+    apply_checkpoint(cfg, key, value, line);
   } else if (section == "channel") {
     if (master_idx >= kMaxChannels) {
       throw ScenarioError("channel index " + std::to_string(master_idx) +
@@ -427,7 +441,7 @@ core::PlatformConfig parse(std::string_view text) {
     if (l.kind == lex::Line::Kind::kSection) {
       std::string_view idx;
       if (l.section == "platform" || l.section == "bus" ||
-          l.section == "ddr") {
+          l.section == "ddr" || l.section == "checkpoint") {
         section = l.section;
       } else if (lex::channel_section(l.section, idx)) {
         if (idx.empty()) {
@@ -508,6 +522,15 @@ std::string serialize(const core::PlatformConfig& cfg) {
   os << "drain_watermark = " << b.drain_watermark << "\n";
   os << "grant_to_start = " << b.tlm_grant_to_start << "\n";
 
+  // Only when requested — the canonical form is the minimal delta.
+  if (cfg.checkpoint.at_cycle != 0 || !cfg.checkpoint.path.empty()) {
+    os << "\n[checkpoint]\n";
+    os << "at_cycle = " << cfg.checkpoint.at_cycle << "\n";
+    if (!cfg.checkpoint.path.empty()) {
+      os << "path = " << cfg.checkpoint.path << "\n";
+    }
+  }
+
   const ddr::DdrTiming& t = cfg.timing;
   const ddr::Geometry& g = cfg.geom;
   os << "\n[ddr]\n";
@@ -583,7 +606,8 @@ void apply_key(core::PlatformConfig& cfg, std::string_view dotted_key,
   const std::string_view section = trim(dotted_key.substr(0, dot));
   const std::string_view key = trim(dotted_key.substr(dot + 1));
 
-  if (section == "platform" || section == "bus" || section == "ddr") {
+  if (section == "platform" || section == "bus" || section == "ddr" ||
+      section == "checkpoint") {
     apply_in_section(cfg, section, 0, key, value, 0);
     return;
   }

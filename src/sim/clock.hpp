@@ -33,6 +33,19 @@ class Clock {
   /// Stop generating further edges (the pending event drains harmlessly).
   void stop() noexcept { running_ = false; }
 
+  /// The edge counter and run flag.  The pending toggle event is *not*
+  /// state: a fresh clock re-arms itself identically (one tick before its
+  /// next rising edge), which is exactly the alignment checkpoints are
+  /// taken at.
+  void save_state(state::StateWriter& w) const {
+    w.put_u64(posedges_);
+    w.put_bool(running_);
+  }
+  void restore_state(state::StateReader& r) {
+    posedges_ = r.get_u64();
+    running_ = r.get_bool();
+  }
+
  private:
   void toggle();
 

@@ -48,4 +48,18 @@ Cycle CycleKernel::run_until(const std::function<bool()>& predicate,
   return executed;
 }
 
+void CycleKernel::save_state(state::StateWriter& w) const {
+  w.begin("cycle-kernel");
+  w.put_u64(now_);
+  w.put_u64(evaluations_);
+  w.end();
+}
+
+void CycleKernel::restore_state(state::StateReader& r) {
+  r.enter("cycle-kernel");
+  now_ = r.get_u64();
+  evaluations_ = r.get_u64();
+  r.leave();
+}
+
 }  // namespace ahbp::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "state/snapshot.hpp"
 
 /// \file cycle_kernel.hpp
 /// 2-step cycle-based simulation kernel.
@@ -111,6 +112,11 @@ class CycleKernel {
 
   /// Total component evaluations performed (for the speed benchmarks).
   std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+  /// Snapshot the clock: the cycle counter and the evaluation counter
+  /// (components snapshot themselves; registration is configuration).
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   void sort_if_needed();

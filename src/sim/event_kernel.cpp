@@ -97,6 +97,50 @@ void EventKernel::run_delta_rounds() {
 
 void EventKernel::settle() { run_delta_rounds(); }
 
+void EventKernel::save_signals(state::StateWriter& w) const {
+  if (!runnable_.empty() || !updates_.empty()) {
+    throw state::StateError(
+        "EventKernel: cannot snapshot mid-delta (processes runnable or"
+        " commits pending)");
+  }
+  w.begin("signals");
+  w.put_u64(signals_.size());
+  for (const SignalBase* s : signals_) {
+    w.put_str(s->name());
+    w.put_u64(s->snapshot_value());
+  }
+  w.put_u64(stats_.deltas);
+  w.put_u64(stats_.process_activations);
+  w.put_u64(stats_.signal_commits);
+  w.put_u64(stats_.timed_events);
+  w.end();
+}
+
+void EventKernel::restore_signals(state::StateReader& r) {
+  r.enter("signals");
+  const std::uint64_t n = r.get_u64();
+  if (n != signals_.size()) {
+    throw state::StateError(
+        "EventKernel: snapshot has " + std::to_string(n) +
+        " signals, this platform has " + std::to_string(signals_.size()) +
+        " (topology mismatch)");
+  }
+  for (SignalBase* s : signals_) {
+    const std::string name = r.get_str();
+    if (name != s->name()) {
+      throw state::StateError("EventKernel: signal order mismatch: snapshot"
+                              " has '" + name + "', platform has '" +
+                              std::string(s->name()) + "'");
+    }
+    s->restore_value(r.get_u64());
+  }
+  stats_.deltas = r.get_u64();
+  stats_.process_activations = r.get_u64();
+  stats_.signal_commits = r.get_u64();
+  stats_.timed_events = r.get_u64();
+  r.leave();
+}
+
 void EventKernel::run_until(Tick until) {
   run_delta_rounds();
   while (!timed_.empty() && timed_.top().at <= until) {

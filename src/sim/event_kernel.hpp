@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "state/snapshot.hpp"
 
 /// \file event_kernel.hpp
 /// Event-driven simulation kernel with delta cycles.
@@ -83,6 +84,15 @@ class SignalBase {
   /// Render the current value for tracing (VCD / logs).
   virtual std::string value_string() const = 0;
 
+  /// Committed value as raw bits, for checkpointing.  Only defined for
+  /// signals carrying bool/integral/enum payloads (every fabric wire).
+  virtual std::uint64_t snapshot_value() const = 0;
+
+  /// Overwrite the committed value from a checkpoint.  No subscribers are
+  /// notified and no update is scheduled: restore reproduces a *settled*
+  /// state, exactly as the original kernel left it between timesteps.
+  virtual void restore_value(std::uint64_t bits) = 0;
+
  protected:
   /// Ask the kernel to call commit() in the next update phase (deduped).
   void request_update();
@@ -135,7 +145,31 @@ class Signal final : public SignalBase {
     }
   }
 
+  std::uint64_t snapshot_value() const override {
+    if constexpr (std::is_same_v<T, bool>) {
+      return cur_ ? 1 : 0;
+    } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+      return static_cast<std::uint64_t>(cur_);
+    } else {
+      throw state::StateError("Signal<" + name_string() +
+                              ">: payload type is not checkpointable");
+    }
+  }
+
+  void restore_value(std::uint64_t bits) override {
+    if constexpr (std::is_same_v<T, bool>) {
+      cur_ = bits != 0;
+    } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+      cur_ = static_cast<T>(bits);
+    } else {
+      throw state::StateError("Signal<" + name_string() +
+                              ">: payload type is not checkpointable");
+    }
+    next_ = cur_;  // no pending update survives a restore
+  }
+
  private:
+  std::string name_string() const { return std::string(name()); }
   bool commit() override {
     if (cur_ == next_) {
       return false;
@@ -201,6 +235,21 @@ class EventKernel {
 
   /// Registry of all signals (for tracing).  Non-owning.
   const std::vector<SignalBase*>& signals() const noexcept { return signals_; }
+
+  /// Snapshot every registered signal's committed value (name-tagged, in
+  /// registration order) plus the activity counters.  Valid only at a
+  /// settled point: no runnable process, no pending commit.
+  ///
+  /// Time is deliberately *not* saved: a restored kernel restarts at tick 0
+  /// with the same edge alignment a fresh platform has (one tick before the
+  /// next rising edge), so components — which count bus cycles, not ticks —
+  /// resume cycle-exactly.
+  void save_signals(state::StateWriter& w) const;
+
+  /// Restore into a freshly constructed platform of the same topology.
+  /// Signal count and names must match registration order exactly; any
+  /// drift throws StateError naming the offending wire.
+  void restore_signals(state::StateReader& r);
 
  private:
   friend class Process;

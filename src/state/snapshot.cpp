@@ -1,0 +1,380 @@
+#include "state/snapshot.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace ahbp::state {
+
+namespace {
+
+/// Record type tags.  Values are part of the on-disk format — append only.
+enum Tag : std::uint8_t {
+  kBool = 1,
+  kU8 = 2,
+  kU32 = 3,
+  kU64 = 4,
+  kI64 = 5,
+  kF64 = 6,
+  kStr = 7,
+  kBlob = 8,
+  kBegin = 9,
+  kEnd = 10,
+};
+
+constexpr std::array<char, 8> kMagic = {'A', 'H', 'B', 'P', 'S', 'N', 'A', 'P'};
+
+const char* tag_name(std::uint8_t t) {
+  switch (t) {
+    case kBool: return "bool";
+    case kU8: return "u8";
+    case kU32: return "u32";
+    case kU64: return "u64";
+    case kI64: return "i64";
+    case kF64: return "f64";
+    case kStr: return "string";
+    case kBlob: return "blob";
+    case kBegin: return "section-begin";
+    case kEnd: return "section-end";
+    default: return "unknown";
+  }
+}
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+void expect_presence_match(bool snapshot_has, bool platform_has,
+                           std::string_view what) {
+  if (snapshot_has != platform_has) {
+    throw StateError("snapshot was taken with " + std::string(what) + " " +
+                     (snapshot_has ? "on" : "off") +
+                     " but the restore platform has them " +
+                     (platform_has ? "on" : "off"));
+  }
+}
+
+// ---------------------------------------------------------- StateWriter --
+
+void StateWriter::raw_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    payload_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StateWriter::raw_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    payload_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StateWriter::begin(std::string_view tag) {
+  tag_byte(kBegin);
+  raw_u32(static_cast<std::uint32_t>(tag.size()));
+  payload_.insert(payload_.end(), tag.begin(), tag.end());
+  ++depth_;
+}
+
+void StateWriter::end() {
+  if (depth_ == 0) {
+    throw StateError("StateWriter::end() without a matching begin()");
+  }
+  tag_byte(kEnd);
+  --depth_;
+}
+
+void StateWriter::put_bool(bool v) {
+  tag_byte(kBool);
+  payload_.push_back(v ? 1 : 0);
+}
+
+void StateWriter::put_u8(std::uint8_t v) {
+  tag_byte(kU8);
+  payload_.push_back(v);
+}
+
+void StateWriter::put_u32(std::uint32_t v) {
+  tag_byte(kU32);
+  raw_u32(v);
+}
+
+void StateWriter::put_u64(std::uint64_t v) {
+  tag_byte(kU64);
+  raw_u64(v);
+}
+
+void StateWriter::put_i64(std::int64_t v) {
+  tag_byte(kI64);
+  raw_u64(static_cast<std::uint64_t>(v));
+}
+
+void StateWriter::put_f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  tag_byte(kF64);
+  raw_u64(bits);
+}
+
+void StateWriter::put_str(std::string_view v) {
+  tag_byte(kStr);
+  raw_u32(static_cast<std::uint32_t>(v.size()));
+  payload_.insert(payload_.end(), v.begin(), v.end());
+}
+
+void StateWriter::put_blob(const void* data, std::size_t bytes) {
+  tag_byte(kBlob);
+  raw_u64(bytes);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  payload_.insert(payload_.end(), p, p + bytes);
+}
+
+std::vector<std::uint8_t> StateWriter::finish() const {
+  if (depth_ != 0) {
+    throw StateError("StateWriter::finish() with " + std::to_string(depth_) +
+                     " unclosed section(s)");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kMagic.size() + 4 + payload_.size() + 4);
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(kFormatVersion >> (8 * i)));
+  }
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  const std::uint32_t crc = crc32(payload_.data(), payload_.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+void StateWriter::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = finish();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw StateError("cannot open '" + path + "' for writing");
+  }
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) {
+    throw StateError("short write to '" + path + "'");
+  }
+}
+
+// ---------------------------------------------------------- StateReader --
+
+StateReader::StateReader(std::vector<std::uint8_t> bytes)
+    : owned_(std::move(bytes)), data_(owned_.data()), size_(owned_.size()) {
+  validate_header();
+}
+
+StateReader::StateReader(const std::uint8_t* data, std::size_t size)
+    : data_(data), size_(size) {
+  validate_header();
+}
+
+StateReader StateReader::from_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) {
+    throw StateError("cannot open checkpoint file '" + path + "'");
+  }
+  const std::streamsize n = is.tellg();
+  is.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(n));
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(bytes.data()), n);
+  }
+  if (!is) {
+    throw StateError("cannot read checkpoint file '" + path + "'");
+  }
+  return StateReader(std::move(bytes));
+}
+
+void StateReader::fail(const std::string& msg) const {
+  throw StateError("snapshot: " + msg + " (payload offset " +
+                   std::to_string(pos_) + ")");
+}
+
+void StateReader::validate_header() {
+  const std::size_t overhead = kMagic.size() + 4 /*version*/ + 4 /*crc*/;
+  if (size_ < overhead) {
+    throw StateError(
+        "snapshot: file truncated (only " + std::to_string(size_) +
+        " bytes, header + checksum need " + std::to_string(overhead) + ")");
+  }
+  if (std::memcmp(data_, kMagic.data(), kMagic.size()) != 0) {
+    throw StateError("snapshot: bad magic (not an ahbp checkpoint)");
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(data_[kMagic.size() + i]) << (8 * i);
+  }
+  if (version != kFormatVersion) {
+    throw StateError("snapshot: format version " + std::to_string(version) +
+                     " is not supported (this build reads version " +
+                     std::to_string(kFormatVersion) + ")");
+  }
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(data_[size_ - 4 + i]) << (8 * i);
+  }
+  data_ += kMagic.size() + 4;
+  size_ -= overhead;
+  const std::uint32_t computed = crc32(data_, size_);
+  if (stored != computed) {
+    throw StateError(
+        "snapshot: checksum mismatch (file truncated or corrupted)");
+  }
+}
+
+const std::uint8_t* StateReader::take(std::size_t n, const char* what) {
+  if (size_ - pos_ < n) {
+    fail(std::string("unexpected end of payload while reading ") + what);
+  }
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t StateReader::take_tag(std::uint8_t expected, const char* what) {
+  const std::uint8_t t = *take(1, "record tag");
+  if (t != expected) {
+    fail(std::string("expected ") + what + " record, found " + tag_name(t));
+  }
+  return t;
+}
+
+std::uint32_t StateReader::raw_u32(const char* what) {
+  const std::uint8_t* p = take(4, what);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t StateReader::raw_u64(const char* what) {
+  const std::uint8_t* p = take(8, what);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+void StateReader::enter(std::string_view tag) {
+  take_tag(kBegin, "section-begin");
+  const std::uint32_t n = raw_u32("section tag length");
+  const auto* p = reinterpret_cast<const char*>(take(n, "section tag"));
+  const std::string_view found(p, n);
+  if (found != tag) {
+    fail("section mismatch: expected '" + std::string(tag) + "', found '" +
+         std::string(found) + "'");
+  }
+  ++depth_;
+}
+
+void StateReader::leave() {
+  if (depth_ == 0) {
+    fail("leave() without a matching enter()");
+  }
+  take_tag(kEnd, "section-end");
+  --depth_;
+}
+
+bool StateReader::get_bool() {
+  take_tag(kBool, "bool");
+  return *take(1, "bool value") != 0;
+}
+
+std::uint8_t StateReader::get_u8() {
+  take_tag(kU8, "u8");
+  return *take(1, "u8 value");
+}
+
+std::uint32_t StateReader::get_u32() {
+  take_tag(kU32, "u32");
+  return raw_u32("u32 value");
+}
+
+std::uint64_t StateReader::get_u64() {
+  take_tag(kU64, "u64");
+  return raw_u64("u64 value");
+}
+
+std::uint64_t StateReader::get_count(std::uint64_t min_bytes_per_item) {
+  const std::uint64_t n = get_u64();
+  const std::uint64_t remaining = size_ - pos_;
+  if (min_bytes_per_item != 0 && n > remaining / min_bytes_per_item) {
+    fail("container length " + std::to_string(n) +
+         " exceeds the remaining payload (" + std::to_string(remaining) +
+         " bytes)");
+  }
+  return n;
+}
+
+std::int64_t StateReader::get_i64() {
+  take_tag(kI64, "i64");
+  return static_cast<std::int64_t>(raw_u64("i64 value"));
+}
+
+double StateReader::get_f64() {
+  take_tag(kF64, "f64");
+  const std::uint64_t bits = raw_u64("f64 value");
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string StateReader::get_str() {
+  take_tag(kStr, "string");
+  const std::uint32_t n = raw_u32("string length");
+  const auto* p = reinterpret_cast<const char*>(take(n, "string bytes"));
+  return std::string(p, n);
+}
+
+std::vector<std::uint8_t> StateReader::get_blob() {
+  take_tag(kBlob, "blob");
+  const std::uint64_t n = raw_u64("blob length");
+  if (n > size_ - pos_) {
+    fail("blob length " + std::to_string(n) + " exceeds remaining payload");
+  }
+  const std::uint8_t* p = take(static_cast<std::size_t>(n), "blob bytes");
+  return std::vector<std::uint8_t>(p, p + n);
+}
+
+bool StateReader::at_end() const noexcept {
+  return pos_ == size_ && depth_ == 0;
+}
+
+void StateReader::expect_end() const {
+  if (depth_ != 0) {
+    fail("stream ended inside " + std::to_string(depth_) +
+         " unclosed section(s)");
+  }
+  if (pos_ != size_) {
+    fail("trailing bytes after the last record (" +
+         std::to_string(size_ - pos_) + " unread)");
+  }
+}
+
+}  // namespace ahbp::state

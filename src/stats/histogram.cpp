@@ -32,4 +32,39 @@ std::uint64_t Log2Histogram::percentile_upper(double pct) const noexcept {
   return summary_.max();
 }
 
+void Summary::save_state(state::StateWriter& w) const {
+  w.put_u64(count_);
+  w.put_u64(sum_);
+  w.put_u64(min_);
+  w.put_u64(max_);
+}
+
+void Summary::restore_state(state::StateReader& r) {
+  count_ = r.get_u64();
+  sum_ = r.get_u64();
+  min_ = r.get_u64();
+  max_ = r.get_u64();
+}
+
+void Log2Histogram::save_state(state::StateWriter& w) const {
+  w.put_u64(counts_.size());
+  for (const std::uint64_t c : counts_) {
+    w.put_u64(c);
+  }
+  w.put_u64(total_);
+  summary_.save_state(w);
+}
+
+void Log2Histogram::restore_state(state::StateReader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n != counts_.size()) {
+    throw state::StateError("Log2Histogram: bucket count mismatch");
+  }
+  for (std::uint64_t& c : counts_) {
+    c = r.get_u64();
+  }
+  total_ = r.get_u64();
+  summary_.restore_state(r);
+}
+
 }  // namespace ahbp::stats

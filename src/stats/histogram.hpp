@@ -4,6 +4,8 @@
 #include <limits>
 #include <vector>
 
+#include "state/snapshot.hpp"
+
 /// \file histogram.hpp
 /// Streaming statistics primitives used by the profiling layer (§3.6).
 
@@ -18,6 +20,9 @@ class Summary {
     min_ = v < min_ ? v : min_;
     max_ = v > max_ ? v : max_;
   }
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t sum() const noexcept { return sum_; }
@@ -53,6 +58,9 @@ class Log2Histogram {
   std::uint64_t percentile_upper(double pct) const noexcept;
 
   const Summary& summary() const noexcept { return summary_; }
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   std::vector<std::uint64_t> counts_;

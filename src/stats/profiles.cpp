@@ -31,4 +31,65 @@ void BusProfile::sample(unsigned requesters, bool busy, unsigned moved_bytes) {
   bytes += moved_bytes;
 }
 
+void MasterProfile::save_state(state::StateWriter& w) const {
+  // `name` is configuration (assigned at platform assembly), not state.
+  w.put_u64(reads);
+  w.put_u64(writes);
+  w.put_u64(bytes_read);
+  w.put_u64(bytes_written);
+  w.put_u64(buffered_writes);
+  grant_wait.save_state(w);
+  latency.save_state(w);
+  w.put_u64(qos_misses);
+}
+
+void MasterProfile::restore_state(state::StateReader& r) {
+  reads = r.get_u64();
+  writes = r.get_u64();
+  bytes_read = r.get_u64();
+  bytes_written = r.get_u64();
+  buffered_writes = r.get_u64();
+  grant_wait.restore_state(r);
+  latency.restore_state(r);
+  qos_misses = r.get_u64();
+}
+
+void BusProfile::save_state(state::StateWriter& w) const {
+  w.put_u64(cycles);
+  w.put_u64(busy_cycles);
+  w.put_u64(contention_cycles);
+  w.put_u64(wait_cycles);
+  w.put_u64(grants);
+  w.put_u64(handovers);
+  w.put_u64(bytes);
+}
+
+void BusProfile::restore_state(state::StateReader& r) {
+  cycles = r.get_u64();
+  busy_cycles = r.get_u64();
+  contention_cycles = r.get_u64();
+  wait_cycles = r.get_u64();
+  grants = r.get_u64();
+  handovers = r.get_u64();
+  bytes = r.get_u64();
+}
+
+void WriteBufferProfile::save_state(state::StateWriter& w) const {
+  w.put_u64(absorbed);
+  w.put_u64(drained);
+  w.put_u64(bypassed);
+  w.put_u64(full_stalls);
+  w.put_u64(forwards);
+  occupancy.save_state(w);
+}
+
+void WriteBufferProfile::restore_state(state::StateReader& r) {
+  absorbed = r.get_u64();
+  drained = r.get_u64();
+  bypassed = r.get_u64();
+  full_stalls = r.get_u64();
+  forwards = r.get_u64();
+  occupancy.restore_state(r);
+}
+
 }  // namespace ahbp::stats

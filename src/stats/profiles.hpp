@@ -33,6 +33,9 @@ struct MasterProfile {
   std::uint64_t qos_misses = 0;  ///< RT transfers that blew the objective
 
   void record(const ahb::Transaction& t, bool buffered);
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 };
 
 /// Bus-level profile, fed by the arbiter each cycle.
@@ -65,6 +68,9 @@ struct BusProfile {
   /// Per-cycle sample: `requesters` = number of masters requesting this
   /// cycle, `busy` = bus occupied, `moved_bytes` = data moved this cycle.
   void sample(unsigned requesters, bool busy, unsigned moved_bytes);
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 };
 
 /// Write-buffer profile (§3.3 / §3.6).
@@ -75,6 +81,9 @@ struct WriteBufferProfile {
   std::uint64_t full_stalls = 0;    ///< cycles a write stalled on full buffer
   std::uint64_t forwards = 0;       ///< reads served/ordered against buffer hits
   Summary occupancy;                ///< sampled per cycle
+
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 };
 
 /// DDR-side profile assembled from the engine counters.

@@ -3,7 +3,11 @@
 #include <atomic>
 #include <cmath>
 #include <exception>
+#include <ostream>
 #include <thread>
+
+#include "core/checkpoint.hpp"
+#include "state/snapshot.hpp"
 
 namespace ahbp::sweep {
 
@@ -38,7 +42,45 @@ double PointOutcome::cycle_error() const noexcept {
 
 std::vector<PointOutcome> SweepRunner::run(
     const std::vector<SweepPoint>& points, Model model) const {
+  return run(points, model, core::PlatformConfig{}, 0);
+}
+
+std::vector<PointOutcome> SweepRunner::run(
+    const std::vector<SweepPoint>& points, Model model,
+    const core::PlatformConfig& base, sim::Cycle warmup_cycles) const {
   std::vector<PointOutcome> outcomes(points.size());
+
+  // Warm the shared prefix up once per model — serial, before the fan-out —
+  // and freeze it.  Workers only ever *read* the snapshot bytes.
+  std::vector<std::uint8_t> warm_tlm, warm_rtl;
+  if (warmup_cycles > 0) {
+    if (model == Model::kTlm || model == Model::kBoth) {
+      core::Platform p(base, core::ModelKind::kTlm);
+      p.run(warmup_cycles);
+      state::StateWriter w;
+      p.save_state(w);
+      warm_tlm = w.finish();
+    }
+    if (model == Model::kRtl || model == Model::kBoth) {
+      core::Platform p(base, core::ModelKind::kRtl);
+      p.run(warmup_cycles);
+      state::StateWriter w;
+      p.save_state(w);
+      warm_rtl = w.finish();
+    }
+  }
+
+  const auto run_one = [](const core::PlatformConfig& cfg,
+                          core::ModelKind kind,
+                          const std::vector<std::uint8_t>& snapshot) {
+    core::Platform p(cfg, kind);
+    if (!snapshot.empty()) {
+      state::StateReader r(snapshot.data(), snapshot.size());
+      p.restore_state(r);
+    }
+    p.run_to_completion();
+    return p.result();
+  };
 
   const auto simulate = [&](std::size_t i) {
     const SweepPoint& p = points[i];
@@ -47,11 +89,11 @@ std::vector<PointOutcome> SweepRunner::run(
     o.label = p.label;
     try {
       if (model == Model::kTlm || model == Model::kBoth) {
-        o.tlm = core::run_tlm(p.config);
+        o.tlm = run_one(p.config, core::ModelKind::kTlm, warm_tlm);
         o.has_tlm = true;
       }
       if (model == Model::kRtl || model == Model::kBoth) {
-        o.rtl = core::run_rtl(p.config);
+        o.rtl = run_one(p.config, core::ModelKind::kRtl, warm_rtl);
         o.has_rtl = true;
       }
     } catch (const std::exception& e) {
@@ -169,6 +211,77 @@ stats::TextTable aggregate_table(const std::vector<PointOutcome>& outcomes,
     table.add_row(std::move(row));
   }
   return table;
+}
+
+namespace {
+
+/// Minimal CSV quoting: wrap fields containing separators/quotes/newlines.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void point_cells(std::ostream& os, bool has, const core::SimResult& r) {
+  if (!has) {
+    os << ",,,,,,,,";
+    return;
+  }
+  os << ',' << (r.finished ? 1 : 0) << ',' << r.cycles << ',' << r.ran_cycles
+     << ',' << r.completed << ',' << r.protocol_errors << ','
+     << r.qos_warnings << ',' << r.profile.bus.grants << ','
+     << r.profile.bus.bytes;
+}
+
+}  // namespace
+
+void write_point_csv(std::ostream& os,
+                     const std::vector<PointOutcome>& outcomes, Model model) {
+  const bool tlm = model != Model::kRtl;
+  const bool rtl = model != Model::kTlm;
+  os << "index,label";
+  const auto model_header = [&os](const char* prefix) {
+    os << ',' << prefix << "_finished," << prefix << "_cycles," << prefix
+       << "_ran_cycles," << prefix << "_completed," << prefix
+       << "_protocol_errors," << prefix << "_qos_warnings," << prefix
+       << "_grants," << prefix << "_bus_bytes";
+  };
+  if (tlm) {
+    model_header("tlm");
+  }
+  if (rtl) {
+    model_header("rtl");
+  }
+  if (tlm && rtl) {
+    os << ",cycle_error";
+  }
+  os << ",error\n";
+
+  for (const PointOutcome& o : outcomes) {
+    os << o.index << ',' << csv_field(o.label);
+    if (tlm) {
+      point_cells(os, o.has_tlm, o.tlm);
+    }
+    if (rtl) {
+      point_cells(os, o.has_rtl, o.rtl);
+    }
+    if (tlm && rtl) {
+      os << ',';
+      if (o.has_tlm && o.has_rtl) {
+        os << stats::fmt_double(o.cycle_error(), 6);
+      }
+    }
+    os << ',' << csv_field(o.error) << '\n';
+  }
 }
 
 }  // namespace ahbp::sweep

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +18,22 @@
 /// scales with cores.  Results are collected *by expansion index*, never by
 /// completion order, so the aggregate report is byte-identical no matter
 /// how many workers raced to produce it — determinism the tests pin down.
+///
+/// ## Fork-from-warm-up
+///
+/// Every sweep point used to re-simulate the identical warm-up prefix —
+/// cold DDR banks, empty write buffers, arbiter settling — before the
+/// configurations even diverge.  With `warmup_cycles > 0` the runner
+/// simulates the *base* scenario once per model, snapshots the whole
+/// platform through the src/state layer, and forks every point from that
+/// snapshot; workers share the read-only snapshot bytes.  The fork
+/// reproduces the cold sweep exactly when the swept axes leave the first
+/// `warmup_cycles` invariant (e.g. `items` axes, whose scripts extend the
+/// base's by construction); axes that perturb the prefix — seeds, timings,
+/// arbitration knobs — make the fork an approximation of the cold run, the
+/// standard checkpoint-sweep trade-off.  Structural mismatches (master or
+/// channel count, bank geometry, checker enablement) fail the point with a
+/// clear error instead of diverging silently.
 
 namespace ahbp::sweep {
 
@@ -56,9 +73,17 @@ class SweepRunner {
 
   unsigned jobs() const noexcept { return jobs_; }
 
-  /// Run every point, in parallel, deterministically ordered by index.
+  /// Run every point cold, in parallel, deterministically ordered by index.
   std::vector<PointOutcome> run(const std::vector<SweepPoint>& points,
                                 Model model) const;
+
+  /// Warm `base` up for `warmup_cycles` once per requested model, then fork
+  /// every point from the snapshot (see the file comment for the exactness
+  /// contract).  `warmup_cycles == 0` degrades to the cold run.
+  std::vector<PointOutcome> run(const std::vector<SweepPoint>& points,
+                                Model model,
+                                const core::PlatformConfig& base,
+                                sim::Cycle warmup_cycles) const;
 
  private:
   unsigned jobs_;
@@ -71,5 +96,12 @@ class SweepRunner {
 /// matters (the default everywhere except interactive reports).
 stats::TextTable aggregate_table(const std::vector<PointOutcome>& outcomes,
                                  Model model, bool include_speed = false);
+
+/// Per-point outcome dump, one CSV row per point: every counter external
+/// tooling needs to diff a checkpointed sweep against a cold one (cycles,
+/// ran cycles, retired transactions, violations, grants, bytes moved — per
+/// model).  Byte-stable: no wall-clock-derived columns.
+void write_point_csv(std::ostream& os,
+                     const std::vector<PointOutcome>& outcomes, Model model);
 
 }  // namespace ahbp::sweep

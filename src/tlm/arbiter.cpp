@@ -283,4 +283,20 @@ std::optional<Arbiter::Grant> Arbiter::arbitrate(ArbContext& ctx) {
   return g;
 }
 
+void Arbiter::save_state(state::StateWriter& w) const {
+  w.begin("arbiter");
+  w.put_u8(last_grant_);
+  w.put_u64(grants_);
+  w.put_u64(last_epoch_);
+  w.end();
+}
+
+void Arbiter::restore_state(state::StateReader& r) {
+  r.enter("arbiter");
+  last_grant_ = r.get_u8();
+  grants_ = r.get_u64();
+  last_epoch_ = r.get_u64();
+  r.leave();
+}
+
 }  // namespace ahbp::tlm

@@ -126,6 +126,11 @@ class Arbiter {
   std::uint64_t grants() const noexcept { return grants_; }
   const FilterPipeline& pipeline() const noexcept { return pipeline_; }
 
+  /// Round-robin cursor, grant counter and budget-epoch clock (the filter
+  /// pipeline itself is stateless decision logic).
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   const ahb::BusConfig& cfg_;
   ahb::QosRegisterFile& qos_;

@@ -389,6 +389,83 @@ void AhbPlusBus::do_absorption(sim::Cycle now) {
   }
 }
 
+void AhbPlusBus::save_state(state::StateWriter& w) const {
+  w.begin("ahb-bus");
+  w.put_u64(slots_.size());
+  for (const Slot& s : slots_) {
+    w.put_u8(static_cast<std::uint8_t>(s.st));
+    ahb::save_state(w, s.txn);
+    w.put_u64(s.buffered_done_at);
+  }
+  w.put_bool(inflight_.has_value());
+  if (inflight_) {
+    w.put_u8(inflight_->owner);
+    ahb::save_state(w, inflight_->txn);
+    w.put_u32(inflight_->beat);
+    w.put_u64(inflight_->addr_cycle);
+    w.put_bool(inflight_->from_wbuf);
+  }
+  w.put_bool(granted_.has_value());
+  w.put_u8(granted_ ? *granted_ : ahb::kNoMaster);
+  w.put_u64(granted_cycle_);
+  w.put_u8(lock_owner_);
+  arbiter_.save_state(w);
+  wbuf_.save_state(w);
+  bus_profile_.save_state(w);
+  for (const stats::MasterProfile& p : master_profiles_) {
+    p.save_state(w);
+  }
+  w.put_bool(checker_.has_value());
+  if (checker_) {
+    checker_->save_state(w);
+    qos_checker_->save_state(w);
+  }
+  w.end();
+}
+
+void AhbPlusBus::restore_state(state::StateReader& r) {
+  r.enter("ahb-bus");
+  const std::uint64_t n = r.get_u64();
+  if (n != slots_.size()) {
+    throw state::StateError("AhbPlusBus: snapshot has " + std::to_string(n) +
+                            " masters, platform has " +
+                            std::to_string(slots_.size()));
+  }
+  for (Slot& s : slots_) {
+    s.st = static_cast<Slot::St>(r.get_u8());
+    ahb::restore_state(r, s.txn);
+    s.buffered_done_at = r.get_u64();
+  }
+  if (r.get_bool()) {
+    inflight_.emplace();
+    inflight_->owner = r.get_u8();
+    ahb::restore_state(r, inflight_->txn);
+    inflight_->beat = r.get_u32();
+    inflight_->addr_cycle = r.get_u64();
+    inflight_->from_wbuf = r.get_bool();
+  } else {
+    inflight_.reset();
+  }
+  const bool has_grant = r.get_bool();
+  const ahb::MasterId g = r.get_u8();
+  granted_ = has_grant ? std::optional<ahb::MasterId>(g) : std::nullopt;
+  granted_cycle_ = r.get_u64();
+  lock_owner_ = r.get_u8();
+  arbiter_.restore_state(r);
+  wbuf_.restore_state(r);
+  bus_profile_.restore_state(r);
+  for (stats::MasterProfile& p : master_profiles_) {
+    p.restore_state(r);
+  }
+  state::expect_presence_match(r.get_bool(), checker_.has_value(),
+                               "AhbPlusBus checkers");
+  if (checker_) {
+    checker_->restore_state(r);
+    qos_checker_->restore_state(r);
+  }
+  r.leave();
+}
+
 void AhbPlusBus::emit_view(sim::Cycle now, chk::BusCycleView view) {
   (void)now;
   if (!checker_) {

@@ -11,6 +11,7 @@
 #include "ahb/transaction.hpp"
 #include "assertions/bus_checker.hpp"
 #include "sim/cycle_kernel.hpp"
+#include "state/snapshot.hpp"
 #include "stats/profiles.hpp"
 #include "tlm/arbiter.hpp"
 #include "tlm/ddrc.hpp"
@@ -50,7 +51,7 @@ enum class GrantPoll : std::uint8_t {
   kBuffered, ///< write absorbed by the write buffer; transaction complete
 };
 
-class AhbPlusBus final : public sim::Clocked {
+class AhbPlusBus final : public sim::Clocked, public state::Snapshottable {
  public:
   /// `checker_log` may be null (checkers off, e.g. inside speed benches).
   AhbPlusBus(const ahb::BusConfig& cfg, ahb::QosRegisterFile& qos,
@@ -88,6 +89,13 @@ class AhbPlusBus final : public sim::Clocked {
 
   /// All scripted work retired and nothing in flight anywhere.
   bool quiescent() const noexcept;
+
+  // ---------------------------------------------------------- snapshot
+  // Covers slots, the in-flight transfer, the latched grant, lock owner,
+  // arbiter/write-buffer/checker state and every profile counter.  The DDRC
+  // and QoS register file snapshot with their own owners.
+  void save_state(state::StateWriter& w) const override;
+  void restore_state(state::StateReader& r) override;
 
  private:
   struct Slot {

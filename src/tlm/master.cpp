@@ -27,4 +27,20 @@ void TlmMaster::evaluate(sim::Cycle now) {
   }
 }
 
+void TlmMaster::save_state(state::StateWriter& w) const {
+  w.begin("tlm-master");
+  w.put_u8(static_cast<std::uint8_t>(state_));
+  w.put_u64(completed_);
+  source_.save_state(w);
+  w.end();
+}
+
+void TlmMaster::restore_state(state::StateReader& r) {
+  r.enter("tlm-master");
+  state_ = static_cast<State>(r.get_u8());
+  completed_ = r.get_u64();
+  source_.restore_state(r);
+  r.leave();
+}
+
 }  // namespace ahbp::tlm

@@ -19,7 +19,7 @@
 
 namespace ahbp::tlm {
 
-class TlmMaster final : public sim::Clocked {
+class TlmMaster final : public sim::Clocked, public state::Snapshottable {
  public:
   TlmMaster(ahb::MasterId id, AhbPlusBus& bus, traffic::Script script)
       : id_(id), bus_(bus), source_(std::move(script)),
@@ -38,6 +38,9 @@ class TlmMaster final : public sim::Clocked {
 
   /// Completion callback hook for tests (observes each retired txn).
   std::function<void(const ahb::Transaction&)> on_complete;
+
+  void save_state(state::StateWriter& w) const override;
+  void restore_state(state::StateReader& r) override;
 
  private:
   enum class State { kIdle, kWaiting };

@@ -54,4 +54,34 @@ bool WriteBuffer::overlaps(ahb::Addr lo, ahb::Addr hi) const noexcept {
   return false;
 }
 
+void WriteBuffer::save_state(state::StateWriter& w) const {
+  w.begin("write-buffer");
+  w.put_bool(urgent_);
+  w.put_u64(fifo_.size());
+  for (const ahb::Transaction& t : fifo_) {
+    ahb::save_state(w, t);
+  }
+  profile_.save_state(w);
+  w.end();
+}
+
+void WriteBuffer::restore_state(state::StateReader& r) {
+  r.enter("write-buffer");
+  urgent_ = r.get_bool();
+  fifo_.clear();
+  const std::uint64_t n = r.get_count();
+  if (n != 0 && !enabled_) {
+    throw state::StateError(
+        "WriteBuffer: snapshot holds " + std::to_string(n) +
+        " buffered writes but the restore platform disables the buffer");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ahb::Transaction t;
+    ahb::restore_state(r, t);
+    fifo_.push_back(std::move(t));
+  }
+  profile_.restore_state(r);
+  r.leave();
+}
+
 }  // namespace ahbp::tlm

@@ -83,6 +83,12 @@ class WriteBuffer {
 
   const stats::WriteBufferProfile& profile() const noexcept { return profile_; }
 
+  /// Snapshot FIFO contents, urgency flag and profile.  Capacity/watermark
+  /// are configuration: a snapshot restores into whatever depth the target
+  /// platform was built with (occupancy above the new depth simply drains).
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
+
  private:
   unsigned depth_;
   unsigned watermark_;

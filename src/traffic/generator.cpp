@@ -11,9 +11,8 @@ namespace ahbp::traffic {
 
 namespace {
 
-/// All scripts draw from one PRNG type; seeding mixes the master id so
-/// per-master streams are independent but reproducible.
-using Rng = std::mt19937_64;
+/// Every pattern draws from the explicitly owned per-master engine.
+using Rng = TrafficRng;
 
 std::uint64_t mix_seed(std::uint64_t seed, ahb::MasterId master) {
   // splitmix64 step over (seed, master) for decorrelated streams
@@ -259,6 +258,9 @@ bool pattern_from_string(std::string_view name, PatternKind& out) {
   return true;
 }
 
+TrafficRng::TrafficRng(std::uint64_t seed, ahb::MasterId master)
+    : stream_seed_(mix_seed(seed, master)), engine_(stream_seed_) {}
+
 Script make_script(const PatternConfig& cfg, ahb::MasterId master) {
   AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg.beat_bytes),
                   "beat_bytes must be 1, 2, 4 or 8 (HSIZE-encodable)");
@@ -267,7 +269,9 @@ Script make_script(const PatternConfig& cfg, ahb::MasterId master) {
   if (cfg.items == 0) {
     return {};
   }
-  Rng rng(mix_seed(cfg.seed, master));
+  // The stream's engine lives exactly as long as this expansion: owned
+  // here, seeded from (seed, master), shared with nothing.
+  Rng rng(cfg.seed, master);
   Script s;
   switch (cfg.kind) {
     case PatternKind::kCpu: s = make_cpu(cfg, rng); break;
@@ -307,6 +311,43 @@ void ScriptSource::on_complete(sim::Cycle now) {
   AHBP_ASSERT_MSG(in_flight_, "on_complete without an in-flight transaction");
   in_flight_ = false;
   earliest_ = done() ? sim::kNeverCycle : now + script_[index_].gap;
+}
+
+void ScriptSource::save_state(state::StateWriter& w) const {
+  w.begin("script-source");
+  w.put_u64(script_.size());
+  w.put_u64(index_);
+  w.put_u64(earliest_);
+  w.put_bool(in_flight_);
+  w.end();
+}
+
+void ScriptSource::restore_state(state::StateReader& r) {
+  r.enter("script-source");
+  const std::uint64_t items = r.get_u64();
+  index_ = r.get_u64();
+  earliest_ = r.get_u64();
+  in_flight_ = r.get_bool();
+  r.leave();
+  // Restoring into a *longer* script is legal (a sweep point extending
+  // `items` shares the generated prefix); a shorter one would replay
+  // transactions that never existed in the snapshotted run.
+  if (index_ > script_.size()) {
+    throw state::StateError(
+        "ScriptSource: snapshot had issued " + std::to_string(index_) +
+        " of " + std::to_string(items) + " items, but this script has only " +
+        std::to_string(script_.size()));
+  }
+  // A snapshot parked at end-of-script cannot restore into a longer
+  // script: the gap to the next (previously nonexistent) item was never
+  // armed in the snapshotted run, so the resumed source could not issue it
+  // at the cycle an uninterrupted run would have.  Reject the fork — the
+  // warm-up must end while the source is still draining.
+  if (index_ < script_.size() && !in_flight_ && earliest_ == sim::kNeverCycle) {
+    throw state::StateError(
+        "ScriptSource: snapshot exhausted its script; restoring into a"
+        " longer script is only sound before the source drains");
+  }
 }
 
 }  // namespace ahbp::traffic

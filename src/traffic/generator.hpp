@@ -9,6 +9,7 @@
 #include "ahb/transaction.hpp"
 #include "ahb/types.hpp"
 #include "sim/time.hpp"
+#include "state/snapshot.hpp"
 
 /// \file generator.hpp
 /// Deterministic synthetic traffic.
@@ -73,8 +74,41 @@ struct PatternConfig {
   unsigned beat_bytes = 4;
 };
 
+/// The traffic RNG: an explicitly owned, explicitly seeded engine, one per
+/// (seed, master) stream.
+///
+/// Ownership is the contract here — the engine is constructed *inside* each
+/// `make_script` call and never outlives it; there are no function-local
+/// statics and no engine is ever shared between masters or threads.  That
+/// makes script expansion a pure function of (PatternConfig, master), which
+/// the checkpoint layer leans on: a restored platform regenerates its
+/// scripts bit-identically, and `--jobs N` sweep workers expanding scripts
+/// concurrently can never perturb each other (pinned by the determinism
+/// regression tests).
+class TrafficRng {
+ public:
+  TrafficRng(std::uint64_t seed, ahb::MasterId master);
+
+  // UniformRandomBitGenerator, forwarding to the underlying engine so the
+  // draw sequence is exactly the historical per-master stream.
+  using result_type = std::mt19937_64::result_type;
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return engine_(); }
+
+  /// The decorrelated per-master seed the engine was constructed with.
+  std::uint64_t stream_seed() const noexcept { return stream_seed_; }
+
+ private:
+  std::uint64_t stream_seed_;
+  std::mt19937_64 engine_;
+};
+
 /// Expand a pattern into its deterministic script for master `master`.
-/// The same (config, master) pair always yields the same script.
+/// The same (config, master) pair always yields the same script, and a
+/// script is a prefix of the same config's script with a larger `items` —
+/// patterns draw per item from one owned TrafficRng stream (the property
+/// warm-up-forked sweeps over `items` axes rely on).
 Script make_script(const PatternConfig& cfg, ahb::MasterId master);
 
 /// Total bytes a script will move (for bandwidth accounting in benches).
@@ -105,6 +139,11 @@ class ScriptSource {
 
   std::size_t issued() const noexcept { return index_; }
   std::size_t total() const noexcept { return script_.size(); }
+
+  /// Snapshot the replay position (the script itself is configuration:
+  /// it is regenerated deterministically from the pattern at restore).
+  void save_state(state::StateWriter& w) const;
+  void restore_state(state::StateReader& r);
 
  private:
   Script script_;

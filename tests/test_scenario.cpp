@@ -289,6 +289,39 @@ TEST(ScenarioRoundTrip, FieldsSurvive) {
   EXPECT_EQ(rt.max_cycles, 123456u);
 }
 
+TEST(ScenarioRoundTrip, CheckpointSectionSurvives) {
+  auto cfg = scenario::ScenarioRegistry::builtin().build("single-master");
+  cfg.checkpoint.at_cycle = 10'000;
+  cfg.checkpoint.path = "warm.ckpt";
+
+  const std::string text = scenario::serialize(cfg);
+  EXPECT_NE(text.find("[checkpoint]"), std::string::npos);
+  const auto rt = scenario::parse(text);
+  EXPECT_EQ(rt.checkpoint.at_cycle, 10'000u);
+  EXPECT_EQ(rt.checkpoint.path, "warm.ckpt");
+  EXPECT_TRUE(rt.checkpoint.enabled());
+  EXPECT_EQ(scenario::serialize(rt), text);
+
+  // Dotted overrides reach the section too (sweepable like any knob).
+  scenario::apply_key(cfg, "checkpoint.at_cycle", "500");
+  scenario::apply_key(cfg, "checkpoint.path", "other.ckpt");
+  EXPECT_EQ(cfg.checkpoint.at_cycle, 500u);
+  EXPECT_EQ(cfg.checkpoint.path, "other.ckpt");
+
+  // Absent section stays absent (canonical minimal form).
+  const auto plain = scenario::ScenarioRegistry::builtin().build("single-master");
+  EXPECT_EQ(scenario::serialize(plain).find("[checkpoint]"),
+            std::string::npos);
+  EXPECT_FALSE(scenario::parse(scenario::serialize(plain)).checkpoint.enabled());
+}
+
+TEST(ScenarioErrors, CheckpointBadKeysRejected) {
+  EXPECT_THROW(scenario::parse("[checkpoint]\nbogus = 1\n"),
+               scenario::ScenarioError);
+  EXPECT_THROW(scenario::parse("[checkpoint]\nat_cycle = nope\n"),
+               scenario::ScenarioError);
+}
+
 // ------------------------------------------------------------ registry ----
 
 TEST(ScenarioRegistry, PresetsAreValidPlatforms) {

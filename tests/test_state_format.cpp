@@ -1,0 +1,178 @@
+// The snapshot format's own contract: typed round trips, and — the
+// robustness satellite — truncated, corrupted, version-mismatched or
+// drifted streams are rejected with a clear StateError before any
+// component sees partial state (no UB, no silent reinterpretation).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "state/snapshot.hpp"
+
+namespace {
+
+using namespace ahbp;
+using state::StateError;
+using state::StateReader;
+using state::StateWriter;
+
+std::vector<std::uint8_t> sample_bytes() {
+  StateWriter w;
+  w.begin("outer");
+  w.put_bool(true);
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_i64(-42);
+  w.put_f64(3.25);
+  w.put_str("hello, snapshot");
+  const std::uint8_t blob[] = {1, 2, 3, 4, 5};
+  w.put_blob(blob, sizeof blob);
+  w.begin("inner");
+  w.put_u64(7);
+  w.end();
+  w.end();
+  return w.finish();
+}
+
+TEST(StateFormat, TypedRoundTrip) {
+  const auto bytes = sample_bytes();
+  StateReader r(bytes);
+  r.enter("outer");
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.25);
+  EXPECT_EQ(r.get_str(), "hello, snapshot");
+  EXPECT_EQ(r.get_blob(), (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  r.enter("inner");
+  EXPECT_EQ(r.get_u64(), 7u);
+  r.leave();
+  r.leave();
+  EXPECT_TRUE(r.at_end());
+  r.expect_end();
+}
+
+TEST(StateFormat, IdenticalWritesProduceIdenticalBytes) {
+  EXPECT_EQ(sample_bytes(), sample_bytes());
+}
+
+TEST(StateFormat, TruncationIsRejected) {
+  const auto bytes = sample_bytes();
+  // Every strict prefix must be rejected cleanly (header too short, CRC
+  // missing, or CRC over a shorter payload no longer matching).
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{11}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW(StateReader r(std::move(cut)), StateError) << keep;
+  }
+}
+
+TEST(StateFormat, CorruptionIsRejected) {
+  // Flip one bit at every byte position: header, payload or trailer, the
+  // reader must refuse (magic, version or checksum failure).
+  const auto bytes = sample_bytes();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[pos] ^= 0x40;
+    EXPECT_THROW(StateReader r(std::move(bad)), StateError) << pos;
+  }
+}
+
+TEST(StateFormat, VersionMismatchIsRejectedWithClearMessage) {
+  auto bytes = sample_bytes();
+  bytes[8] = 0x7F;  // version word follows the 8-byte magic
+  try {
+    StateReader r(std::move(bytes));
+    FAIL() << "future-version snapshot accepted";
+  } catch (const StateError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StateFormat, TypeMismatchIsRejected) {
+  const auto bytes = sample_bytes();
+  StateReader r(bytes);
+  r.enter("outer");
+  EXPECT_THROW(r.get_u64(), StateError);  // stream holds a bool here
+}
+
+TEST(StateFormat, SectionTagMismatchIsRejected) {
+  const auto bytes = sample_bytes();
+  StateReader r(bytes);
+  try {
+    r.enter("wrong-tag");
+    FAIL() << "mismatched section tag accepted";
+  } catch (const StateError& e) {
+    EXPECT_NE(std::string(e.what()).find("wrong-tag"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StateFormat, HostileContainerLengthIsRejected) {
+  // A CRC-valid stream declaring an absurd element count must fail fast
+  // with a StateError, not attempt the allocation.
+  StateWriter w;
+  w.put_u64(~std::uint64_t{0});
+  w.put_u64(1u << 20);
+  const auto bytes = w.finish();
+  StateReader r(bytes);
+  EXPECT_THROW(r.get_count(), StateError);
+  StateReader r2(bytes);
+  (void)r2.get_u64();
+  EXPECT_THROW(r2.get_count(), StateError);  // 2^20 items, 9 bytes left
+}
+
+TEST(StateFormat, TrailingGarbageIsRejectedByExpectEnd) {
+  StateWriter w;
+  w.put_u64(1);
+  w.put_u64(2);
+  const auto bytes = w.finish();
+  StateReader r(bytes);
+  EXPECT_EQ(r.get_u64(), 1u);
+  EXPECT_THROW(r.expect_end(), StateError);
+}
+
+TEST(StateFormat, UnbalancedWriterIsRejected) {
+  StateWriter w;
+  w.begin("open");
+  EXPECT_THROW(w.finish(), StateError);
+  StateWriter w2;
+  EXPECT_THROW(w2.end(), StateError);
+}
+
+TEST(StateFormat, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "ahbp_state_fmt.snap";
+  StateWriter w;
+  w.put_str("file payload");
+  w.write_file(path);
+  StateReader r = StateReader::from_file(path);
+  EXPECT_EQ(r.get_str(), "file payload");
+  r.expect_end();
+  std::remove(path.c_str());
+  EXPECT_THROW(StateReader::from_file(path), StateError);
+}
+
+TEST(StateFormat, EmptyAndForeignFilesAreRejected) {
+  const std::string path = ::testing::TempDir() + "ahbp_state_junk.snap";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  }
+  EXPECT_THROW(StateReader::from_file(path), StateError);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "this is not a checkpoint file at all, but long enough";
+  }
+  EXPECT_THROW(StateReader::from_file(path), StateError);
+  std::remove(path.c_str());
+}
+
+}  // namespace

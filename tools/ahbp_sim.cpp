@@ -10,7 +10,10 @@
 //   ahbp_sim show <scenario>
 //   ahbp_sim run <scenario> [--model tlm|rtl|both] [--items N] [--seed S]
 //                           [--vcd FILE] [--csv] [--quiet]
-//   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv] [--speed]
+//   ahbp_sim checkpoint <scenario> --at N --out FILE [--model tlm|rtl]
+//   ahbp_sim resume <checkpoint> [--vcd FILE] [--csv] [--quiet]
+//   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv FILE]
+//                         [--warmup-cycles N] [--speed]
 
 #include <cmath>
 #include <cstdint>
@@ -20,9 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/platform.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
+#include "state/snapshot.hpp"
 #include "stats/report.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
@@ -44,11 +49,26 @@ int usage(std::ostream& os, int code) {
         "      --vcd FILE            dump RTL waveform (rtl/both only)\n"
         "      --csv                 machine-readable per-master report\n"
         "      --quiet               summary line only\n"
+        "  checkpoint <scenario>     run to a cycle and snapshot the"
+        " platform\n"
+        "      --at N                bus cycle to checkpoint at (or the\n"
+        "                            scenario's [checkpoint] at_cycle)\n"
+        "      --out FILE            checkpoint file (or [checkpoint]"
+        " path)\n"
+        "      --model tlm|rtl       model to snapshot (default tlm)\n"
+        "      --items N / --seed S  as for run\n"
+        "  resume <checkpoint>       restore a checkpoint and run to"
+        " completion\n"
+        "      --vcd FILE            dump RTL waveform from the restore"
+        " point\n"
+        "      --csv / --quiet       as for run\n"
         "  sweep <spec>              expand and run a sweep file\n"
         "      --jobs N              worker threads (default 1, 0 = all"
         " cores)\n"
         "      --model tlm|rtl|both  model(s) per point (default tlm)\n"
-        "      --csv                 aggregate table as CSV\n"
+        "      --warmup-cycles N     simulate the base config N cycles once\n"
+        "                            and fork every point from the snapshot\n"
+        "      --csv FILE            write per-point outcomes as CSV\n"
         "      --speed               add kcycles/sec columns (wall-clock"
         " dependent)\n"
         "      --max-cycle-error P   with --model both: fail when any"
@@ -56,7 +76,10 @@ int usage(std::ostream& os, int code) {
         "                            TLM-vs-RTL cycle error exceeds P"
         " percent\n"
         "\n"
-        "<scenario> is a built-in name (see list) or a scenario file path.\n";
+        "<scenario> is a built-in name (see list) or a scenario file path.\n"
+        "A scenario [checkpoint] section (at_cycle, path) makes 'run'"
+        " snapshot\n"
+        "mid-flight and keep going.\n";
   return code;
 }
 
@@ -79,6 +102,23 @@ void print_run(const core::SimResult& r, bool csv, bool quiet) {
     stats::print_report(std::cout, r.profile, r.model + " run profile");
   }
   std::cout << "\n";
+}
+
+/// Run `p` up to `at_cycle`, write the self-describing checkpoint to
+/// `path`, and report — warning when max_cycles stopped the run short of
+/// the requested cycle (the snapshot is then taken earlier than asked).
+void run_to_checkpoint(core::Platform& p, const core::PlatformConfig& cfg,
+                       sim::Cycle at_cycle, const std::string& path) {
+  p.run(at_cycle > p.now() ? at_cycle - p.now() : 0);
+  core::write_checkpoint_file(path, p, scenario::serialize(cfg));
+  std::cout << "checkpoint written to " << path << " at cycle " << p.now()
+            << " (" << core::to_string(p.model()) << ", "
+            << (p.finished() ? "workload already drained" : "mid-run")
+            << ")\n";
+  if (p.now() < at_cycle && !p.finished()) {
+    std::cerr << "note: max_cycles (" << cfg.max_cycles
+              << ") stopped the run before cycle " << at_cycle << "\n";
+  }
 }
 
 int cmd_list() {
@@ -115,10 +155,19 @@ int cmd_run(const std::string& name, const std::string& model_s,
     return 2;
   }
 
+  // A scenario [checkpoint] section makes the run snapshot mid-flight and
+  // continue; resume later picks the snapshot up.
   core::SimResult tlm, rtl;
   bool ran_tlm = false, ran_rtl = false;
   if (model != sweep::Model::kRtl) {
-    tlm = core::run_tlm(cfg);
+    if (cfg.checkpoint.enabled()) {
+      core::Platform p(cfg, core::ModelKind::kTlm);
+      run_to_checkpoint(p, cfg, cfg.checkpoint.at_cycle, cfg.checkpoint.path);
+      p.run_to_completion();
+      tlm = p.result();
+    } else {
+      tlm = core::run_tlm(cfg);
+    }
     ran_tlm = true;
     print_run(tlm, csv, quiet);
   }
@@ -133,7 +182,21 @@ int cmd_run(const std::string& name, const std::string& model_s,
       }
       vcd_os = &vcd;
     }
-    rtl = core::run_rtl(cfg, vcd_os);
+    if (cfg.checkpoint.enabled()) {
+      core::Platform p(cfg, core::ModelKind::kRtl);
+      if (vcd_os != nullptr) {
+        p.enable_vcd(*vcd_os);
+      }
+      // Both models run from one scenario; keep their snapshots apart.
+      const std::string path = model == sweep::Model::kBoth
+                                   ? cfg.checkpoint.path + ".rtl"
+                                   : cfg.checkpoint.path;
+      run_to_checkpoint(p, cfg, cfg.checkpoint.at_cycle, path);
+      p.run_to_completion();
+      rtl = p.result();
+    } else {
+      rtl = core::run_rtl(cfg, vcd_os);
+    }
     ran_rtl = true;
     print_run(rtl, csv, quiet);
     if (vcd_os != nullptr) {
@@ -152,8 +215,75 @@ int cmd_run(const std::string& name, const std::string& model_s,
   return ok ? 0 : 1;
 }
 
+int cmd_checkpoint(const std::string& name, const std::string& model_s,
+                   unsigned items, std::uint64_t seed, std::uint64_t at,
+                   const std::string& out) {
+  core::ModelKind model = core::ModelKind::kTlm;
+  if (!core::model_kind_from_string(model_s, model)) {
+    std::cerr << "unknown model '" << model_s
+              << "' (checkpoint snapshots one model: tlm or rtl)\n";
+    return 2;
+  }
+  core::PlatformConfig cfg = scenario::load_scenario(name, items, seed);
+  if (cfg.masters.empty()) {
+    std::cerr << "scenario '" << name << "' defines no masters\n";
+    return 2;
+  }
+  const sim::Cycle at_cycle = at != 0 ? at : cfg.checkpoint.at_cycle;
+  const std::string path = !out.empty() ? out : cfg.checkpoint.path;
+  if (at_cycle == 0 || path.empty()) {
+    std::cerr << "checkpoint needs --at N and --out FILE (or a scenario"
+                 " [checkpoint] section)\n";
+    return 2;
+  }
+
+  core::Platform p(cfg, model);
+  run_to_checkpoint(p, cfg, at_cycle, path);
+  return 0;
+}
+
+int cmd_resume(const std::string& path, const std::string& vcd_path, bool csv,
+               bool quiet) {
+  state::StateReader r = state::StateReader::from_file(path);
+  const core::CheckpointInfo info = core::read_checkpoint_header(r);
+  core::ModelKind model = core::ModelKind::kTlm;
+  if (!core::model_kind_from_string(info.model, model)) {
+    std::cerr << "checkpoint names unknown model '" << info.model << "'\n";
+    return 2;
+  }
+  if (!vcd_path.empty() && model != core::ModelKind::kRtl) {
+    std::cerr << "--vcd needs an rtl checkpoint\n";
+    return 2;
+  }
+  const core::PlatformConfig cfg = scenario::parse(info.scenario_text);
+
+  core::Platform p(cfg, model);
+  std::ofstream vcd;
+  if (!vcd_path.empty()) {
+    vcd.open(vcd_path);
+    if (!vcd) {
+      std::cerr << "cannot open '" << vcd_path << "' for writing\n";
+      return 2;
+    }
+    p.enable_vcd(vcd);
+  }
+  p.restore_state(r);
+  r.expect_end();
+  std::cout << "resumed " << core::to_string(model) << " from cycle "
+            << p.now() << " (" << path << ")\n";
+  p.run_to_completion();
+  const core::SimResult res = p.result();
+  print_run(res, csv, quiet);
+  if (!vcd_path.empty()) {
+    std::cout << "waveform written to " << vcd_path
+              << " (open with gtkwave)\n";
+  }
+  return res.finished && res.protocol_errors == 0 ? 0 : 1;
+}
+
 int cmd_sweep(const std::string& path, const std::string& model_s,
-              unsigned jobs, bool csv, bool speed, double max_cycle_error) {
+              unsigned jobs, const std::string& csv_path, bool speed,
+              double max_cycle_error, std::uint64_t warmup_cycles) {
   sweep::Model model = sweep::Model::kTlm;
   if (!sweep::model_from_string(model_s, model)) {
     std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
@@ -166,17 +296,28 @@ int cmd_sweep(const std::string& path, const std::string& model_s,
   const sweep::SweepSpec spec = sweep::parse_spec_file(path);
   const auto points = sweep::expand(spec);
   std::cout << "sweep: " << points.size() << " configurations ("
-            << spec.axes.size() << " axes), base '" << spec.base
-            << "'\n\n";
+            << spec.axes.size() << " axes), base '" << spec.base << "'";
+  if (warmup_cycles > 0) {
+    std::cout << ", forked from a " << warmup_cycles
+              << "-cycle warm-up of the base";
+  }
+  std::cout << "\n\n";
 
   const sweep::SweepRunner runner(jobs);
-  const auto outcomes = runner.run(points, model);
+  const auto outcomes =
+      runner.run(points, model, spec.base_config, warmup_cycles);
 
   stats::TextTable table = sweep::aggregate_table(outcomes, model, speed);
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
+  table.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream csv_os(csv_path);
+    if (!csv_os) {
+      std::cerr << "cannot open '" << csv_path << "' for writing\n";
+      return 2;
+    }
+    sweep::write_point_csv(csv_os, outcomes, model);
+    std::cout << "\nper-point outcomes written to " << csv_path << "\n";
   }
 
   int failures = 0;
@@ -220,8 +361,12 @@ int main(int argc, char** argv) {
   std::string positional;
   std::string model = "tlm";
   std::string vcd_path;
+  std::string csv_path;   // sweep --csv FILE
+  std::string out_path;   // checkpoint --out FILE
   unsigned items = 0;
   std::uint64_t seed = 0;
+  std::uint64_t at_cycle = 0;        // checkpoint --at N
+  std::uint64_t warmup_cycles = 0;   // sweep --warmup-cycles N
   unsigned jobs = 1;
   bool csv = false, quiet = false, speed = false;
   double max_cycle_error = -1.0;  // negative = gate off
@@ -279,6 +424,16 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--vcd") {
       vcd_path = need_value(i);
+    } else if (a == "--at") {
+      at_cycle = need_unsigned(i, ~std::uint64_t{0});
+      if (at_cycle == 0) {
+        std::cerr << "--at must be a nonzero cycle\n";
+        return 2;
+      }
+    } else if (a == "--out") {
+      out_path = need_value(i);
+    } else if (a == "--warmup-cycles") {
+      warmup_cycles = need_unsigned(i, ~std::uint64_t{0});
     } else if (a == "--jobs") {
       jobs = static_cast<unsigned>(need_unsigned(i, 4096));
     } else if (a == "--max-cycle-error") {
@@ -299,7 +454,18 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (a == "--csv") {
-      csv = true;
+      // `sweep --csv FILE` writes per-point outcomes; for run/resume the
+      // flag switches the on-screen report to CSV.
+      if (cmd == "sweep") {
+        csv_path = need_value(i);
+        if (!csv_path.empty() && csv_path[0] == '-') {
+          std::cerr << "sweep --csv needs a file path, got '" << csv_path
+                    << "'\n";
+          return 2;
+        }
+      } else {
+        csv = true;
+      }
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--speed") {
@@ -359,12 +525,26 @@ int main(int argc, char** argv) {
       }
       return cmd_run(positional, model, items, seed, vcd_path, csv, quiet);
     }
-    if (cmd == "sweep") {
-      if (!check_options({"--jobs", "--model", "--csv", "--speed",
-                          "--max-cycle-error"})) {
+    if (cmd == "checkpoint") {
+      if (!check_options({"--model", "--items", "--seed", "--at", "--out"})) {
         return 2;
       }
-      return cmd_sweep(positional, model, jobs, csv, speed, max_cycle_error);
+      return cmd_checkpoint(positional, model, items, seed, at_cycle,
+                            out_path);
+    }
+    if (cmd == "resume") {
+      if (!check_options({"--vcd", "--csv", "--quiet"})) {
+        return 2;
+      }
+      return cmd_resume(positional, vcd_path, csv, quiet);
+    }
+    if (cmd == "sweep") {
+      if (!check_options({"--jobs", "--model", "--csv", "--speed",
+                          "--max-cycle-error", "--warmup-cycles"})) {
+        return 2;
+      }
+      return cmd_sweep(positional, model, jobs, csv_path, speed,
+                       max_cycle_error, warmup_cycles);
     }
     std::cerr << "unknown command '" << cmd << "'\n";
     return usage(std::cerr, 2);
