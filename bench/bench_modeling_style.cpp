@@ -43,7 +43,7 @@ RunOut run_style(const ahbp::core::PlatformConfig& cfg) {
   tlm::AhbPlusBus bus(cfg.bus, qos, ddrc,
                       static_cast<unsigned>(cfg.masters.size()), nullptr);
   kernel.add(bus);
-  auto scripts = core::make_scripts(cfg);
+  auto scripts = core::expand_stimulus(cfg);
   std::vector<std::unique_ptr<MasterT>> masters;
   for (unsigned m = 0; m < cfg.masters.size(); ++m) {
     masters.push_back(std::make_unique<MasterT>(

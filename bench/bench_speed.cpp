@@ -51,7 +51,7 @@ ahbp::core::SimResult run_rtl_arch_only(
   for (const auto& m : cfg.masters) {
     fc.qos.push_back(m.qos);
   }
-  rtl::RtlFabric fabric(fc, core::make_scripts(cfg));
+  rtl::RtlFabric fabric(fc, core::expand_stimulus(cfg));
   const auto t0 = std::chrono::steady_clock::now();
   const sim::Cycle ran = fabric.run(cfg.max_cycles);
   const auto t1 = std::chrono::steady_clock::now();

@@ -28,7 +28,7 @@ int main() {
     fc.qos.push_back(m.qos);
   }
 
-  rtl::RtlFabric fabric(fc, core::make_scripts(cfg));
+  rtl::RtlFabric fabric(fc, core::expand_stimulus(cfg));
 
   std::ofstream vcd("ahbp_waves.vcd");
   if (!vcd) {

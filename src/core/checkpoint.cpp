@@ -48,6 +48,9 @@ struct Platform::Impl {
   // --- signal-level assembly ---
   std::unique_ptr<rtl::RtlFabric> fabric;
 
+  // --- capture taps (enable_capture; shared by both models) ---
+  std::vector<std::unique_ptr<traffic::TraceRecorder>> recorders;
+
   bool tlm_done() const {
     for (const auto& m : masters) {
       if (!m->finished()) {
@@ -63,6 +66,10 @@ Platform::Platform(const PlatformConfig& cfg, ModelKind model)
   AHBP_ASSERT_MSG(!cfg.masters.empty(), "platform needs at least one master");
   impl_->cfg = cfg;
   impl_->model = model;
+  // Pull trace-backed stimulus off disk exactly once, into this instance's
+  // own config copy: expansion below and checkpoint embedding both read
+  // the resolved text, so the platform is self-describing from here on.
+  resolve_stimulus(impl_->cfg);
 
   if (model == ModelKind::kTlm) {
     Impl& im = *impl_;
@@ -78,7 +85,7 @@ Platform::Platform(const PlatformConfig& cfg, ModelKind model)
         cfg.enable_checkers ? &im.log : nullptr);
     im.kernel.add(*im.bus);
 
-    auto scripts = make_scripts(cfg);
+    auto scripts = expand_stimulus(im.cfg);
     for (unsigned m = 0; m < n; ++m) {
       im.masters.push_back(std::make_unique<tlm::TlmMaster>(
           static_cast<ahb::MasterId>(m), *im.bus, std::move(scripts[m])));
@@ -99,7 +106,8 @@ Platform::Platform(const PlatformConfig& cfg, ModelKind model)
     for (const MasterSpec& m : cfg.masters) {
       fc.qos.push_back(m.qos);
     }
-    impl_->fabric = std::make_unique<rtl::RtlFabric>(fc, make_scripts(cfg));
+    impl_->fabric =
+        std::make_unique<rtl::RtlFabric>(fc, expand_stimulus(impl_->cfg));
   }
 }
 
@@ -194,6 +202,36 @@ void Platform::enable_vcd(std::ostream& os) {
   impl_->fabric->enable_vcd(os);
 }
 
+void Platform::enable_capture() {
+  Impl& im = *impl_;
+  if (!im.recorders.empty()) {
+    return;  // already tapped
+  }
+  const unsigned n = static_cast<unsigned>(im.cfg.masters.size());
+  im.recorders.reserve(n);
+  for (unsigned m = 0; m < n; ++m) {
+    im.recorders.push_back(std::make_unique<traffic::TraceRecorder>(
+        static_cast<ahb::MasterId>(m)));
+    if (im.model == ModelKind::kTlm) {
+      im.masters[m]->set_trace_recorder(im.recorders[m].get());
+    } else {
+      im.fabric->set_trace_recorder(m, im.recorders[m].get());
+    }
+  }
+}
+
+const traffic::TraceRecorder& Platform::capture(ahb::MasterId m) const {
+  const Impl& im = *impl_;
+  if (im.recorders.empty()) {
+    throw std::logic_error("Platform::capture without enable_capture()");
+  }
+  if (m >= im.recorders.size()) {
+    throw std::logic_error("Platform::capture: no master " +
+                           std::to_string(m));
+  }
+  return *im.recorders[m];
+}
+
 void Platform::checkpoint_at(sim::Cycle at, state::StateWriter& w) {
   const sim::Cycle done = now();
   if (at > done) {
@@ -262,6 +300,22 @@ void write_checkpoint(state::StateWriter& w, const Platform& p,
   w.put_str(to_string(p.model()));
   w.put_u64(p.now());
   w.put_str(scenario_text);
+  // Trace-backed masters: embed the resolved trace content.  The scenario
+  // text only names the trace *path*; a restore must not depend on that
+  // file still existing (the Platform resolved its config at construction,
+  // so the text is guaranteed present here).
+  const std::vector<MasterSpec>& masters = p.config().masters;
+  std::uint64_t trace_masters = 0;
+  for (const MasterSpec& m : masters) {
+    trace_masters += m.traffic.is_trace() ? 1 : 0;
+  }
+  w.put_u64(trace_masters);
+  for (std::size_t i = 0; i < masters.size(); ++i) {
+    if (masters[i].traffic.is_trace()) {
+      w.put_u64(i);
+      w.put_str(masters[i].traffic.trace_text);
+    }
+  }
   w.end();
   p.save_state(w);
 }
@@ -279,8 +333,34 @@ CheckpointInfo read_checkpoint_header(state::StateReader& r) {
   info.model = r.get_str();
   info.taken_at = r.get_u64();
   info.scenario_text = r.get_str();
+  const std::uint64_t traces = r.get_u64();
+  info.traces.reserve(traces);
+  for (std::uint64_t i = 0; i < traces; ++i) {
+    const std::uint64_t master = r.get_u64();
+    info.traces.emplace_back(master, r.get_str());
+  }
   r.leave();
   return info;
+}
+
+void apply_embedded_traces(PlatformConfig& cfg, const CheckpointInfo& info) {
+  for (const auto& [master, text] : info.traces) {
+    if (master >= cfg.masters.size()) {
+      throw state::StateError("checkpoint embeds a trace for master " +
+                              std::to_string(master) + " but the scenario"
+                              " has only " +
+                              std::to_string(cfg.masters.size()) +
+                              " masters");
+    }
+    traffic::StimulusSpec& spec = cfg.masters[master].traffic;
+    if (!spec.is_trace()) {
+      throw state::StateError("checkpoint embeds a trace for master " +
+                              std::to_string(master) + " but the scenario"
+                              " declares it synthetic");
+    }
+    spec.trace_text = text;
+    spec.trace_loaded = true;  // embedded content wins even when empty
+  }
 }
 
 SimResult run_from(const PlatformConfig& cfg, ModelKind model,

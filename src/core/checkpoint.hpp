@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/platform.hpp"
 #include "state/snapshot.hpp"
@@ -89,6 +91,14 @@ class Platform : public state::Snapshottable {
   /// RTL only: dump the architectural signals as VCD.  Call before run().
   void enable_vcd(std::ostream& os);
 
+  /// Attach a traffic::TraceRecorder capture tap to every master port
+  /// (both models; call before run(), idempotent).  The recorded streams
+  /// replay bit-exactly through trace-backed stimulus.
+  void enable_capture();
+
+  /// Master `m`'s capture tap (enable_capture() must have been called).
+  const traffic::TraceRecorder& capture(ahb::MasterId m) const;
+
   /// Convenience: run until cycle `at` (no-op if already past), then
   /// serialize the platform section into `w`.
   void checkpoint_at(sim::Cycle at, state::StateWriter& w);
@@ -106,11 +116,22 @@ class Platform : public state::Snapshottable {
 /// What a checkpoint file knows about itself.  `scenario_text` is the
 /// canonical serialized scenario (scenario::serialize) of the platform the
 /// snapshot was taken from, so `ahbp_sim resume` needs no other input.
+/// Trace-backed masters additionally embed their resolved trace content:
+/// the scenario names only the trace *path*, and a self-describing
+/// snapshot must resume bit-exactly even after that file is deleted.
 struct CheckpointInfo {
   std::string model;          ///< "tlm" or "rtl"
   sim::Cycle taken_at = 0;    ///< bus cycle the snapshot was taken at
   std::string scenario_text;  ///< full scenario, parseable by scenario::parse
+  /// (master index, trace text) for every trace-backed master.
+  std::vector<std::pair<std::uint64_t, std::string>> traces;
 };
+
+/// Inject the embedded traces of `info` into a configuration parsed from
+/// `info.scenario_text`, so Platform construction never consults the
+/// original trace files.  Throws state::StateError when an embedded trace
+/// names a master the scenario does not declare as trace-backed.
+void apply_embedded_traces(PlatformConfig& cfg, const CheckpointInfo& info);
 
 /// Append the checkpoint header + the platform section to `w`.
 void write_checkpoint(state::StateWriter& w, const Platform& p,

@@ -1,5 +1,9 @@
 #include "core/platform.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
 #include "assertions/assert.hpp"
 #include "core/checkpoint.hpp"
 
@@ -13,19 +17,59 @@ std::vector<ddr::ChannelConfig> ddr_channel_configs(const PlatformConfig& cfg) {
                                cfg.ddr_channels);
 }
 
-std::vector<traffic::Script> make_scripts(const PlatformConfig& cfg) {
+std::uint64_t ddr_aperture_bytes(const PlatformConfig& cfg) {
+  const auto channels = ddr_channel_configs(cfg);
+  std::uint64_t min_capacity = channels.front().geom.capacity();
+  for (const ddr::ChannelConfig& ch : channels) {
+    min_capacity = std::min(min_capacity, ch.geom.capacity());
+  }
+  return min_capacity * cfg.interleave.channels;
+}
+
+void resolve_stimulus(PlatformConfig& cfg) {
+  for (MasterSpec& m : cfg.masters) {
+    traffic::resolve(m.traffic);
+  }
+}
+
+std::vector<traffic::Script> expand_stimulus(const PlatformConfig& cfg) {
   AHBP_ASSERT_MSG(ahb::valid_beat_bytes(cfg.bus.data_width_bytes),
                   "bus.data_width_bytes must be 1, 2, 4 or 8");
   std::vector<traffic::Script> scripts;
   scripts.reserve(cfg.masters.size());
   for (std::size_t m = 0; m < cfg.masters.size(); ++m) {
-    // The §3.7 bus-width knob reaches the stimulus here: patterns keep the
-    // bytes per transfer invariant and emit beats of the configured width,
-    // so both models see the same wide-beat workload.
-    traffic::PatternConfig pat = cfg.masters[m].traffic;
-    pat.beat_bytes = cfg.bus.data_width_bytes;
-    scripts.push_back(
-        traffic::make_script(pat, static_cast<ahb::MasterId>(m)));
+    scripts.push_back(traffic::expand_stimulus(
+        cfg.masters[m].traffic, static_cast<ahb::MasterId>(m),
+        cfg.bus.data_width_bytes));
+  }
+  // Synthetic windows are aperture-checked at scenario::validate; traces
+  // carry arbitrary recorded addresses, so police them here where the
+  // resolved channel geometry is known — a clear workload error beats a
+  // decode assertion deep inside the DDR model.
+  bool any_trace = false;
+  for (const MasterSpec& m : cfg.masters) {
+    any_trace = any_trace || m.traffic.is_trace();
+  }
+  if (any_trace) {
+    const std::uint64_t aperture = ddr_aperture_bytes(cfg);
+    for (std::size_t m = 0; m < cfg.masters.size(); ++m) {
+      if (!cfg.masters[m].traffic.is_trace()) {
+        continue;
+      }
+      for (const traffic::TrafficItem& item : scripts[m]) {
+        const ahb::Transaction& t = item.txn;
+        if (t.addr < cfg.ddr_base || t.addr - cfg.ddr_base > aperture ||
+            t.bytes() > aperture - (t.addr - cfg.ddr_base)) {
+          char addr_hex[32];
+          std::snprintf(addr_hex, sizeof addr_hex, "0x%llx",
+                        static_cast<unsigned long long>(t.addr));
+          throw std::runtime_error(
+              "master " + std::to_string(m) + " trace transaction " +
+              std::to_string(t.id) + " at " + addr_hex +
+              " falls outside the DDR aperture");
+        }
+      }
+    }
   }
   return scripts;
 }

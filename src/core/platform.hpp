@@ -13,7 +13,7 @@
 #include "ddr/timing.hpp"
 #include "sim/time.hpp"
 #include "stats/profiles.hpp"
-#include "traffic/generator.hpp"
+#include "traffic/stimulus.hpp"
 
 /// \file platform.hpp
 /// Whole-platform assembly and run control — the public entry point of the
@@ -25,10 +25,12 @@
 
 namespace ahbp::core {
 
-/// One master: its QoS registers (§2) and its traffic.
+/// One master: its QoS registers (§2) and its stimulus — a synthetic
+/// traffic pattern or a recorded trace (traffic::StimulusSpec carries
+/// both forms; the pattern fields stay accessible as `traffic.<field>`).
 struct MasterSpec {
   ahb::QosConfig qos;
-  traffic::PatternConfig traffic;
+  traffic::StimulusSpec traffic;
 };
 
 /// Declarative checkpoint request (the scenario `[checkpoint]` section):
@@ -66,6 +68,13 @@ struct PlatformConfig {
 /// Resolved per-channel DDR configuration (shared base + overrides).
 std::vector<ddr::ChannelConfig> ddr_channel_configs(const PlatformConfig& cfg);
 
+/// Byte size of the DDR aperture masters may address (from `ddr_base`):
+/// channels x the smallest per-channel capacity — the interleave stripes
+/// uniformly, so the smallest device bounds every channel-local address.
+/// The one aperture formula shared by scenario validation (synthetic
+/// windows) and stimulus expansion (trace addresses).
+std::uint64_t ddr_aperture_bytes(const PlatformConfig& cfg);
+
 /// Outcome of one simulation run.
 struct SimResult {
   std::string model;           ///< "tlm" or "rtl"
@@ -81,8 +90,20 @@ struct SimResult {
   std::uint64_t kernel_activity = 0;  ///< evaluations (TLM) / deltas (RTL)
 };
 
-/// Expand every master's traffic pattern into its deterministic script.
-std::vector<traffic::Script> make_scripts(const PlatformConfig& cfg);
+/// Load every trace-backed master's trace file into its
+/// `StimulusSpec::trace_text` so the configuration is self-describing
+/// (idempotent; synthetic masters untouched).  Platform construction does
+/// this to its own copy — call it yourself when a config must survive the
+/// trace files disappearing (checkpoints, sweep bases).
+/// Throws std::runtime_error on unreadable trace files.
+void resolve_stimulus(PlatformConfig& cfg);
+
+/// Expand every master's stimulus into its deterministic script: synthetic
+/// patterns through the generator (beat width forced to the configured bus
+/// width), trace-backed masters by parsing their trace (resolving from
+/// disk if needed) and validating every transaction against the bus width
+/// and the DDR aperture.  Throws std::runtime_error on trace problems.
+std::vector<traffic::Script> expand_stimulus(const PlatformConfig& cfg);
 
 /// Run the transaction-level model.
 SimResult run_tlm(const PlatformConfig& cfg);

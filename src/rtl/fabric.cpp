@@ -244,6 +244,11 @@ void RtlFabric::set_on_complete(
   user_hooks_[m] = std::move(fn);
 }
 
+void RtlFabric::set_trace_recorder(unsigned m, traffic::TraceRecorder* rec) {
+  AHBP_ASSERT(m < masters_);
+  rtl_masters_[m]->set_trace_recorder(rec);
+}
+
 void RtlFabric::enable_vcd(std::ostream& os) {
   vcd_ = std::make_unique<sim::VcdWriter>(os);
   vcd_->add_signal(clock_.signal(), 1);

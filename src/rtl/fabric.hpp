@@ -89,6 +89,9 @@ class RtlFabric : public state::Snapshottable {
   void set_on_complete(unsigned m,
                        std::function<void(const ahb::Transaction&)> fn);
 
+  /// Attach a capture tap to master `m`'s port (set before run()).
+  void set_trace_recorder(unsigned m, traffic::TraceRecorder* rec);
+
   /// Multi-line diagnostic snapshot (master states, buffer, arbiter, DDRC)
   /// for stall debugging.
   std::string dump_state() const;

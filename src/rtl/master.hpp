@@ -47,6 +47,13 @@ class RtlMaster {
   /// Test hook: observes every retired transaction.
   std::function<void(const ahb::Transaction&)> on_complete;
 
+  /// Attach a capture tap to this port's script source (symmetric with
+  /// the TLM master — the tap lives in ScriptSource, so issue/complete
+  /// cycles are observed identically in both models).
+  void set_trace_recorder(traffic::TraceRecorder* rec) noexcept {
+    source_.set_recorder(rec);
+  }
+
   /// FSM registers + script position (wires snapshot with the kernel).
   void save_state(state::StateWriter& w) const;
   void restore_state(state::StateReader& r);

@@ -8,7 +8,7 @@
 
 #include "ddr/timing.hpp"
 #include "scenario/lexer.hpp"
-#include "traffic/generator.hpp"
+#include "traffic/stimulus.hpp"
 
 namespace ahbp::scenario {
 
@@ -278,11 +278,22 @@ void apply_master(core::MasterSpec& m, std::string_view key,
     m.qos.objective =
         static_cast<std::uint32_t>(parse_u64_max(value, ~std::uint32_t{0}, line));
   } else if (key == "pattern") {
-    if (!traffic::pattern_from_string(trim(value), m.traffic.kind)) {
-      throw ScenarioError("unknown pattern '" + std::string(trim(value)) +
-                              "' (cpu, dma, rt-stream, random)",
+    const std::string_view p = trim(value);
+    if (p == "trace") {
+      m.traffic.source = traffic::StimulusSource::kTrace;
+    } else if (traffic::pattern_from_string(p, m.traffic.kind)) {
+      m.traffic.source = traffic::StimulusSource::kSynthetic;
+    } else {
+      throw ScenarioError("unknown pattern '" + std::string(p) +
+                              "' (cpu, dma, rt-stream, random, trace)",
                           line);
     }
+  } else if (key == "trace") {
+    // New path invalidates any previously resolved content (sweep axes
+    // retarget trace masters through this setter).
+    m.traffic.trace_path = std::string(trim(value));
+    m.traffic.trace_text.clear();
+    m.traffic.trace_loaded = false;
   } else if (key == "seed") {
     m.traffic.seed = parse_u64(value, line);
   } else if (key == "items") {
@@ -389,13 +400,9 @@ void validate(const core::PlatformConfig& cfg) {
                           std::to_string(cfg.interleave.channels));
     }
   }
-  // Aperture: channels x the smallest per-channel capacity (the interleave
-  // stripes uniformly, so the smallest device bounds every channel-local
-  // address).
   const auto channels = ddr::resolve_channels(cfg.timing, cfg.geom,
                                               cfg.interleave,
                                               cfg.ddr_channels);
-  std::uint64_t min_capacity = channels.front().geom.capacity();
   for (std::size_t k = 0; k < channels.size(); ++k) {
     const std::uint64_t cap = channels[k].geom.capacity();
     if (cfg.interleave.channels > 1 &&
@@ -405,11 +412,30 @@ void validate(const core::PlatformConfig& cfg) {
           " does not divide channel " + std::to_string(k) + "'s capacity (" +
           std::to_string(cap) + " bytes)");
     }
-    min_capacity = std::min(min_capacity, cap);
   }
-  const std::uint64_t aperture = min_capacity * cfg.interleave.channels;
+  // One aperture formula for synthetic windows and trace addresses:
+  // core::ddr_aperture_bytes is also what stimulus expansion checks traces
+  // against.
+  const std::uint64_t aperture = core::ddr_aperture_bytes(cfg);
+  const std::uint64_t min_capacity = aperture / cfg.interleave.channels;
   for (std::size_t i = 0; i < cfg.masters.size(); ++i) {
-    const traffic::PatternConfig& t = cfg.masters[i].traffic;
+    const traffic::StimulusSpec& t = cfg.masters[i].traffic;
+    if (t.is_trace()) {
+      // Addresses come from the recorded trace, checked at expansion (the
+      // file may legitimately be absent here — a checkpoint of a
+      // trace-driven run re-parses its scenario after the file is gone).
+      if (t.trace_path.empty() && t.trace_text.empty()) {
+        throw ScenarioError("master " + std::to_string(i) +
+                            " has pattern = trace but no trace = <path>");
+      }
+      continue;
+    }
+    if (!t.trace_path.empty()) {
+      throw ScenarioError("master " + std::to_string(i) + " sets trace = " +
+                          t.trace_path + " but pattern = " +
+                          traffic::to_string(t.kind) +
+                          " (use pattern = trace to replay it)");
+    }
     if (t.base < cfg.ddr_base) {
       throw ScenarioError("master " + std::to_string(i) +
                           " window starts below ddr_base (base " +
@@ -582,6 +608,22 @@ std::string serialize(const core::PlatformConfig& cfg) {
     os << "class = "
        << (m.qos.cls == ahb::MasterClass::kRealTime ? "rt" : "nrt") << "\n";
     os << "objective = " << m.qos.objective << "\n";
+    if (m.traffic.is_trace()) {
+      // Trace-backed stimulus: the synthetic pattern fields are inert, so
+      // the canonical form is the minimal delta — pattern + path.  The
+      // resolved trace_text is deliberately not a scenario key (checkpoint
+      // files embed it alongside the scenario instead).  A path-less spec
+      // (resolved text only, e.g. a captured stream never parked on disk)
+      // serializes the '<embedded>' marker so the text still parses — its
+      // checkpoint supplies the content at restore; running it without
+      // one fails with a clear cannot-open-'<embedded>' error.
+      os << "pattern = trace\n";
+      os << "trace = "
+         << (m.traffic.trace_path.empty() ? "<embedded>"
+                                          : m.traffic.trace_path)
+         << "\n";
+      continue;
+    }
     os << "pattern = " << traffic::to_string(m.traffic.kind) << "\n";
     os << "seed = " << m.traffic.seed << "\n";
     os << "items = " << m.traffic.items << "\n";

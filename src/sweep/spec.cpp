@@ -174,6 +174,18 @@ SweepSpec parse_spec(std::string_view text) {
     scenario::validate(spec.base_config);
   }
 
+  // Resolve trace-backed stimulus once at spec time: every expanded point
+  // (and the warm-up fork base) then carries the trace text by value
+  // instead of re-reading the file per point — and a missing trace file
+  // fails here, with spec context, not inside a worker thread.  Points
+  // whose axes retarget `masterK.trace` re-resolve at Platform
+  // construction (the setter clears the stale text).
+  try {
+    core::resolve_stimulus(spec.base_config);
+  } catch (const std::exception& e) {
+    throw ScenarioError("base: " + std::string(e.what()));
+  }
+
   // A [checkpoint] request in the base would be silently dead (the runner
   // never snapshots per point — N parallel points would clobber one file);
   // reject it instead of ignoring configuration.

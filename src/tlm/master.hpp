@@ -39,6 +39,13 @@ class TlmMaster final : public sim::Clocked, public state::Snapshottable {
   /// Completion callback hook for tests (observes each retired txn).
   std::function<void(const ahb::Transaction&)> on_complete;
 
+  /// Attach a capture tap to this port's script source (symmetric with
+  /// the signal-level master: both route through ScriptSource, so the
+  /// captured gaps are genuine think-time in either model).
+  void set_trace_recorder(traffic::TraceRecorder* rec) noexcept {
+    source_.set_recorder(rec);
+  }
+
   void save_state(state::StateWriter& w) const override;
   void restore_state(state::StateReader& r) override;
 

@@ -6,6 +6,7 @@
 
 #include "ahb/address.hpp"
 #include "assertions/assert.hpp"
+#include "traffic/stimulus.hpp"
 
 namespace ahbp::traffic {
 
@@ -304,6 +305,11 @@ ahb::Transaction ScriptSource::pop(sim::Cycle now) {
   }
   AHBP_ASSERT_MSG(!in_flight_, "previous transaction not completed");
   in_flight_ = true;
+  if (recorder_ != nullptr) {
+    // The pristine script item (skeleton + write data, timestamps zero) at
+    // the exact issue cycle — before the model stamps or fills anything.
+    recorder_->record_issue(now, script_[index_].txn);
+  }
   return script_[index_++].txn;
 }
 
@@ -311,6 +317,9 @@ void ScriptSource::on_complete(sim::Cycle now) {
   AHBP_ASSERT_MSG(in_flight_, "on_complete without an in-flight transaction");
   in_flight_ = false;
   earliest_ = done() ? sim::kNeverCycle : now + script_[index_].gap;
+  if (recorder_ != nullptr) {
+    recorder_->record_complete(now);
+  }
 }
 
 void ScriptSource::save_state(state::StateWriter& w) const {

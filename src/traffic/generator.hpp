@@ -66,7 +66,7 @@ struct PatternConfig {
   unsigned dma_burst_beats = 16;  ///< kDma: 32-bit-reference beats (4/8/16)
 
   /// Bus beat width in bytes ({1,2,4,8}; HSIZE-encodable).  Set from
-  /// `BusConfig::data_width_bytes` by `core::make_scripts` so the §3.7 bus
+  /// `BusConfig::data_width_bytes` by `core::expand_stimulus` so the §3.7 bus
   /// width knob reaches the stimulus: every archetype keeps the *bytes* it
   /// moves per transfer invariant and derives the beat count from this
   /// width — a wider bus needs fewer beats for the same work, a narrower
@@ -114,6 +114,8 @@ Script make_script(const PatternConfig& cfg, ahb::MasterId master);
 /// Total bytes a script will move (for bandwidth accounting in benches).
 std::uint64_t script_bytes(const Script& s);
 
+class TraceRecorder;  // stimulus.hpp — capture tap on the master port
+
 /// Script source: hands transactions to a model's master port one at a
 /// time.  Both models drive this identically: call `ready(now)` each cycle;
 /// when it returns true, `peek()` / `pop(now)` the next transaction.
@@ -140,6 +142,15 @@ class ScriptSource {
   std::size_t issued() const noexcept { return index_; }
   std::size_t total() const noexcept { return script_.size(); }
 
+  /// Attach a capture tap (nullptr detaches).  The recorder observes every
+  /// pop as an issue and every on_complete as a completion — the single
+  /// implementation both models' master ports flow through, so captured
+  /// gaps are genuine think-time regardless of model.  Not snapshotted:
+  /// capture is an observation tool, not simulation state.
+  void set_recorder(TraceRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
   /// Snapshot the replay position (the script itself is configuration:
   /// it is regenerated deterministically from the pattern at restore).
   void save_state(state::StateWriter& w) const;
@@ -150,6 +161,7 @@ class ScriptSource {
   std::size_t index_ = 0;
   sim::Cycle earliest_ = 0;  ///< next item may not issue before this cycle
   bool in_flight_ = false;
+  TraceRecorder* recorder_ = nullptr;  ///< optional capture tap
 };
 
 }  // namespace ahbp::traffic

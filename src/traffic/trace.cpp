@@ -34,6 +34,56 @@ ahb::Size size_from_bytes(unsigned bytes) {
   return ahb::size_for_bytes(bytes);
 }
 
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ls(line);
+  std::string tok;
+  while (ls >> tok) {
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::uint64_t parse_dec(const std::string& tok, const char* what,
+                        std::uint64_t max = ~std::uint64_t{0}) {
+  if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error(std::string(what) + " must be a non-negative"
+                             " decimal number, got '" + tok + "'");
+  }
+  try {
+    const std::uint64_t out = std::stoull(tok);
+    if (out > max) {
+      throw std::out_of_range(tok);
+    }
+    return out;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string(what) + " out of range: '" + tok +
+                             "'");
+  }
+}
+
+/// Hex field (addresses, write data): bare hex or 0x/0X-prefixed.
+std::uint64_t parse_hex(const std::string& tok, const char* what) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') {
+    // stoull would silently wrap a signed token to a huge value.
+    throw std::runtime_error(std::string(what) + " must be hex, got '" + tok +
+                             "'");
+  }
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  try {
+    out = std::stoull(tok, &pos, 16);  // base 16 itself skips a 0x prefix
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string(what) + " must be hex, got '" + tok +
+                             "'");
+  }
+  if (pos != tok.size()) {
+    throw std::runtime_error(std::string(what) + " must be hex, got '" + tok +
+                             "'");
+  }
+  return out;
+}
+
 }  // namespace
 
 std::size_t save_trace(std::ostream& os, const Script& script) {
@@ -65,47 +115,64 @@ Script load_trace(std::istream& is, ahb::MasterId master) {
     if (hash != std::string::npos) {
       line.resize(hash);
     }
-    std::istringstream ls(line);
-    TrafficItem item;
-    char dir = 0;
-    std::string burst;
-    unsigned size_bytes = 0;
-    if (!(ls >> item.gap)) {
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) {
       continue;  // blank / comment-only line
     }
-    ahb::Transaction& t = item.txn;
-    if (!(ls >> dir >> std::hex >> t.addr >> std::dec >> size_bytes >>
-          burst >> t.beats)) {
-      throw std::runtime_error("trace line " + std::to_string(lineno) +
-                               ": malformed entry");
-    }
     try {
-      t.dir = dir == 'R'   ? ahb::Dir::kRead
-              : dir == 'W' ? ahb::Dir::kWrite
-                           : throw std::runtime_error("dir must be R or W");
-      t.size = size_from_bytes(size_bytes);
-      t.burst = parse_burst(burst);
+      if (tok.size() < 6) {
+        throw std::runtime_error(
+            "malformed entry (need: gap dir addr size burst beats"
+            " [data...])");
+      }
+      TrafficItem item;
+      ahb::Transaction& t = item.txn;
+      item.gap = parse_dec(tok[0], "gap");
+      if (tok[1] == "R") {
+        t.dir = ahb::Dir::kRead;
+      } else if (tok[1] == "W") {
+        t.dir = ahb::Dir::kWrite;
+      } else {
+        throw std::runtime_error("dir must be R or W, got '" + tok[1] + "'");
+      }
+      t.addr = parse_hex(tok[2], "address");
+      // Explicit ceilings before narrowing: a 2^32+n value must error, not
+      // wrap into a legal-looking field.
+      t.size = size_from_bytes(
+          static_cast<unsigned>(parse_dec(tok[3], "size", 8)));
+      t.burst = parse_burst(tok[4]);
+      // 1024 = the AHB 1KB boundary over 1-byte beats; structurally_valid
+      // enforces the exact burst-dependent bound below.
+      t.beats = static_cast<unsigned>(parse_dec(tok[5], "beats", 1024));
+      // Exactly the declared fields and nothing more: silent extra tokens
+      // would mask shifted columns or hand-edit typos.
+      const std::size_t expect =
+          6 + (t.dir == ahb::Dir::kWrite ? t.beats : 0);
+      if (tok.size() < expect) {
+        throw std::runtime_error(
+            "missing write data (" + std::to_string(t.beats) +
+            " beat(s) declared, " + std::to_string(tok.size() - 6) +
+            " data word(s) given)");
+      }
+      if (tok.size() > expect) {
+        throw std::runtime_error("trailing garbage '" + tok[expect] + "'");
+      }
+      if (t.dir == ahb::Dir::kWrite) {
+        t.data.resize(t.beats);
+        for (unsigned b = 0; b < t.beats; ++b) {
+          t.data[b] = parse_hex(tok[6 + b], "write data");
+        }
+      }
+      t.id = script.size() + 1;
+      t.master = master;
+      if (!ahb::structurally_valid(t)) {
+        throw std::runtime_error("transaction violates AHB structure rules");
+      }
+      script.push_back(std::move(item));
     } catch (const std::runtime_error& e) {
       throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
                                e.what());
     }
-    if (t.dir == ahb::Dir::kWrite) {
-      t.data.resize(t.beats);
-      ls >> std::hex;
-      for (unsigned b = 0; b < t.beats; ++b) {
-        if (!(ls >> t.data[b])) {
-          throw std::runtime_error("trace line " + std::to_string(lineno) +
-                                   ": missing write data");
-        }
-      }
-    }
-    t.id = script.size() + 1;
-    t.master = master;
-    if (!ahb::structurally_valid(t)) {
-      throw std::runtime_error("trace line " + std::to_string(lineno) +
-                               ": transaction violates AHB structure rules");
-    }
-    script.push_back(std::move(item));
   }
   return script;
 }

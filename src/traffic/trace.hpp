@@ -18,7 +18,10 @@
 ///
 ///   <gap> <R|W> <addr-hex> <size-bytes> <burst> <beats> [data-hex...]
 ///
-/// '#' starts a comment; blank lines are ignored.
+/// '#' starts a comment; blank lines are ignored.  Hex fields (address,
+/// write data) accept bare hex or a 0x/0X prefix; writes carry exactly
+/// `beats` data words.  Any extra token on a line is an error (with its
+/// line number), never silently dropped.
 
 namespace ahbp::traffic {
 

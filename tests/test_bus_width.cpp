@@ -139,7 +139,7 @@ TEST(BusWidthTraffic, MakeScriptsThreadsTheBusWidth) {
   core::PlatformConfig cfg = core::default_platform(1, 5, 10);
   cfg.masters[0].traffic.kind = traffic::PatternKind::kDma;
   cfg.bus.data_width_bytes = 8;
-  const auto scripts = core::make_scripts(cfg);
+  const auto scripts = core::expand_stimulus(cfg);
   ASSERT_EQ(scripts.size(), 1u);
   for (const traffic::TrafficItem& item : scripts[0]) {
     EXPECT_EQ(item.txn.size, ahb::Size::kDword);

@@ -67,8 +67,8 @@ TEST(Workloads, MasterWindowsDisjoint) {
 
 TEST(Scripts, DeterministicAcrossCalls) {
   const PlatformConfig cfg = default_platform(2, 9, 20);
-  const auto a = make_scripts(cfg);
-  const auto b = make_scripts(cfg);
+  const auto a = expand_stimulus(cfg);
+  const auto b = expand_stimulus(cfg);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t m = 0; m < a.size(); ++m) {
     ASSERT_EQ(a[m].size(), b[m].size());

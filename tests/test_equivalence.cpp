@@ -39,7 +39,7 @@ DataMap run_tlm_collect(const PlatformConfig& cfg) {
   tlm::AhbPlusBus bus(cfg.bus, qos, ddrc,
                       static_cast<unsigned>(cfg.masters.size()), &log);
   kernel.add(bus);
-  auto scripts = make_scripts(cfg);
+  auto scripts = expand_stimulus(cfg);
   std::vector<std::unique_ptr<tlm::TlmMaster>> masters;
   for (unsigned m = 0; m < cfg.masters.size(); ++m) {
     masters.push_back(std::make_unique<tlm::TlmMaster>(
@@ -76,7 +76,7 @@ DataMap run_rtl_collect(const PlatformConfig& cfg) {
   for (const auto& m : cfg.masters) {
     fc.qos.push_back(m.qos);
   }
-  rtl::RtlFabric fabric(fc, make_scripts(cfg));
+  rtl::RtlFabric fabric(fc, expand_stimulus(cfg));
   for (unsigned m = 0; m < cfg.masters.size(); ++m) {
     fabric.set_on_complete(m, [&out, m](const ahb::Transaction& t) {
       if (t.dir == ahb::Dir::kRead) {

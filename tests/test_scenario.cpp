@@ -322,6 +322,77 @@ TEST(ScenarioErrors, CheckpointBadKeysRejected) {
                scenario::ScenarioError);
 }
 
+// --------------------------------------------------- trace-backed masters --
+
+TEST(ScenarioTrace, TraceMasterParsesAndRoundTrips) {
+  const auto cfg = scenario::parse(
+      "[master 0]\n"
+      "pattern = trace\n"
+      "trace = captures/m0.trace\n"
+      "[master 1]\n"
+      "pattern = cpu\n"
+      "items = 20\n");
+  ASSERT_EQ(cfg.masters.size(), 2u);
+  EXPECT_TRUE(cfg.masters[0].traffic.is_trace());
+  EXPECT_EQ(cfg.masters[0].traffic.trace_path, "captures/m0.trace");
+  EXPECT_FALSE(cfg.masters[1].traffic.is_trace());
+
+  // Canonical form for a trace master is the minimal delta (no inert
+  // synthetic keys), and it round-trips byte-for-byte.
+  const std::string text = scenario::serialize(cfg);
+  EXPECT_NE(text.find("pattern = trace"), std::string::npos);
+  EXPECT_NE(text.find("trace = captures/m0.trace"), std::string::npos);
+  const auto reparsed = scenario::parse(text);
+  EXPECT_EQ(scenario::serialize(reparsed), text);
+  EXPECT_TRUE(reparsed.masters[0].traffic.is_trace());
+  EXPECT_EQ(reparsed.masters[0].traffic.trace_path, "captures/m0.trace");
+}
+
+TEST(ScenarioTrace, KeyOrderDoesNotMatter) {
+  const auto cfg = scenario::parse(
+      "[master 0]\n"
+      "trace = m0.trace\n"   // path before the pattern flips to trace
+      "pattern = trace\n");
+  EXPECT_TRUE(cfg.masters[0].traffic.is_trace());
+  EXPECT_EQ(cfg.masters[0].traffic.trace_path, "m0.trace");
+}
+
+TEST(ScenarioTrace, UnknownPatternErrorListsTrace) {
+  try {
+    scenario::parse("[master 0]\npattern = fancy\n");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cpu"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rt-stream"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("trace"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioTrace, TraceWithoutPathRejected) {
+  EXPECT_THROW(scenario::parse("[master 0]\npattern = trace\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioTrace, TracePathOnSyntheticMasterRejected) {
+  EXPECT_THROW(scenario::parse(
+                   "[master 0]\npattern = cpu\ntrace = m0.trace\n"),
+               ScenarioError);
+}
+
+TEST(ScenarioTrace, DottedOverridesRouteToTraceKeys) {
+  // The sweep axis machinery goes through apply_key; retargeting a trace
+  // master must also drop any stale resolved text.
+  auto cfg = scenario::parse(
+      "[master 0]\npattern = trace\ntrace = a.trace\n");
+  cfg.masters[0].traffic.trace_text = "# resolved from a.trace\n";
+  scenario::apply_key(cfg, "master0.trace", "b.trace");
+  EXPECT_EQ(cfg.masters[0].traffic.trace_path, "b.trace");
+  EXPECT_TRUE(cfg.masters[0].traffic.trace_text.empty());
+  scenario::apply_key(cfg, "master0.pattern", "dma");
+  EXPECT_FALSE(cfg.masters[0].traffic.is_trace());
+}
+
 // ------------------------------------------------------------ registry ----
 
 TEST(ScenarioRegistry, PresetsAreValidPlatforms) {

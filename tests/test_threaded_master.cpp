@@ -31,7 +31,7 @@ std::pair<sim::Cycle, std::uint64_t> run_with(
   tlm::AhbPlusBus bus(cfg.bus, qos, ddrc,
                       static_cast<unsigned>(cfg.masters.size()), &log);
   kernel.add(bus);
-  auto scripts = core::make_scripts(cfg);
+  auto scripts = core::expand_stimulus(cfg);
   std::vector<std::unique_ptr<MasterT>> masters;
   for (unsigned m = 0; m < cfg.masters.size(); ++m) {
     masters.push_back(std::make_unique<MasterT>(
@@ -88,7 +88,7 @@ TEST(ThreadedMaster, CleanShutdownMidRun) {
   tlm::TlmDdrc ddrc(cfg.timing, cfg.geom, cfg.ddr_base);
   tlm::AhbPlusBus bus(cfg.bus, qos, ddrc, 2, nullptr);
   kernel.add(bus);
-  auto scripts = core::make_scripts(cfg);
+  auto scripts = core::expand_stimulus(cfg);
   tlm::ThreadedMaster m0(0, bus, std::move(scripts[0]));
   tlm::ThreadedMaster m1(1, bus, std::move(scripts[1]));
   kernel.add(m0);

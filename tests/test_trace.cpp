@@ -84,6 +84,106 @@ TEST(Trace, MalformedLineReportsLineNumber) {
   }
 }
 
+TEST(Trace, HexPrefixAcceptedForAddressAndData) {
+  std::stringstream ss(
+      "0 R 0x100 4 INCR4 4\n"
+      "2 W 0X200 4 INCR4 4 0xde 0Xadbeef 0 0xffffffff\n");
+  const Script s = load_trace(ss, 1);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].txn.addr, 0x100u);
+  EXPECT_EQ(s[1].txn.addr, 0x200u);
+  EXPECT_EQ(s[1].txn.data[0], 0xDEu);
+  EXPECT_EQ(s[1].txn.data[1], 0xADBEEFu);
+  EXPECT_EQ(s[1].txn.data[3], 0xFFFFFFFFu);
+}
+
+TEST(Trace, TrailingGarbageRejectedWithLineNumber) {
+  // A read with an extra token after beats...
+  std::stringstream read_extra("0 R 100 4 INCR4 4\n0 R 200 4 INCR4 4 beef\n");
+  try {
+    load_trace(read_extra, 0);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("trailing garbage"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("beef"), std::string::npos) << msg;
+  }
+  // ...and a write with more data words than beats.
+  std::stringstream write_extra("0 W 100 4 INCR4 4 1 2 3 4 5\n");
+  EXPECT_THROW(load_trace(write_extra, 0), std::runtime_error);
+  // Comments after the fields are still fine.
+  std::stringstream commented("0 R 100 4 INCR4 4 # a comment\n");
+  EXPECT_EQ(load_trace(commented, 0).size(), 1u);
+}
+
+TEST(Trace, BadGapAndBadHexRejected) {
+  std::stringstream neg_gap("-1 R 100 4 INCR4 4\n");
+  EXPECT_THROW(load_trace(neg_gap, 0), std::runtime_error);
+  std::stringstream bad_addr("0 R zz00 4 INCR4 4\n");
+  EXPECT_THROW(load_trace(bad_addr, 0), std::runtime_error);
+  std::stringstream bare_prefix("0 R 0x 4 INCR4 4\n");
+  EXPECT_THROW(load_trace(bare_prefix, 0), std::runtime_error);
+  std::stringstream bad_data("0 W 100 4 SINGLE 1 xyzzy\n");
+  EXPECT_THROW(load_trace(bad_data, 0), std::runtime_error);
+  // Signed tokens must not wrap through stoull to huge unsigneds.
+  std::stringstream neg_addr("0 R -100 4 INCR4 4\n");
+  EXPECT_THROW(load_trace(neg_addr, 0), std::runtime_error);
+  std::stringstream neg_data("0 W 100 4 SINGLE 1 -ff\n");
+  EXPECT_THROW(load_trace(neg_data, 0), std::runtime_error);
+  std::stringstream plus_data("0 W 100 4 SINGLE 1 +ff\n");
+  EXPECT_THROW(load_trace(plus_data, 0), std::runtime_error);
+  // Values past 2^32 must error, not wrap into a legal-looking field
+  // (4294967297 would truncate to 1 beat and satisfy the data arity).
+  std::stringstream wrap_beats("0 W 100 4 SINGLE 4294967297 aa\n");
+  EXPECT_THROW(load_trace(wrap_beats, 0), std::runtime_error);
+  std::stringstream wrap_size("0 R 100 4294967300 SINGLE 1\n");
+  EXPECT_THROW(load_trace(wrap_size, 0), std::runtime_error);
+}
+
+TEST(Trace, EmptyInputYieldsEmptyScript) {
+  // An empty trace is a valid (instantly finished) stimulus, not an error:
+  // a master can legitimately record zero transactions.
+  std::stringstream empty("");
+  EXPECT_TRUE(load_trace(empty, 0).empty());
+  std::stringstream only_comments("# ahbp trace v1\n\n  # nothing here\n");
+  EXPECT_TRUE(load_trace(only_comments, 0).empty());
+}
+
+TEST(Trace, WideBeatRoundTripPreservesWriteData) {
+  // beat_bytes = 8: doubleword beats carry full 64-bit data words through
+  // save/load (the paper's §3.7 widest bus).
+  PatternConfig cfg;
+  cfg.kind = PatternKind::kDma;  // alternating read/write bursts
+  cfg.items = 24;
+  cfg.seed = 11;
+  cfg.base = 0x8000;
+  cfg.span = 1 << 16;
+  cfg.beat_bytes = 8;
+  const Script original = make_script(cfg, 1);
+
+  bool saw_wide_write = false;
+  for (const TrafficItem& item : original) {
+    if (item.txn.dir == ahb::Dir::kWrite) {
+      ASSERT_EQ(ahb::size_bytes(item.txn.size), 8u);
+      saw_wide_write = true;
+    }
+  }
+  ASSERT_TRUE(saw_wide_write);
+
+  std::stringstream ss;
+  EXPECT_EQ(save_trace(ss, original), original.size());
+  const Script loaded = load_trace(ss, 1);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].gap, original[i].gap) << i;
+    EXPECT_EQ(loaded[i].txn.addr, original[i].txn.addr) << i;
+    EXPECT_EQ(loaded[i].txn.size, original[i].txn.size) << i;
+    EXPECT_EQ(loaded[i].txn.beats, original[i].txn.beats) << i;
+    EXPECT_EQ(loaded[i].txn.data, original[i].txn.data) << i;
+  }
+}
+
 TEST(Trace, MissingWriteDataRejected) {
   std::stringstream ss("0 W 100 4 INCR4 4 1 2\n");
   EXPECT_THROW(load_trace(ss, 0), std::runtime_error);
@@ -120,7 +220,7 @@ TEST(Trace, ReplayMatchesOriginalRun) {
   core::PlatformConfig cfg = core::default_platform(2, 5, 30);
   const auto original = core::run_tlm(cfg);
 
-  auto scripts = core::make_scripts(cfg);
+  auto scripts = core::expand_stimulus(cfg);
   std::vector<Script> replayed;
   for (unsigned m = 0; m < scripts.size(); ++m) {
     std::stringstream ss;

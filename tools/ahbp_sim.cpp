@@ -9,7 +9,8 @@
 //   ahbp_sim list
 //   ahbp_sim show <scenario>
 //   ahbp_sim run <scenario> [--model tlm|rtl|both] [--items N] [--seed S]
-//                           [--vcd FILE] [--csv] [--quiet]
+//                           [--vcd FILE] [--capture-trace DIR] [--csv]
+//                           [--quiet]
 //   ahbp_sim checkpoint <scenario> --at N --out FILE [--model tlm|rtl]
 //   ahbp_sim resume <checkpoint> [--vcd FILE] [--csv] [--quiet]
 //   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv FILE]
@@ -18,6 +19,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -31,6 +33,7 @@
 #include "stats/report.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
+#include "traffic/trace.hpp"
 
 namespace {
 
@@ -47,6 +50,11 @@ int usage(std::ostream& os, int code) {
         " otherwise)\n"
         "      --seed S              traffic seed (preset default otherwise)\n"
         "      --vcd FILE            dump RTL waveform (rtl/both only)\n"
+        "      --capture-trace DIR   record every master's transaction"
+        " stream\n"
+        "                            to DIR/masterK.trace + a ready-to-run\n"
+        "                            DIR/replay.scenario (single model"
+        " only)\n"
         "      --csv                 machine-readable per-master report\n"
         "      --quiet               summary line only\n"
         "  checkpoint <scenario>     run to a cycle and snapshot the"
@@ -79,7 +87,9 @@ int usage(std::ostream& os, int code) {
         "<scenario> is a built-in name (see list) or a scenario file path.\n"
         "A scenario [checkpoint] section (at_cycle, path) makes 'run'"
         " snapshot\n"
-        "mid-flight and keep going.\n";
+        "mid-flight and keep going.  A master with 'pattern = trace' and\n"
+        "'trace = FILE' replays a recorded transaction stream; run, sweep,\n"
+        "checkpoint and resume all accept trace-driven scenarios.\n";
   return code;
 }
 
@@ -121,6 +131,62 @@ void run_to_checkpoint(core::Platform& p, const core::PlatformConfig& cfg,
   }
 }
 
+/// Write every master's captured stream to `dir`/masterK.trace plus a
+/// ready-to-run `dir`/replay.scenario whose masters replay the captures.
+void write_capture_dir(const core::Platform& p,
+                       const core::PlatformConfig& cfg,
+                       const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  core::PlatformConfig replay = cfg;
+  for (std::size_t m = 0; m < cfg.masters.size(); ++m) {
+    const std::string path =
+        (fs::path(dir) / ("master" + std::to_string(m) + ".trace")).string();
+    std::ofstream os(path);
+    if (!os) {
+      throw std::runtime_error("cannot open '" + path + "' for writing");
+    }
+    traffic::save_trace(os, p.capture(static_cast<ahb::MasterId>(m))
+                                .captured());
+    traffic::StimulusSpec& spec = replay.masters[m].traffic;
+    spec.source = traffic::StimulusSource::kTrace;
+    spec.trace_path = path;
+    spec.trace_text.clear();
+  }
+  const std::string scn = (fs::path(dir) / "replay.scenario").string();
+  std::ofstream os(scn);
+  if (!os) {
+    throw std::runtime_error("cannot open '" + scn + "' for writing");
+  }
+  os << scenario::serialize(replay);
+  std::cout << "captured " << cfg.masters.size() << " master trace(s) to "
+            << dir << "\nreplay with: ahbp_sim run " << scn
+            << " [--model tlm|rtl|both]\n";
+}
+
+/// One model's share of `run`: checkpoint mid-flight when the scenario
+/// asks for it, capture when requested, then run to completion.
+core::SimResult run_model(const core::PlatformConfig& cfg,
+                          core::ModelKind kind, std::ostream* vcd_os,
+                          const std::string& capture_dir,
+                          const std::string& checkpoint_path) {
+  core::Platform p(cfg, kind);
+  if (vcd_os != nullptr) {
+    p.enable_vcd(*vcd_os);
+  }
+  if (!capture_dir.empty()) {
+    p.enable_capture();
+  }
+  if (cfg.checkpoint.enabled()) {
+    run_to_checkpoint(p, cfg, cfg.checkpoint.at_cycle, checkpoint_path);
+  }
+  p.run_to_completion();
+  if (!capture_dir.empty()) {
+    write_capture_dir(p, cfg, capture_dir);
+  }
+  return p.result();
+}
+
 int cmd_list() {
   stats::TextTable t({"name", "description"});
   for (const auto& e : scenario::ScenarioRegistry::builtin().entries()) {
@@ -139,7 +205,7 @@ int cmd_show(const std::string& name) {
 
 int cmd_run(const std::string& name, const std::string& model_s,
             unsigned items, std::uint64_t seed, const std::string& vcd_path,
-            bool csv, bool quiet) {
+            const std::string& capture_dir, bool csv, bool quiet) {
   sweep::Model model = sweep::Model::kTlm;
   if (!sweep::model_from_string(model_s, model)) {
     std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
@@ -154,20 +220,20 @@ int cmd_run(const std::string& name, const std::string& model_s,
     std::cerr << "--vcd needs the signal-level model (--model rtl|both)\n";
     return 2;
   }
+  if (!capture_dir.empty() && model == sweep::Model::kBoth) {
+    // Captured gaps are one model's observed think times; pick whose.
+    std::cerr << "--capture-trace records one model's stream: pick --model"
+                 " tlm or rtl (the capture replays in both)\n";
+    return 2;
+  }
 
   // A scenario [checkpoint] section makes the run snapshot mid-flight and
   // continue; resume later picks the snapshot up.
   core::SimResult tlm, rtl;
   bool ran_tlm = false, ran_rtl = false;
   if (model != sweep::Model::kRtl) {
-    if (cfg.checkpoint.enabled()) {
-      core::Platform p(cfg, core::ModelKind::kTlm);
-      run_to_checkpoint(p, cfg, cfg.checkpoint.at_cycle, cfg.checkpoint.path);
-      p.run_to_completion();
-      tlm = p.result();
-    } else {
-      tlm = core::run_tlm(cfg);
-    }
+    tlm = run_model(cfg, core::ModelKind::kTlm, nullptr, capture_dir,
+                    cfg.checkpoint.path);
     ran_tlm = true;
     print_run(tlm, csv, quiet);
   }
@@ -182,21 +248,12 @@ int cmd_run(const std::string& name, const std::string& model_s,
       }
       vcd_os = &vcd;
     }
-    if (cfg.checkpoint.enabled()) {
-      core::Platform p(cfg, core::ModelKind::kRtl);
-      if (vcd_os != nullptr) {
-        p.enable_vcd(*vcd_os);
-      }
-      // Both models run from one scenario; keep their snapshots apart.
-      const std::string path = model == sweep::Model::kBoth
-                                   ? cfg.checkpoint.path + ".rtl"
-                                   : cfg.checkpoint.path;
-      run_to_checkpoint(p, cfg, cfg.checkpoint.at_cycle, path);
-      p.run_to_completion();
-      rtl = p.result();
-    } else {
-      rtl = core::run_rtl(cfg, vcd_os);
-    }
+    // Both models run from one scenario; keep their snapshots apart.
+    const std::string ckpt_path = model == sweep::Model::kBoth
+                                      ? cfg.checkpoint.path + ".rtl"
+                                      : cfg.checkpoint.path;
+    rtl = run_model(cfg, core::ModelKind::kRtl, vcd_os, capture_dir,
+                    ckpt_path);
     ran_rtl = true;
     print_run(rtl, csv, quiet);
     if (vcd_os != nullptr) {
@@ -255,7 +312,10 @@ int cmd_resume(const std::string& path, const std::string& vcd_path, bool csv,
     std::cerr << "--vcd needs an rtl checkpoint\n";
     return 2;
   }
-  const core::PlatformConfig cfg = scenario::parse(info.scenario_text);
+  core::PlatformConfig cfg = scenario::parse(info.scenario_text);
+  // Trace-backed masters resume from the embedded capture — the original
+  // trace files need not exist anymore (self-describing snapshot).
+  core::apply_embedded_traces(cfg, info);
 
   core::Platform p(cfg, model);
   std::ofstream vcd;
@@ -361,8 +421,9 @@ int main(int argc, char** argv) {
   std::string positional;
   std::string model = "tlm";
   std::string vcd_path;
-  std::string csv_path;   // sweep --csv FILE
-  std::string out_path;   // checkpoint --out FILE
+  std::string csv_path;      // sweep --csv FILE
+  std::string out_path;      // checkpoint --out FILE
+  std::string capture_dir;   // run --capture-trace DIR
   unsigned items = 0;
   std::uint64_t seed = 0;
   std::uint64_t at_cycle = 0;        // checkpoint --at N
@@ -424,6 +485,13 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--vcd") {
       vcd_path = need_value(i);
+    } else if (a == "--capture-trace") {
+      capture_dir = need_value(i);
+      if (capture_dir.empty() || capture_dir[0] == '-') {
+        std::cerr << "--capture-trace needs a directory path, got '"
+                  << capture_dir << "'\n";
+        return 2;
+      }
     } else if (a == "--at") {
       at_cycle = need_unsigned(i, ~std::uint64_t{0});
       if (at_cycle == 0) {
@@ -519,11 +587,12 @@ int main(int argc, char** argv) {
       return cmd_show(positional);
     }
     if (cmd == "run") {
-      if (!check_options(
-              {"--model", "--items", "--seed", "--vcd", "--csv", "--quiet"})) {
+      if (!check_options({"--model", "--items", "--seed", "--vcd",
+                          "--capture-trace", "--csv", "--quiet"})) {
         return 2;
       }
-      return cmd_run(positional, model, items, seed, vcd_path, csv, quiet);
+      return cmd_run(positional, model, items, seed, vcd_path, capture_dir,
+                     csv, quiet);
     }
     if (cmd == "checkpoint") {
       if (!check_options({"--model", "--items", "--seed", "--at", "--out"})) {
