@@ -13,10 +13,15 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/platform.hpp"
 #include "core/workloads.hpp"
+#include "obs/json.hpp"
+#include "obs/selfprof.hpp"
 #include "rtl/fabric.hpp"
 #include "stats/report.hpp"
 
@@ -64,12 +69,46 @@ ahbp::core::SimResult run_rtl_arch_only(
   return r;
 }
 
+/// One instrumented run per model: a *separate* platform from the timed
+/// best-of runs above (the ScopedTimer pairs would distort them), giving
+/// the per-component wall-clock breakdown BENCH_SPEED.json records.
+ahbp::obs::SelfProfiler profile_model(const ahbp::core::PlatformConfig& cfg,
+                                      ahbp::core::ModelKind kind) {
+  ahbp::obs::SelfProfiler sp;
+  ahbp::core::Platform p(cfg, kind);
+  p.enable_self_profile(sp);
+  p.run_to_completion();
+  return sp;
+}
+
+void model_json(ahbp::obs::JsonWriter& j, const ahbp::core::SimResult& r) {
+  j.begin_object()
+      .member("kcycles_per_sec", ahbp::core::kcycles_per_sec(r))
+      .member("cycles", static_cast<std::uint64_t>(r.ran_cycles))
+      .member("wall_seconds", r.wall_seconds)
+      .member("kernel_activity", r.kernel_activity)
+      .end_object();
+}
+
+void phases_json(ahbp::obs::JsonWriter& j, const ahbp::obs::SelfProfiler& sp) {
+  j.begin_array();
+  for (const auto& ph : sp.phases()) {
+    j.begin_object()
+        .member("name", ph.name)
+        .member("calls", ph.calls)
+        .member("total_ms", static_cast<double>(ph.ns) / 1e6)
+        .end_object();
+  }
+  j.end_array();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ahbp;
   const unsigned items =
       argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 3000;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_SPEED.json";
 
   std::cout << "=== Simulation speed (paper §4) ===\n"
             << "    workload: Table-1 'cpu-1' mix, " << items
@@ -133,7 +172,45 @@ int main(int argc, char** argv) {
             << stats::fmt_double(tlm1_k / tlm_k, 2)
             << "x over loaded TLM (paper: 456 vs 166 Kcycles/s = 2.75x)\n";
 
+  // Where the simulators' own time goes, from separate instrumented runs
+  // (instrumentation would distort the timed best-of numbers above).
+  const obs::SelfProfiler tlm_prof = profile_model(cfg, core::ModelKind::kTlm);
+  const obs::SelfProfiler rtl_prof = profile_model(cfg, core::ModelKind::kRtl);
+
   const bool shape_ok = tlm_k > rtl_k * 3.0 && tlm1_k > tlm_k;
+
+  std::ofstream json_os(json_path);
+  if (!json_os) {
+    std::cerr << "cannot open '" << json_path << "' for writing\n";
+    return 1;
+  }
+  {
+    obs::JsonWriter j(json_os);
+    j.begin_object().member("items", items);
+    j.key("models").begin_object();
+    j.key("rtl");
+    model_json(j, rtl);
+    j.key("rtl_arch");
+    model_json(j, arch);
+    j.key("tlm");
+    model_json(j, tlm);
+    j.key("tlm_single");
+    model_json(j, tlm1);
+    j.end_object();
+    j.member("speedup_tlm_vs_rtl", rtl_k > 0.0 ? tlm_k / rtl_k : 0.0)
+        .member("single_master_uplift", tlm_k > 0.0 ? tlm1_k / tlm_k : 0.0);
+    j.key("phases").begin_object();
+    j.key("tlm");
+    phases_json(j, tlm_prof);
+    j.key("rtl");
+    phases_json(j, rtl_prof);
+    j.end_object();
+    j.member("shape_ok", shape_ok).end_object();
+  }
+  json_os << '\n';
+  json_os.close();
+  std::cout << "\nmachine-readable results written to " << json_path << "\n";
+
   std::cout << "\nRESULT: " << (shape_ok ? "OK" : "FAIL")
             << " (shape: TLM >> signal-level, single-master > loaded)\n";
   return shape_ok ? 0 : 1;

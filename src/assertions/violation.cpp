@@ -1,5 +1,7 @@
 #include "assertions/violation.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 namespace ahbp::chk {
@@ -21,6 +23,15 @@ std::size_t ViolationLog::count_rule(std::string_view rule) const noexcept {
     }
   }
   return n;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ViolationLog::rule_counts()
+    const {
+  std::map<std::string, std::uint64_t> by_rule;
+  for (const Violation& v : violations_) {
+    ++by_rule[v.rule];
+  }
+  return {by_rule.begin(), by_rule.end()};
 }
 
 std::string ViolationLog::to_string(std::size_t max) const {

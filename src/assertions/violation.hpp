@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -42,6 +43,10 @@ class ViolationLog {
 
   /// Number of violations of one rule (exact match).
   std::size_t count_rule(std::string_view rule) const noexcept;
+
+  /// All distinct rule ids with their counts, sorted by rule id — the
+  /// aggregation the stats report and `--stats-json` surface.
+  std::vector<std::pair<std::string, std::uint64_t>> rule_counts() const;
 
   /// Render the first `max` violations, one per line.
   std::string to_string(std::size_t max = 20) const;

@@ -1,11 +1,16 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <ostream>
 #include <stdexcept>
 #include <vector>
 
 #include "assertions/assert.hpp"
 #include "assertions/violation.hpp"
+#include "obs/selfprof.hpp"
+#include "obs/timeline.hpp"
 #include "rtl/fabric.hpp"
 #include "sim/cycle_kernel.hpp"
 #include "tlm/bus.hpp"
@@ -51,6 +56,11 @@ struct Platform::Impl {
   // --- capture taps (enable_capture; shared by both models) ---
   std::vector<std::unique_ptr<traffic::TraceRecorder>> recorders;
 
+  // --- observability (enable_timeline / enable_self_profile / progress) ---
+  std::uint64_t expand_ns = 0;  ///< stimulus-expansion time at construction
+  std::ostream* progress = nullptr;
+  double progress_interval = 1.0;
+
   bool tlm_done() const {
     for (const auto& m : masters) {
       if (!m->finished()) {
@@ -85,7 +95,12 @@ Platform::Platform(const PlatformConfig& cfg, ModelKind model)
         cfg.enable_checkers ? &im.log : nullptr);
     im.kernel.add(*im.bus);
 
+    const auto e0 = std::chrono::steady_clock::now();
     auto scripts = expand_stimulus(im.cfg);
+    im.expand_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - e0)
+            .count());
     for (unsigned m = 0; m < n; ++m) {
       im.masters.push_back(std::make_unique<tlm::TlmMaster>(
           static_cast<ahb::MasterId>(m), *im.bus, std::move(scripts[m])));
@@ -106,8 +121,13 @@ Platform::Platform(const PlatformConfig& cfg, ModelKind model)
     for (const MasterSpec& m : cfg.masters) {
       fc.qos.push_back(m.qos);
     }
-    impl_->fabric =
-        std::make_unique<rtl::RtlFabric>(fc, expand_stimulus(impl_->cfg));
+    const auto e0 = std::chrono::steady_clock::now();
+    auto scripts = expand_stimulus(impl_->cfg);
+    impl_->expand_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - e0)
+            .count());
+    impl_->fabric = std::make_unique<rtl::RtlFabric>(fc, std::move(scripts));
   }
 }
 
@@ -138,10 +158,48 @@ sim::Cycle Platform::run(sim::Cycle n) {
   }
   const auto t0 = std::chrono::steady_clock::now();
   sim::Cycle ran = 0;
-  if (im.model == ModelKind::kTlm) {
-    ran = im.kernel.run_until([&im] { return im.tlm_done(); }, quota);
+  if (im.progress == nullptr) {
+    if (im.model == ModelKind::kTlm) {
+      ran = im.kernel.run_until([&im] { return im.tlm_done(); }, quota);
+    } else {
+      ran = im.fabric->run(quota);
+    }
   } else {
-    ran = im.fabric->run(quota);
+    // Heartbeat path: execute in chunks so wall clock can be sampled
+    // between them.  The chunk is a multiple of 256 — RtlFabric::run
+    // samples finished() at absolute 256-cycle boundaries, so chunked
+    // execution stops at exactly the cycles an uninterrupted run would
+    // (the TLM kernel checks its predicate every cycle, so any chunk
+    // size is safe there).
+    constexpr sim::Cycle kChunk = 25'600;
+    auto last_beat = t0;
+    while (ran < quota) {
+      const sim::Cycle want = std::min<sim::Cycle>(kChunk, quota - ran);
+      sim::Cycle got = 0;
+      if (im.model == ModelKind::kTlm) {
+        got = im.kernel.run_until([&im] { return im.tlm_done(); }, want);
+      } else {
+        got = im.fabric->run(want);
+      }
+      ran += got;
+      if (got < want) {
+        break;  // finished (or hit an internal stop) before the chunk ran out
+      }
+      const auto tn = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(tn - last_beat).count() >=
+          im.progress_interval) {
+        const double secs = std::chrono::duration<double>(tn - t0).count();
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "# %s: cycle %llu | %.1fs | %.0f kcycles/s\n",
+                      std::string(to_string(im.model)).c_str(),
+                      static_cast<unsigned long long>(done + ran), secs,
+                      secs > 0.0 ? static_cast<double>(ran) / secs / 1000.0
+                                 : 0.0);
+        (*im.progress) << line << std::flush;
+        last_beat = tn;
+      }
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
   im.wall += std::chrono::duration<double>(t1 - t0).count();
@@ -175,6 +233,7 @@ SimResult Platform::result() const {
     r.protocol_errors = im.log.errors();
     r.qos_warnings = im.log.warnings();
     r.first_violations = im.log.to_string();
+    r.profile.violation_rules = im.log.rule_counts();
     r.kernel_activity = im.kernel.evaluations();
   } else {
     const rtl::RtlFabric& f = *im.fabric;
@@ -187,6 +246,7 @@ SimResult Platform::result() const {
     r.protocol_errors = f.violations().errors();
     r.qos_warnings = f.violations().warnings();
     r.first_violations = f.violations().to_string();
+    r.profile.violation_rules = f.violations().rule_counts();
     r.kernel_activity = f.kernel().stats().deltas;
   }
   r.wall_seconds = im.wall;
@@ -200,6 +260,35 @@ void Platform::enable_vcd(std::ostream& os) {
     throw std::logic_error("VCD dumping needs the signal-level model");
   }
   impl_->fabric->enable_vcd(os);
+}
+
+void Platform::enable_timeline(obs::Timeline& tl) {
+  Impl& im = *impl_;
+  if (im.model == ModelKind::kTlm) {
+    const unsigned pid = tl.add_process("tlm");
+    im.bus->set_timeline(tl, pid);
+    im.ddrc->channels().set_timeline(&tl, pid);
+  } else {
+    const unsigned pid = tl.add_process("rtl");
+    im.fabric->enable_timeline(tl, pid);
+  }
+}
+
+void Platform::enable_self_profile(obs::SelfProfiler& sp) {
+  Impl& im = *impl_;
+  // Stimulus expansion already happened (in the constructor); report it
+  // retroactively so the per-phase table covers the whole setup cost.
+  sp.add(sp.phase("platform.expand-stimulus"), im.expand_ns);
+  if (im.model == ModelKind::kTlm) {
+    im.kernel.set_profiler(&sp);
+  } else {
+    im.fabric->set_profiler(&sp);
+  }
+}
+
+void Platform::set_progress(std::ostream* os, double interval_sec) {
+  impl_->progress = os;
+  impl_->progress_interval = interval_sec > 0.0 ? interval_sec : 1.0;
 }
 
 void Platform::enable_capture() {

@@ -10,6 +10,11 @@
 #include "core/platform.hpp"
 #include "state/snapshot.hpp"
 
+namespace ahbp::obs {
+class SelfProfiler;
+class Timeline;
+}
+
 /// \file checkpoint.hpp
 /// Run control with checkpoint/restore: the steppable `Platform` and the
 /// self-describing checkpoint file helpers.
@@ -90,6 +95,25 @@ class Platform : public state::Snapshottable {
 
   /// RTL only: dump the architectural signals as VCD.  Call before run().
   void enable_vcd(std::ostream& os);
+
+  /// Attach a structured event timeline (obs/timeline.hpp): registers one
+  /// timeline process for this model and wires every emission point (master
+  /// ports, bus, write buffer, DDR channels/banks).  Call before run();
+  /// `tl` must outlive the platform.  Observation only — cycle counts and
+  /// all simulated state are bit-identical with or without a timeline.
+  void enable_timeline(obs::Timeline& tl);
+
+  /// Attach a self-profiler: the model's kernel times its components (TLM:
+  /// per Clocked component; RTL: per process), and the stimulus-expansion
+  /// time measured at construction is reported retroactively.  Call before
+  /// run(); `sp` must outlive the platform.
+  void enable_self_profile(obs::SelfProfiler& sp);
+
+  /// Emit a progress heartbeat to `os` roughly every `interval_sec` of
+  /// wall clock while run() executes (cycles, wall time, kcycles/s).  The
+  /// chunked execution it implies is alignment-preserving in both models,
+  /// so results are bit-identical with progress on or off.  Null disables.
+  void set_progress(std::ostream* os, double interval_sec = 1.0);
 
   /// Attach a traffic::TraceRecorder capture tap to every master port
   /// (both models; call before run(), idempotent).  The recorded streams

@@ -6,6 +6,7 @@
 
 #include "assertions/assert.hpp"
 #include "core/checkpoint.hpp"
+#include "obs/json.hpp"
 
 namespace ahbp::core {
 
@@ -94,6 +95,109 @@ double kcycles_per_sec(const SimResult& r) {
     return 0.0;
   }
   return static_cast<double>(r.ran_cycles) / r.wall_seconds / 1000.0;
+}
+
+namespace {
+
+void summary_json(obs::JsonWriter& j, const stats::Summary& s) {
+  j.begin_object()
+      .member("count", s.count())
+      .member("min", s.min())
+      .member("max", s.max())
+      .member("mean", s.mean())
+      .end_object();
+}
+
+void histogram_json(obs::JsonWriter& j, const stats::Log2Histogram& h) {
+  const stats::Summary s = h.summary();
+  j.begin_object()
+      .member("count", s.count())
+      .member("min", s.min())
+      .member("max", s.max())
+      .member("mean", s.mean())
+      .member("p95_upper", h.percentile_upper(95))
+      .end_object();
+}
+
+}  // namespace
+
+void write_stats_json(std::ostream& os, const SimResult& r) {
+  obs::JsonWriter j(os);
+  j.begin_object()
+      .member("model", r.model)
+      .member("finished", r.finished)
+      .member("cycles", static_cast<std::uint64_t>(r.cycles))
+      .member("ran_cycles", static_cast<std::uint64_t>(r.ran_cycles))
+      .member("completed", r.completed)
+      .member("protocol_errors", static_cast<std::uint64_t>(r.protocol_errors))
+      .member("qos_warnings", static_cast<std::uint64_t>(r.qos_warnings))
+      .member("wall_seconds", r.wall_seconds)
+      .member("kcycles_per_sec", kcycles_per_sec(r))
+      .member("kernel_activity", r.kernel_activity);
+
+  const stats::RunProfile& p = r.profile;
+  j.key("bus")
+      .begin_object()
+      .member("utilization", p.bus.utilization())
+      .member("contention", p.bus.contention())
+      .member("throughput", p.bus.throughput())
+      .member("grants", p.bus.grants)
+      .member("handovers", p.bus.handovers)
+      .member("bytes", p.bus.bytes)
+      .end_object();
+
+  j.key("write_buffer")
+      .begin_object()
+      .member("absorbed", p.write_buffer.absorbed)
+      .member("drained", p.write_buffer.drained)
+      .member("bypassed", p.write_buffer.bypassed)
+      .member("full_stalls", p.write_buffer.full_stalls)
+      .member("forwards", p.write_buffer.forwards)
+      .key("occupancy");
+  summary_json(j, p.write_buffer.occupancy);
+  j.end_object();
+
+  j.key("ddr")
+      .begin_object()
+      .member("activates", p.ddr.commands.activates)
+      .member("reads", p.ddr.commands.reads)
+      .member("writes", p.ddr.commands.writes)
+      .member("precharges", p.ddr.commands.precharges)
+      .member("refreshes", p.ddr.commands.refreshes)
+      .member("row_hit_rate", p.ddr.row_hit_rate())
+      .end_object();
+
+  j.key("masters").begin_array();
+  for (const stats::MasterProfile& m : p.masters) {
+    j.begin_object()
+        .member("name", m.name)
+        .member("reads", m.reads)
+        .member("writes", m.writes)
+        .member("bytes_read", m.bytes_read)
+        .member("bytes_written", m.bytes_written)
+        .member("buffered_writes", m.buffered_writes)
+        .member("qos_misses", m.qos_misses);
+    j.key("grant_wait");
+    histogram_json(j, m.grant_wait);
+    j.key("latency");
+    histogram_json(j, m.latency);
+    j.key("stalls").begin_object();
+    for (unsigned c = 0; c < obs::kStallClassCount; ++c) {
+      j.member(obs::to_string(static_cast<obs::StallClass>(c)),
+               m.stalls.cycles[c]);
+    }
+    j.member("total", m.stalls.total()).end_object();
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("violations").begin_object();
+  for (const auto& [rule, count] : p.violation_rules) {
+    j.member(rule, count);
+  }
+  j.end_object();
+
+  j.end_object();
 }
 
 }  // namespace ahbp::core

@@ -115,4 +115,9 @@ SimResult run_rtl(const PlatformConfig& cfg, std::ostream* vcd_out = nullptr);
 /// Simulated kilo-cycles per wall-clock second (the paper's §4 metric).
 double kcycles_per_sec(const SimResult& r);
 
+/// Machine-readable dump of one SimResult: counters, profiles, per-master
+/// stall attribution and violations-by-rule as a single JSON object (no
+/// trailing newline — callers embed it in `{"runs": [...]}` wrappers).
+void write_stats_json(std::ostream& os, const SimResult& r);
+
 }  // namespace ahbp::core

@@ -1,8 +1,10 @@
 #include "ddr/channels.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "ahb/address.hpp"
+#include "obs/timeline.hpp"
 
 namespace ahbp::ddr {
 
@@ -214,18 +216,72 @@ unsigned ChannelSet::remaining_beats() const noexcept {
 
 Command ChannelSet::step(sim::Cycle now) {
   if (channels() == 1) {
-    return engines_[0]->step(now);
+    const Command c = engines_[0]->step(now);
+    if (tl_ != nullptr) {
+      emit_command(0, c, now);
+    }
+    return c;
   }
   advance(now);
   Command live{};
   for (std::uint32_t ch = 0; ch < channels(); ++ch) {
     const Command c = engines_[ch]->step(now);
+    if (tl_ != nullptr) {
+      emit_command(ch, c, now);
+    }
     if (c.kind != CmdKind::kNop && active_ < segments_.size() &&
         segments_[active_].channel == ch) {
       live = c;
     }
   }
   return live;
+}
+
+void ChannelSet::set_timeline(obs::Timeline* tl, unsigned pid) {
+  tl_ = tl;
+  tl_ch_track_.clear();
+  tl_bank_track_.clear();
+  if (tl_ == nullptr) {
+    return;
+  }
+  for (std::uint32_t ch = 0; ch < channels(); ++ch) {
+    tl_ch_track_.push_back(tl_->add_track(pid, "ddr ch" + std::to_string(ch)));
+    const std::uint32_t banks = bank_base_[ch + 1] - bank_base_[ch];
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      tl_bank_track_.push_back(tl_->add_track(
+          pid, "ch" + std::to_string(ch) + " bank" + std::to_string(b)));
+    }
+  }
+}
+
+void ChannelSet::emit_command(std::uint32_t ch, const Command& c,
+                              sim::Cycle now) {
+  if (c.kind == CmdKind::kNop) {
+    return;
+  }
+  const unsigned ch_track = tl_ch_track_[ch];
+  switch (c.kind) {
+    case CmdKind::kActivate:
+      tl_->begin(tl_bank_track_[bank_base_[ch] + c.bank], now,
+                 "row " + std::to_string(c.row));
+      tl_->instant(ch_track, now, "ACT b" + std::to_string(c.bank));
+      break;
+    case CmdKind::kPrecharge:
+      tl_->end(tl_bank_track_[bank_base_[ch] + c.bank], now);
+      tl_->instant(ch_track, now, "PRE b" + std::to_string(c.bank));
+      break;
+    case CmdKind::kRead:
+      tl_->instant(ch_track, now, "RD b" + std::to_string(c.bank));
+      break;
+    case CmdKind::kWrite:
+      tl_->instant(ch_track, now, "WR b" + std::to_string(c.bank));
+      break;
+    case CmdKind::kRefresh:
+      tl_->instant(ch_track, now, "REF");
+      break;
+    case CmdKind::kNop:
+      break;
+  }
 }
 
 bool ChannelSet::read_beat_available(sim::Cycle now) const noexcept {

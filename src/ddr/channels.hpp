@@ -8,6 +8,10 @@
 #include "ddr/interleave.hpp"
 #include "ddr/scheduler.hpp"
 
+namespace ahbp::obs {
+class Timeline;
+}
+
 /// \file channels.hpp
 /// The sharded DDR subsystem: N independent DDRC channels behind the
 /// address-interleave decoder.
@@ -195,6 +199,11 @@ class ChannelSet {
   /// Aggregate row-buffer locality counters across channels (profiling).
   DdrcEngine::HitStats hit_stats() const noexcept;
 
+  /// Attach a timeline under process `pid`: one command track per channel
+  /// plus one row-open-span track per bank.  Pass nullptr to detach.
+  /// Observation only; shared by both models' DDRC wrappers.
+  void set_timeline(obs::Timeline* tl, unsigned pid);
+
   /// Snapshot every channel engine plus the segment decomposition of the
   /// transaction currently striping across channels.
   void save_state(state::StateWriter& w) const;
@@ -211,6 +220,8 @@ class ChannelSet {
   void split(const MemRequest& req);
   /// Finish drained segments, begin every segment whose channel is free.
   void advance(sim::Cycle now);
+  /// Timeline emission for one channel's command this cycle.
+  void emit_command(std::uint32_t ch, const Command& c, sim::Cycle now);
 
   std::vector<std::unique_ptr<DdrcEngine>> engines_;
   Interleave ilv_;
@@ -219,6 +230,11 @@ class ChannelSet {
   bool txn_active_ = false;
   std::vector<Segment> segments_;
   std::size_t active_ = 0;  ///< bus-facing segment index
+
+  /// Timeline wiring (null when recording is off; never snapshotted).
+  obs::Timeline* tl_ = nullptr;
+  std::vector<unsigned> tl_ch_track_;    ///< per channel
+  std::vector<unsigned> tl_bank_track_;  ///< per flattened bank index
 };
 
 }  // namespace ahbp::ddr

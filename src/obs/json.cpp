@@ -1,0 +1,112 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ahbp::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!started_.empty()) {
+    if (started_.back()) {
+      os_ << ',';
+    }
+    started_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  os_ << '{';
+  started_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  started_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  os_ << '[';
+  started_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  started_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  os_ << '"' << json_escape(k) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  os_ << '"' << json_escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {
+    d = 0.0;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", d);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+}  // namespace ahbp::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file json.hpp
+/// A minimal streaming JSON writer, shared by every machine-readable dump
+/// this repo produces (`--timeline`, `--stats-json`, BENCH_SPEED.json).
+/// Comma placement is tracked per nesting level, strings are escaped, and
+/// non-finite doubles degrade to 0 so the output always parses.
+
+namespace ahbp::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// key + scalar in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void comma();
+
+  std::ostream& os_;
+  /// One entry per open container: true once the first element was emitted.
+  std::vector<bool> started_;
+  bool after_key_ = false;
+};
+
+}  // namespace ahbp::obs

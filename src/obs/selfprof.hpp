@@ -1,0 +1,89 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file selfprof.hpp
+/// Simulator self-profiling: named wall-clock phases accumulated as
+/// {calls, nanoseconds}.  Components keep a `SelfProfiler*` that is null by
+/// default, so the disabled path is a single pointer test that the compiler
+/// hoists/inlines — attaching a profiler must never be required for
+/// correctness and never perturbs simulated state (it only reads the wall
+/// clock around host code).
+
+namespace ahbp::obs {
+
+class SelfProfiler {
+ public:
+  struct Phase {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t ns = 0;
+  };
+
+  /// Get-or-create the phase id for `name`.  Ids are dense and stable for
+  /// the profiler's lifetime, so hot loops resolve names once and then
+  /// accumulate by index.
+  unsigned phase(std::string_view name) {
+    for (unsigned i = 0; i < phases_.size(); ++i) {
+      if (phases_[i].name == name) {
+        return i;
+      }
+    }
+    phases_.push_back(Phase{std::string(name), 0, 0});
+    return static_cast<unsigned>(phases_.size() - 1);
+  }
+
+  void add(unsigned id, std::uint64_t ns) noexcept {
+    auto& p = phases_[id];
+    ++p.calls;
+    p.ns += ns;
+  }
+
+  const std::vector<Phase>& phases() const noexcept { return phases_; }
+
+  std::uint64_t total_ns() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& p : phases_) {
+      t += p.ns;
+    }
+    return t;
+  }
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+/// RAII wall-clock scope.  A null profiler makes construction/destruction
+/// a no-op (single branch), which is the "instrumentation off" fast path.
+class ScopedTimer {
+ public:
+  ScopedTimer(SelfProfiler* p, unsigned id) noexcept : prof_(p), id_(id) {
+    if (prof_ != nullptr) {
+      t0_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ScopedTimer() {
+    if (prof_ != nullptr) {
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      prof_->add(id_, static_cast<std::uint64_t>(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              dt)
+                              .count()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  SelfProfiler* prof_;
+  unsigned id_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace ahbp::obs

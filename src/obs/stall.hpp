@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "state/snapshot.hpp"
+
+/// \file stall.hpp
+/// Per-master stall attribution: every simulated cycle of every master is
+/// charged to exactly one class, so the decomposition always sums to the
+/// number of cycles the master was observed (paper §4: the accuracy/speed
+/// story needs to explain *where* cycles go, not just count them).
+///
+/// The classification is computed from always-available component state
+/// (slot/FSM states, write-buffer fullness, DDRC busy/permit), so keeping
+/// it on unconditionally costs a handful of branches per master per cycle
+/// and — crucially — cannot perturb simulated behaviour.
+
+namespace ahbp::obs {
+
+/// Why a master spent a cycle the way it did.  One class per cycle.
+enum class StallClass : unsigned {
+  kRunning = 0,  ///< owned the bus (address or data phase), or a posted
+                 ///< write completed this cycle
+  kArbWait = 1,  ///< requesting; bus and memory free, lost arbitration
+  kBusBusy = 2,  ///< requesting; another owner's transfer occupies the bus
+  kDdrBusy = 3,  ///< requesting; DDRC busy or access not permitted
+                 ///< (refresh window / bank timing)
+  kWbufFull = 4, ///< posted write blocked on a full write buffer
+  kThink = 5,    ///< no transaction pending (source think time / drained)
+};
+
+inline constexpr unsigned kStallClassCount = 6;
+
+constexpr std::string_view to_string(StallClass c) noexcept {
+  switch (c) {
+    case StallClass::kRunning: return "running";
+    case StallClass::kArbWait: return "arb_wait";
+    case StallClass::kBusBusy: return "bus_busy";
+    case StallClass::kDdrBusy: return "ddr_busy";
+    case StallClass::kWbufFull: return "wbuf_full";
+    case StallClass::kThink: return "think";
+  }
+  return "?";
+}
+
+/// Cycle counters, one per class.  Plain data; rides inside
+/// stats::MasterProfile and snapshots with it.
+struct StallCounters {
+  std::array<std::uint64_t, kStallClassCount> cycles{};
+
+  void add(StallClass c) noexcept {
+    ++cycles[static_cast<unsigned>(c)];
+  }
+
+  std::uint64_t operator[](StallClass c) const noexcept {
+    return cycles[static_cast<unsigned>(c)];
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto v : cycles) {
+      t += v;
+    }
+    return t;
+  }
+
+  void save_state(state::StateWriter& w) const {
+    for (const auto v : cycles) {
+      w.put_u64(v);
+    }
+  }
+
+  void restore_state(state::StateReader& r) {
+    for (auto& v : cycles) {
+      v = r.get_u64();
+    }
+  }
+};
+
+}  // namespace ahbp::obs

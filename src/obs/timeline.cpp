@@ -1,0 +1,139 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace ahbp::obs {
+
+unsigned Timeline::add_process(std::string name) {
+  processes_.push_back(std::move(name));
+  return static_cast<unsigned>(processes_.size() - 1);
+}
+
+unsigned Timeline::add_track(unsigned pid, std::string name) {
+  tracks_.push_back(Track{pid, std::move(name), {}});
+  return static_cast<unsigned>(tracks_.size() - 1);
+}
+
+void Timeline::begin(unsigned track, sim::Cycle ts, std::string name) {
+  tracks_[track].open.push_back(name);
+  events_.push_back(Event{'B', track, ts, std::move(name), 0});
+}
+
+void Timeline::end(unsigned track, sim::Cycle ts) {
+  auto& open = tracks_[track].open;
+  if (open.empty()) {
+    // No matching begin on record (e.g. the span predates a checkpoint
+    // restore): dropping the end keeps the stream balanced.
+    return;
+  }
+  open.pop_back();
+  events_.push_back(Event{'E', track, ts, {}, 0});
+}
+
+void Timeline::instant(unsigned track, sim::Cycle ts, std::string name) {
+  events_.push_back(Event{'i', track, ts, std::move(name), 0});
+}
+
+void Timeline::counter(unsigned track, sim::Cycle ts, std::string name,
+                       std::uint64_t value) {
+  events_.push_back(Event{'C', track, ts, std::move(name), value});
+}
+
+void Timeline::finalize(sim::Cycle ts) {
+  for (unsigned t = 0; t < tracks_.size(); ++t) {
+    while (!tracks_[t].open.empty()) {
+      end(t, ts);
+    }
+  }
+}
+
+void Timeline::write(std::ostream& os) const {
+  // Stable sort: timestamps become monotone while same-cycle events keep
+  // emission order (so a B at cycle N still precedes its zero-length E).
+  std::vector<const Event*> sorted;
+  sorted.reserve(events_.size());
+  for (const auto& e : events_) {
+    sorted.push_back(&e);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  JsonWriter j(os);
+  j.begin_object();
+  j.key("traceEvents");
+  j.begin_array();
+
+  // Metadata first: process and thread names plus an explicit sort index
+  // so tracks display in creation order.
+  for (unsigned p = 0; p < processes_.size(); ++p) {
+    j.begin_object()
+        .member("ph", "M")
+        .member("name", "process_name")
+        .member("pid", p + 1)
+        .key("args")
+        .begin_object()
+        .member("name", processes_[p])
+        .end_object()
+        .end_object();
+  }
+  for (unsigned t = 0; t < tracks_.size(); ++t) {
+    j.begin_object()
+        .member("ph", "M")
+        .member("name", "thread_name")
+        .member("pid", tracks_[t].pid + 1)
+        .member("tid", t + 1)
+        .key("args")
+        .begin_object()
+        .member("name", tracks_[t].name)
+        .end_object()
+        .end_object();
+    j.begin_object()
+        .member("ph", "M")
+        .member("name", "thread_sort_index")
+        .member("pid", tracks_[t].pid + 1)
+        .member("tid", t + 1)
+        .key("args")
+        .begin_object()
+        .member("sort_index", t)
+        .end_object()
+        .end_object();
+  }
+
+  for (const Event* e : sorted) {
+    const Track& tr = tracks_[e->track];
+    j.begin_object();
+    j.member("ph", std::string_view(&e->ph, 1))
+        .member("pid", tr.pid + 1)
+        .member("tid", e->track + 1)
+        .member("ts", static_cast<std::uint64_t>(e->ts));
+    switch (e->ph) {
+      case 'B':
+        j.member("name", e->name);
+        break;
+      case 'E':
+        break;
+      case 'i':
+        j.member("name", e->name).member("s", "t");
+        break;
+      case 'C':
+        j.member("name", e->name)
+            .key("args")
+            .begin_object()
+            .member("value", e->value)
+            .end_object();
+        break;
+      default:
+        break;
+    }
+    j.end_object();
+  }
+
+  j.end_array();
+  j.member("displayTimeUnit", "ns");
+  j.end_object();
+  os << '\n';
+}
+
+}  // namespace ahbp::obs

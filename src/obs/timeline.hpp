@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file timeline.hpp
+/// Structured event timeline in the Chrome trace-event format
+/// (chrome://tracing, Perfetto).  Both models emit through the same
+/// interface: one *process* per model, one *track* (thread) per
+/// master/bus/write-buffer/DDR-channel/bank, spans ("B"/"E") for phases,
+/// instants ("i") for decisions, counters ("C") for occupancies.
+///
+/// Components hold a `Timeline*` that is null when recording is off — the
+/// disabled path is one pointer test.  Timestamps are bus cycles.  Events
+/// are buffered and stably sorted by timestamp at write() time, so emission
+/// order inside a cycle never matters; per-track open-span stacks guarantee
+/// balanced begin/end pairs (an `end` with no matching `begin`, e.g. right
+/// after a mid-span checkpoint restore, is dropped; spans still open at
+/// finalize() are closed at the final cycle).
+
+namespace ahbp::obs {
+
+class Timeline {
+ public:
+  struct Event {
+    char ph;            ///< 'B', 'E', 'i' or 'C'
+    unsigned track;     ///< index into tracks()
+    sim::Cycle ts;
+    std::string name;   ///< span/instant/counter-series name
+    std::uint64_t value;  ///< counter value (ph == 'C' only)
+  };
+
+  struct Track {
+    unsigned pid;       ///< index into processes()
+    std::string name;
+    std::vector<std::string> open;  ///< names of open spans (stack)
+  };
+
+  /// Register a process (one per model).  Returns its id.
+  unsigned add_process(std::string name);
+
+  /// Register a track under process `pid`.  Returns the track id; display
+  /// order follows creation order.
+  unsigned add_track(unsigned pid, std::string name);
+
+  void begin(unsigned track, sim::Cycle ts, std::string name);
+  /// Close the innermost open span on `track`; no-op when none is open.
+  void end(unsigned track, sim::Cycle ts);
+  void instant(unsigned track, sim::Cycle ts, std::string name);
+  /// Counter sample: one series named `name` on `track`.
+  void counter(unsigned track, sim::Cycle ts, std::string name,
+               std::uint64_t value);
+
+  /// Close every still-open span at `ts` (call once, after the run).
+  void finalize(sim::Cycle ts);
+
+  /// Emit the Chrome trace-event JSON document.
+  void write(std::ostream& os) const;
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  const std::vector<Track>& tracks() const noexcept { return tracks_; }
+  const std::vector<std::string>& processes() const noexcept {
+    return processes_;
+  }
+
+ private:
+  std::vector<std::string> processes_;
+  std::vector<Track> tracks_;
+  std::vector<Event> events_;
+};
+
+}  // namespace ahbp::obs

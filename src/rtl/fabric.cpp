@@ -1,8 +1,11 @@
 #include "rtl/fabric.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "assertions/assert.hpp"
+#include "obs/selfprof.hpp"
+#include "obs/timeline.hpp"
 
 namespace ahbp::rtl {
 
@@ -194,6 +197,63 @@ void RtlFabric::observe_edge() {
   }
   const bool busy = tr != ahb::Trans::kIdle || obs_pending_data_ > 0;
   bus_profile_.sample(requesters, busy, moved ? obs_beat_bytes_ : 0);
+
+  // Stall attribution: charge this cycle to one class per master, from the
+  // same committed wires the checker view reads (always on — observation
+  // only, so it cannot perturb the simulation).
+  const std::uint8_t owner = sh_.hmaster.read();
+  const bool ddr_blocked =
+      ddrc_->channels().busy() || !sh_.bi_permit.read();
+  for (unsigned m = 0; m < masters_; ++m) {
+    obs::StallClass c = obs::StallClass::kThink;
+    switch (rtl_masters_[m]->state()) {
+      case RtlMaster::State::kIdle:
+        c = obs::StallClass::kThink;
+        break;
+      case RtlMaster::State::kTransfer:
+      case RtlMaster::State::kBufStream:
+        c = obs::StallClass::kRunning;
+        break;
+      case RtlMaster::State::kRequest:
+        if (cfg_.bus.write_buffer_enabled &&
+            rtl_masters_[m]->pending_txn().dir == ahb::Dir::kWrite &&
+            !wbuf_->can_reserve()) {
+          c = obs::StallClass::kWbufFull;
+        } else if (busy && owner != m) {
+          c = obs::StallClass::kBusBusy;
+        } else if (ddr_blocked) {
+          c = obs::StallClass::kDdrBusy;
+        } else {
+          c = obs::StallClass::kArbWait;
+        }
+        break;
+    }
+    master_profiles_[m].stalls.add(c);
+  }
+
+  if (tl_ != nullptr) {
+    if (owner != tl_last_owner_ && owner <= masters_) {
+      tl_->instant(tl_bus_track_, cycle_,
+                   owner == masters_ ? std::string("grant wbuf")
+                                     : "grant M" + std::to_string(owner));
+    }
+    tl_last_owner_ = owner;
+    if (busy && !tl_busy_open_) {
+      tl_busy_open_ = true;
+      tl_->begin(tl_bus_track_, cycle_,
+                 owner == masters_ ? std::string("xfer wbuf")
+                 : owner < masters_ ? "xfer M" + std::to_string(owner)
+                                    : std::string("xfer"));
+    } else if (!busy && tl_busy_open_) {
+      tl_busy_open_ = false;
+      tl_->end(tl_bus_track_, cycle_);
+    }
+    const unsigned occ = sh_.wbuf_occupancy.read();
+    if (cfg_.bus.write_buffer_enabled && occ != tl_last_occ_) {
+      tl_last_occ_ = occ;
+      tl_->counter(tl_wbuf_track_, cycle_, "occupancy", occ);
+    }
+  }
 }
 
 sim::Cycle RtlFabric::run(sim::Cycle max_cycles) {
@@ -269,6 +329,25 @@ void RtlFabric::enable_vcd(std::ostream& os) {
   vcd_->add_signal(sh_.wbuf_occupancy, 4);
   vcd_->add_signal(sh_.bi_permit, 1);
   vcd_->write_header();
+}
+
+void RtlFabric::enable_timeline(obs::Timeline& tl, unsigned pid) {
+  tl_ = &tl;
+  for (unsigned m = 0; m < masters_; ++m) {
+    master_profiles_[m].timeline = &tl;
+    master_profiles_[m].timeline_track =
+        tl.add_track(pid, master_profiles_[m].name);
+  }
+  tl_bus_track_ = tl.add_track(pid, "bus");
+  tl_wbuf_track_ = tl.add_track(pid, "wbuf");
+  tl_last_occ_ = ~0U;
+  tl_last_owner_ = 0xFF;
+  tl_busy_open_ = false;
+  ddrc_->channels().set_timeline(&tl, pid);
+}
+
+void RtlFabric::set_profiler(obs::SelfProfiler* p) {
+  kernel_.set_profiler(p);
 }
 
 void RtlFabric::save_state(state::StateWriter& w) const {

@@ -37,6 +37,11 @@
 /// call, whose ordering the subscription order pins down — mirroring the
 /// TLM's arbitration-then-absorption sequence.
 
+namespace ahbp::obs {
+class SelfProfiler;
+class Timeline;
+}
+
 namespace ahbp::rtl {
 
 struct RtlFabricConfig {
@@ -100,6 +105,15 @@ class RtlFabric : public state::Snapshottable {
   /// GTKWave).  Call before run(); samples once per clock edge.
   void enable_vcd(std::ostream& os);
 
+  /// Attach a timeline under process `pid`: per-master tracks, bus and
+  /// write-buffer tracks, and the shared DDR channel/bank tracks.
+  /// Observation only — never changes simulated behaviour.
+  void enable_timeline(obs::Timeline& tl, unsigned pid);
+
+  /// Attach a self-profiler: the event kernel times each process's run()
+  /// (null detaches; the disabled path is one pointer test per activation).
+  void set_profiler(obs::SelfProfiler* p);
+
   // ------------------------------------------------------------ snapshot
   // Whole-model checkpoint: counters, every component's FSM registers and
   // every wire's committed value.  Valid between run() calls (the kernel is
@@ -147,6 +161,14 @@ class RtlFabric : public state::Snapshottable {
   // Observer's burst follower (for moved-bytes accounting).
   unsigned obs_pending_data_ = 0;
   unsigned obs_beat_bytes_ = 0;
+
+  /// Timeline wiring (null when recording is off; never snapshotted).
+  obs::Timeline* tl_ = nullptr;
+  unsigned tl_bus_track_ = 0;
+  unsigned tl_wbuf_track_ = 0;
+  unsigned tl_last_occ_ = ~0U;     ///< last emitted wbuf occupancy sample
+  std::uint8_t tl_last_owner_ = 0xFF;
+  bool tl_busy_open_ = false;      ///< a bus-activity span is open
 
   sim::Cycle last_completion_ = 0;
   std::uint64_t completed_ = 0;

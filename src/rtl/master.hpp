@@ -26,6 +26,8 @@ namespace ahbp::rtl {
 
 class RtlMaster {
  public:
+  enum class State { kIdle, kRequest, kTransfer, kBufStream };
+
   RtlMaster(sim::EventKernel& kernel, ahb::MasterId id, MasterWires& wires,
             SharedWires& shared, traffic::Script script,
             const sim::Cycle* now, stats::MasterProfile& profile);
@@ -44,6 +46,11 @@ class RtlMaster {
   /// Diagnostic state string ("idle"/"request"/"transfer"/"bufstream").
   std::string_view state_name() const noexcept;
 
+  /// FSM state + pending transaction, read by the fabric's per-cycle stall
+  /// attribution (valid whenever state() != State::kIdle).
+  State state() const noexcept { return state_; }
+  const ahb::Transaction& pending_txn() const noexcept { return txn_; }
+
   /// Test hook: observes every retired transaction.
   std::function<void(const ahb::Transaction&)> on_complete;
 
@@ -59,8 +66,6 @@ class RtlMaster {
   void restore_state(state::StateReader& r);
 
  private:
-  enum class State { kIdle, kRequest, kTransfer, kBufStream };
-
   void at_edge();
   void drive_address_phase();
   void complete(bool buffered);

@@ -1,12 +1,16 @@
 #include "sim/cycle_kernel.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/selfprof.hpp"
 
 namespace ahbp::sim {
 
 void CycleKernel::add(Clocked& component) {
   components_.push_back(&component);
   sorted_ = false;
+  prof_dirty_ = true;
 }
 
 void CycleKernel::sort_if_needed() {
@@ -20,12 +24,38 @@ void CycleKernel::sort_if_needed() {
 
 void CycleKernel::step() {
   sort_if_needed();
+  if (profiler_ != nullptr) {
+    step_profiled();
+    return;
+  }
   for (Clocked* c : components_) {
     c->evaluate(now_);
     ++evaluations_;
   }
   for (Clocked* c : components_) {
     c->update(now_);
+  }
+  ++now_;
+}
+
+void CycleKernel::step_profiled() {
+  // Resolve per-component phase ids lazily (sorting or registration
+  // invalidates the parallel-array correspondence).
+  if (prof_dirty_) {
+    prof_ids_.clear();
+    for (const Clocked* c : components_) {
+      prof_ids_.push_back(profiler_->phase("tlm." + std::string(c->name())));
+    }
+    prof_dirty_ = false;
+  }
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    obs::ScopedTimer t(profiler_, prof_ids_[i]);
+    components_[i]->evaluate(now_);
+    ++evaluations_;
+  }
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    obs::ScopedTimer t(profiler_, prof_ids_[i]);
+    components_[i]->update(now_);
   }
   ++now_;
 }

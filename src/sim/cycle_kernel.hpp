@@ -9,6 +9,10 @@
 #include "sim/time.hpp"
 #include "state/snapshot.hpp"
 
+namespace ahbp::obs {
+class SelfProfiler;
+}
+
 /// \file cycle_kernel.hpp
 /// 2-step cycle-based simulation kernel.
 ///
@@ -113,6 +117,14 @@ class CycleKernel {
   /// Total component evaluations performed (for the speed benchmarks).
   std::uint64_t evaluations() const noexcept { return evaluations_; }
 
+  /// Attach a self-profiler: each component's evaluate+update time is
+  /// accumulated under a phase named after the component.  Null detaches.
+  /// When detached (the default), step() takes the untimed fast path.
+  void set_profiler(obs::SelfProfiler* p) {
+    profiler_ = p;
+    prof_dirty_ = true;
+  }
+
   /// Snapshot the clock: the cycle counter and the evaluation counter
   /// (components snapshot themselves; registration is configuration).
   void save_state(state::StateWriter& w) const;
@@ -120,12 +132,17 @@ class CycleKernel {
 
  private:
   void sort_if_needed();
+  void step_profiled();
 
   std::vector<Clocked*> components_;
   bool sorted_ = true;
   Cycle now_ = 0;
   bool stop_ = false;
   std::uint64_t evaluations_ = 0;
+
+  obs::SelfProfiler* profiler_ = nullptr;
+  bool prof_dirty_ = false;  ///< phase ids need (re)resolving
+  std::vector<unsigned> prof_ids_;  ///< parallel to components_ once sorted
 };
 
 }  // namespace ahbp::sim

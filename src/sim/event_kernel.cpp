@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/selfprof.hpp"
+
 namespace ahbp::sim {
 
 // ---------------------------------------------------------------- Process
@@ -81,7 +83,15 @@ void EventKernel::run_delta_rounds() {
     to_run.swap(runnable_);
     for (Process* p : to_run) {
       ++stats_.process_activations;
-      p->run();
+      if (profiler_ == nullptr) {
+        p->run();
+      } else {
+        if (p->prof_id_ == ~0U) {
+          p->prof_id_ = profiler_->phase("rtl." + p->name_);
+        }
+        obs::ScopedTimer t(profiler_, p->prof_id_);
+        p->run();
+      }
     }
 
     std::vector<SignalBase*> to_commit;

@@ -10,6 +10,10 @@
 #include "sim/time.hpp"
 #include "state/snapshot.hpp"
 
+namespace ahbp::obs {
+class SelfProfiler;
+}
+
 /// \file event_kernel.hpp
 /// Event-driven simulation kernel with delta cycles.
 ///
@@ -59,6 +63,7 @@ class Process {
   std::string name_;
   std::function<void()> body_;
   bool scheduled_ = false;
+  unsigned prof_id_ = ~0U;  ///< cached self-profiler phase id
 };
 
 /// Edge selector for subscriptions on boolean signals.  Non-bool signals
@@ -233,6 +238,13 @@ class EventKernel {
 
   const KernelStats& stats() const noexcept { return stats_; }
 
+  /// Attach a self-profiler: every process activation is timed under a
+  /// phase named "rtl.<process name>".  Null detaches; when detached (the
+  /// default) the dispatch loop pays one pointer test per activation.
+  /// Attach at most one distinct profiler per kernel lifetime (phase ids
+  /// are cached in the processes).
+  void set_profiler(obs::SelfProfiler* p) noexcept { profiler_ = p; }
+
   /// Registry of all signals (for tracing).  Non-owning.
   const std::vector<SignalBase*>& signals() const noexcept { return signals_; }
 
@@ -282,6 +294,7 @@ class EventKernel {
   std::priority_queue<TimedEvent, std::vector<TimedEvent>, TimedEventLater>
       timed_;
   KernelStats stats_;
+  obs::SelfProfiler* profiler_ = nullptr;
 };
 
 }  // namespace ahbp::sim

@@ -39,8 +39,9 @@ namespace ahbp::state {
 
 /// Snapshot format version.  Bump on any layout change; readers reject
 /// other versions.  v2: checkpoint headers carry embedded trace-backed
-/// stimulus (count + per-master trace text) after the scenario.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// stimulus (count + per-master trace text) after the scenario.  v3:
+/// MasterProfile carries per-master stall-attribution counters.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Any save/restore failure: malformed file, version mismatch, type or
 /// section-tag mismatch, or a component-level incompatibility (e.g. a

@@ -1,6 +1,24 @@
 #include "stats/profiles.hpp"
 
+#include <cstdio>
+
+#include "obs/timeline.hpp"
+
 namespace ahbp::stats {
+
+namespace {
+
+std::string txn_label(const ahb::Transaction& t, bool buffered) {
+  char buf[48];
+  const char* kind = t.dir == ahb::Dir::kRead ? "rd"
+                     : buffered               ? "wr(buf)"
+                                              : "wr";
+  std::snprintf(buf, sizeof(buf), "%s@0x%llx x%u", kind,
+                static_cast<unsigned long long>(t.addr), t.beats);
+  return buf;
+}
+
+}  // namespace
 
 void MasterProfile::record(const ahb::Transaction& t, bool buffered) {
   if (t.dir == ahb::Dir::kRead) {
@@ -15,6 +33,20 @@ void MasterProfile::record(const ahb::Transaction& t, bool buffered) {
   }
   grant_wait.add(t.wait());
   latency.add(t.latency());
+  if (timeline != nullptr) {
+    if (buffered) {
+      // Posted write: the master observes instant completion; the drain
+      // shows up later on the bus/write-buffer tracks.
+      timeline->instant(timeline_track, t.granted_at, txn_label(t, true));
+    } else {
+      if (t.granted_at > t.issued_at) {
+        timeline->begin(timeline_track, t.issued_at, "wait");
+        timeline->end(timeline_track, t.granted_at);
+      }
+      timeline->begin(timeline_track, t.granted_at, txn_label(t, false));
+      timeline->end(timeline_track, t.finished_at);
+    }
+  }
 }
 
 void BusProfile::sample(unsigned requesters, bool busy, unsigned moved_bytes) {
@@ -41,6 +73,7 @@ void MasterProfile::save_state(state::StateWriter& w) const {
   grant_wait.save_state(w);
   latency.save_state(w);
   w.put_u64(qos_misses);
+  stalls.save_state(w);
 }
 
 void MasterProfile::restore_state(state::StateReader& r) {
@@ -52,6 +85,7 @@ void MasterProfile::restore_state(state::StateReader& r) {
   grant_wait.restore_state(r);
   latency.restore_state(r);
   qos_misses = r.get_u64();
+  stalls.restore_state(r);
 }
 
 void BusProfile::save_state(state::StateWriter& w) const {

@@ -2,14 +2,20 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ahb/transaction.hpp"
 #include "ahb/types.hpp"
 #include "ddr/bank.hpp"
 #include "ddr/scheduler.hpp"
+#include "obs/stall.hpp"
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
+
+namespace ahbp::obs {
+class Timeline;
+}
 
 /// \file profiles.hpp
 /// The profiling features of the paper's §3.6: "bus and master port
@@ -31,6 +37,13 @@ struct MasterProfile {
   Log2Histogram grant_wait;   ///< request -> grant cycles
   Log2Histogram latency;      ///< request -> completion cycles
   std::uint64_t qos_misses = 0;  ///< RT transfers that blew the objective
+  obs::StallCounters stalls;  ///< per-cycle stall attribution (obs/stall.hpp)
+
+  /// Timeline hook (observation wiring, not state): when set, record()
+  /// emits the grant-wait and transfer spans on this master's track.  Both
+  /// models call record() at completion, so the emission is shared.
+  obs::Timeline* timeline = nullptr;
+  unsigned timeline_track = 0;
 
   void record(const ahb::Transaction& t, bool buffered);
 
@@ -107,6 +120,9 @@ struct RunProfile {
   DdrProfile ddr;
   sim::Cycle total_cycles = 0;
   std::uint64_t completed_txns = 0;
+  /// Checker findings aggregated by rule id (sorted by rule), so reports
+  /// surface them without grepping the violation log text.
+  std::vector<std::pair<std::string, std::uint64_t>> violation_rules;
 };
 
 }  // namespace ahbp::stats

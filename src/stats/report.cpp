@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/stall.hpp"
+
 namespace ahbp::stats {
 
 TextTable::TextTable(std::vector<std::string> headers)
@@ -97,6 +99,33 @@ void print_report(std::ostream& os, const RunProfile& p,
   }
   masters.print(os);
 
+  // Stall attribution: where each master's cycles went.  Classes are
+  // mutually exclusive per cycle, so the row sums to the cycles the master
+  // was simulated for.  Omitted entirely when nothing was attributed (e.g.
+  // hand-built profiles in tests).
+  bool any_stalls = false;
+  for (const MasterProfile& m : p.masters) {
+    any_stalls = any_stalls || m.stalls.total() > 0;
+  }
+  if (any_stalls) {
+    std::vector<std::string> headers{"master"};
+    for (unsigned c = 0; c < obs::kStallClassCount; ++c) {
+      headers.emplace_back(obs::to_string(static_cast<obs::StallClass>(c)));
+    }
+    headers.emplace_back("total");
+    TextTable stalls(std::move(headers));
+    for (const MasterProfile& m : p.masters) {
+      std::vector<std::string> row{m.name};
+      for (unsigned c = 0; c < obs::kStallClassCount; ++c) {
+        row.push_back(std::to_string(m.stalls.cycles[c]));
+      }
+      row.push_back(std::to_string(m.stalls.total()));
+      stalls.add_row(std::move(row));
+    }
+    os << "\nstall attribution (cycles):\n";
+    stalls.print(os);
+  }
+
   os << "\nbus: utilization " << fmt_percent(p.bus.utilization())
      << "  contention " << fmt_percent(p.bus.contention()) << "  throughput "
      << fmt_double(p.bus.throughput()) << " B/cyc  grants " << p.bus.grants
@@ -112,6 +141,14 @@ void print_report(std::ostream& os, const RunProfile& p,
      << p.ddr.commands.precharges << "  REF " << p.ddr.commands.refreshes
      << "  row-hit " << fmt_percent(p.ddr.row_hit_rate()) << "  hintACT "
      << p.ddr.hits.hint_activates << "\n";
+
+  if (!p.violation_rules.empty()) {
+    os << "violations by rule:";
+    for (const auto& [rule, count] : p.violation_rules) {
+      os << "  " << rule << " x" << count;
+    }
+    os << "\n";
+  }
 }
 
 void print_csv(std::ostream& os, const RunProfile& p) {
@@ -131,11 +168,20 @@ void print_csv(std::ostream& os, const RunProfile& p) {
     t.add_row({id, "lat_avg", fmt_double(m.latency.summary().mean(), 4)});
     t.add_row({id, "lat_max", std::to_string(m.latency.summary().max())});
     t.add_row({id, "qos_misses", std::to_string(m.qos_misses)});
+    for (unsigned c = 0; c < obs::kStallClassCount; ++c) {
+      t.add_row({id,
+                 "stall_" + std::string(obs::to_string(
+                                static_cast<obs::StallClass>(c))),
+                 std::to_string(m.stalls.cycles[c])});
+    }
   }
   t.add_row({"wbuf", "absorbed", std::to_string(p.write_buffer.absorbed)});
   t.add_row({"wbuf", "drained", std::to_string(p.write_buffer.drained)});
   t.add_row({"ddr", "activates", std::to_string(p.ddr.commands.activates)});
   t.add_row({"ddr", "row_hit_rate", fmt_double(p.ddr.row_hit_rate(), 6)});
+  for (const auto& [rule, count] : p.violation_rules) {
+    t.add_row({"violation", rule, std::to_string(count)});
+  }
   t.print_csv(os);
 }
 

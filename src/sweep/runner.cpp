@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/checkpoint.hpp"
+#include "obs/stall.hpp"
 #include "state/snapshot.hpp"
 
 namespace ahbp::sweep {
@@ -82,6 +83,7 @@ std::vector<PointOutcome> SweepRunner::run(
     return p.result();
   };
 
+  std::atomic<std::size_t> done{0};
   const auto simulate = [&](std::size_t i) {
     const SweepPoint& p = points[i];
     PointOutcome& o = outcomes[i];
@@ -100,6 +102,10 @@ std::vector<PointOutcome> SweepRunner::run(
       o.error = e.what();
     } catch (...) {
       o.error = "unknown simulation failure";
+    }
+    if (progress_) {
+      progress_(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                points.size());
     }
   };
 
@@ -233,13 +239,23 @@ std::string csv_field(const std::string& s) {
 
 void point_cells(std::ostream& os, bool has, const core::SimResult& r) {
   if (!has) {
-    os << ",,,,,,,,";
+    // One comma per column emitted below: 8 counters + the 6 stall classes.
+    os << ",,,,,,,,,,,,,,";
     return;
   }
   os << ',' << (r.finished ? 1 : 0) << ',' << r.cycles << ',' << r.ran_cycles
      << ',' << r.completed << ',' << r.protocol_errors << ','
      << r.qos_warnings << ',' << r.profile.bus.grants << ','
      << r.profile.bus.bytes;
+  // Stall attribution, summed across masters (per-master detail lives in
+  // `run --stats-json`; the sweep table wants one column per class).
+  for (unsigned c = 0; c < obs::kStallClassCount; ++c) {
+    std::uint64_t sum = 0;
+    for (const stats::MasterProfile& m : r.profile.masters) {
+      sum += m.stalls.cycles[c];
+    }
+    os << ',' << sum;
+  }
 }
 
 }  // namespace
@@ -254,6 +270,10 @@ void write_point_csv(std::ostream& os,
        << "_ran_cycles," << prefix << "_completed," << prefix
        << "_protocol_errors," << prefix << "_qos_warnings," << prefix
        << "_grants," << prefix << "_bus_bytes";
+    for (unsigned c = 0; c < obs::kStallClassCount; ++c) {
+      os << ',' << prefix << "_stall_"
+         << obs::to_string(static_cast<obs::StallClass>(c));
+    }
   };
   if (tlm) {
     model_header("tlm");

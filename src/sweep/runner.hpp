@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -73,6 +74,14 @@ class SweepRunner {
 
   unsigned jobs() const noexcept { return jobs_; }
 
+  /// Invoked after each point finishes with (points done so far, total).
+  /// With multiple workers the callback runs concurrently from worker
+  /// threads — it must synchronize its own output (the CLI wraps a mutex
+  /// around its stderr line).  Null (the default) disables.
+  void set_progress(std::function<void(std::size_t, std::size_t)> cb) {
+    progress_ = std::move(cb);
+  }
+
   /// Run every point cold, in parallel, deterministically ordered by index.
   std::vector<PointOutcome> run(const std::vector<SweepPoint>& points,
                                 Model model) const;
@@ -87,6 +96,7 @@ class SweepRunner {
 
  private:
   unsigned jobs_;
+  std::function<void(std::size_t, std::size_t)> progress_;
 };
 
 /// Aggregate comparison table: index, label, cycles, completed
@@ -99,8 +109,9 @@ stats::TextTable aggregate_table(const std::vector<PointOutcome>& outcomes,
 
 /// Per-point outcome dump, one CSV row per point: every counter external
 /// tooling needs to diff a checkpointed sweep against a cold one (cycles,
-/// ran cycles, retired transactions, violations, grants, bytes moved — per
-/// model).  Byte-stable: no wall-clock-derived columns.
+/// ran cycles, retired transactions, violations, grants, bytes moved, and
+/// the six stall-attribution classes summed across masters — per model).
+/// Byte-stable: no wall-clock-derived columns.
 void write_point_csv(std::ostream& os,
                      const std::vector<PointOutcome>& outcomes, Model model);
 

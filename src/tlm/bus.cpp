@@ -1,10 +1,26 @@
 #include "tlm/bus.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "assertions/assert.hpp"
+#include "obs/timeline.hpp"
 
 namespace ahbp::tlm {
+
+namespace {
+
+/// Bus-track span label: owner + direction + address.
+std::string owner_label(std::string_view owner, const ahb::Transaction& t) {
+  char buf[56];
+  std::snprintf(buf, sizeof(buf), "%.*s %s@0x%llx",
+                static_cast<int>(owner.size()), owner.data(),
+                t.dir == ahb::Dir::kRead ? "rd" : "wr",
+                static_cast<unsigned long long>(t.addr));
+  return buf;
+}
+
+}  // namespace
 
 AhbPlusBus::AhbPlusBus(const ahb::BusConfig& cfg, ahb::QosRegisterFile& qos,
                        TlmDdrc& ddrc, unsigned masters,
@@ -73,6 +89,18 @@ bool AhbPlusBus::poll_done(ahb::MasterId m, ahb::Transaction& out) {
   out = std::move(s.txn);
   s.st = Slot::St::kIdle;
   return true;
+}
+
+void AhbPlusBus::set_timeline(obs::Timeline& tl, unsigned pid) {
+  tl_ = &tl;
+  for (unsigned m = 0; m < masters_; ++m) {
+    master_profiles_[m].timeline = &tl;
+    master_profiles_[m].timeline_track =
+        tl.add_track(pid, master_profiles_[m].name);
+  }
+  tl_bus_track_ = tl.add_track(pid, "bus");
+  tl_wbuf_track_ = tl.add_track(pid, "wbuf");
+  tl_last_occ_ = ~0U;
 }
 
 bool AhbPlusBus::quiescent() const noexcept {
@@ -147,6 +175,7 @@ void AhbPlusBus::evaluate(sim::Cycle now) {
   do_completion(now);
   do_arbitration(now);
   do_absorption(now);
+  account_stalls(now);
 
   unsigned requesters = wbuf_.requesting() ? 1U : 0U;
   for (const Slot& s : slots_) {
@@ -156,7 +185,40 @@ void AhbPlusBus::evaluate(sim::Cycle now) {
   }
   wbuf_.sample();
   bus_profile_.sample(requesters, busy, moved_bytes);
+  if (tl_ != nullptr && wbuf_.enabled() && wbuf_.occupancy() != tl_last_occ_) {
+    tl_last_occ_ = wbuf_.occupancy();
+    tl_->counter(tl_wbuf_track_, now, "occupancy", tl_last_occ_);
+  }
   emit_view(now, view);
+}
+
+void AhbPlusBus::account_stalls(sim::Cycle now) {
+  for (unsigned m = 0; m < masters_; ++m) {
+    const Slot& s = slots_[m];
+    obs::StallClass c = obs::StallClass::kThink;
+    switch (s.st) {
+      case Slot::St::kIdle:
+        c = obs::StallClass::kThink;
+        break;
+      case Slot::St::kOwner:
+      case Slot::St::kBuffered:
+      case Slot::St::kDone:
+        c = obs::StallClass::kRunning;
+        break;
+      case Slot::St::kRequested:
+        if (s.txn.dir == ahb::Dir::kWrite && wbuf_.enabled() && wbuf_.full()) {
+          c = obs::StallClass::kWbufFull;
+        } else if (inflight_) {
+          c = obs::StallClass::kBusBusy;
+        } else if (ddrc_.busy() || !ddrc_.bi_upstream(now).access_permitted) {
+          c = obs::StallClass::kDdrBusy;
+        } else {
+          c = obs::StallClass::kArbWait;
+        }
+        break;
+    }
+    master_profiles_[m].stalls.add(c);
+  }
 }
 
 void AhbPlusBus::do_begin(sim::Cycle now) {
@@ -190,6 +252,12 @@ void AhbPlusBus::do_begin(sim::Cycle now) {
   }
   f.addr_cycle = now;
   ddrc_.begin(f.txn, now);
+  if (tl_ != nullptr) {
+    tl_->begin(tl_bus_track_, now,
+               owner_label(f.from_wbuf ? std::string_view("wbuf")
+                                       : master_profiles_[f.owner].name,
+                           f.txn));
+  }
   inflight_ = std::move(f);
   granted_.reset();
 }
@@ -238,6 +306,9 @@ void AhbPlusBus::do_completion(sim::Cycle now) {
     if (f.txn.locked) {
       lock_owner_ = ahb::kNoMaster;
     }
+  }
+  if (tl_ != nullptr) {
+    tl_->end(tl_bus_track_, now);
   }
   inflight_.reset();
 }
@@ -325,6 +396,12 @@ void AhbPlusBus::do_arbitration(sim::Cycle now) {
   }
   granted_ = grant->master;
   granted_cycle_ = now;
+  if (tl_ != nullptr) {
+    tl_->instant(tl_bus_track_, now,
+                 grant->is_wbuf
+                     ? std::string("grant wbuf")
+                     : "grant " + master_profiles_[grant->master].name);
+  }
   ++bus_profile_.grants;
   if (!inflight_ || inflight_->owner != grant->master) {
     ++bus_profile_.handovers;

@@ -87,6 +87,11 @@ class AhbPlusBus final : public sim::Clocked, public state::Snapshottable {
   }
   const Arbiter& arbiter() const noexcept { return arbiter_; }
 
+  /// Attach a timeline under process `pid`: creates one track per master
+  /// plus bus-owner and write-buffer tracks.  Observation only — attaching
+  /// never changes simulated behaviour.
+  void set_timeline(obs::Timeline& tl, unsigned pid);
+
   /// All scripted work retired and nothing in flight anywhere.
   bool quiescent() const noexcept;
 
@@ -121,6 +126,9 @@ class AhbPlusBus final : public sim::Clocked, public state::Snapshottable {
   void do_arbitration(sim::Cycle now);
   void do_absorption(sim::Cycle now);
   void emit_view(sim::Cycle now, chk::BusCycleView view);
+  /// Charge this cycle to one stall class per master (always on — reads
+  /// component state only, so it cannot perturb the simulation).
+  void account_stalls(sim::Cycle now);
 
   ahb::BusConfig cfg_;
   ahb::QosRegisterFile& qos_;
@@ -140,6 +148,12 @@ class AhbPlusBus final : public sim::Clocked, public state::Snapshottable {
   std::vector<stats::MasterProfile> master_profiles_;
   std::optional<chk::BusChecker> checker_;
   std::optional<chk::QosChecker> qos_checker_;
+
+  /// Timeline wiring (null when recording is off; never snapshotted).
+  obs::Timeline* tl_ = nullptr;
+  unsigned tl_bus_track_ = 0;
+  unsigned tl_wbuf_track_ = 0;
+  unsigned tl_last_occ_ = ~0U;  ///< last emitted wbuf occupancy sample
   /// Scratch arbitration context reused every cycle (method-based TLM is
   /// allocation-free on the simulation hot path).
   ArbContext ctx_;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "stats/histogram.hpp"
@@ -58,6 +59,51 @@ TEST(Log2Histogram, PercentileUpperBound) {
 TEST(Log2Histogram, EmptyPercentileIsZero) {
   Log2Histogram h;
   EXPECT_EQ(h.percentile_upper(99), 0u);
+}
+
+TEST(Log2Histogram, EmptyHistogramReportsZeros) {
+  Log2Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  for (unsigned k = 0; k < h.buckets(); ++k) {
+    EXPECT_EQ(h.bucket(k), 0u);
+  }
+  EXPECT_EQ(h.summary().count(), 0u);
+  EXPECT_EQ(h.summary().min(), 0u);
+  EXPECT_EQ(h.summary().max(), 0u);
+  EXPECT_DOUBLE_EQ(h.summary().mean(), 0.0);
+  // Percentile on zero samples: zero at every requested percentile.
+  EXPECT_EQ(h.percentile_upper(0), 0u);
+  EXPECT_EQ(h.percentile_upper(50), 0u);
+  EXPECT_EQ(h.percentile_upper(100), 0u);
+}
+
+TEST(Log2Histogram, SingleBucketDistribution) {
+  // 0 and 1 both land in bucket 0; every percentile resolves to that
+  // bucket's upper bound.
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(1);
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
+  for (unsigned k = 1; k < h.buckets(); ++k) {
+    EXPECT_EQ(h.bucket(k), 0u);
+  }
+  EXPECT_EQ(h.percentile_upper(1), 1u);
+  EXPECT_EQ(h.percentile_upper(100), 1u);
+}
+
+TEST(Log2Histogram, OverflowValuesClampToLastBucket) {
+  Log2Histogram h;
+  const std::uint64_t huge = ~std::uint64_t{0};
+  h.add(huge);
+  h.add(std::uint64_t{1} << 63);
+  EXPECT_EQ(h.bucket(h.buckets() - 1), 2u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.summary().max(), huge);
+  // Out-of-range bucket queries answer zero instead of faulting.
+  EXPECT_EQ(h.bucket(h.buckets()), 0u);
+  EXPECT_EQ(h.bucket(1000), 0u);
 }
 
 TEST(BusProfile, UtilizationContentionThroughput) {

@@ -10,11 +10,12 @@
 //   ahbp_sim show <scenario>
 //   ahbp_sim run <scenario> [--model tlm|rtl|both] [--items N] [--seed S]
 //                           [--vcd FILE] [--capture-trace DIR] [--csv]
-//                           [--quiet]
+//                           [--quiet] [--timeline FILE] [--stats-json FILE]
+//                           [--progress] [--self-profile]
 //   ahbp_sim checkpoint <scenario> --at N --out FILE [--model tlm|rtl]
 //   ahbp_sim resume <checkpoint> [--vcd FILE] [--csv] [--quiet]
 //   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv FILE]
-//                         [--warmup-cycles N] [--speed]
+//                         [--warmup-cycles N] [--speed] [--progress]
 
 #include <cmath>
 #include <cstdint>
@@ -22,11 +23,14 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/checkpoint.hpp"
 #include "core/platform.hpp"
+#include "obs/selfprof.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "state/snapshot.hpp"
@@ -57,6 +61,14 @@ int usage(std::ostream& os, int code) {
         " only)\n"
         "      --csv                 machine-readable per-master report\n"
         "      --quiet               summary line only\n"
+        "      --timeline FILE       write a Chrome-trace-event timeline\n"
+        "                            (load in Perfetto / chrome://tracing)\n"
+        "      --stats-json FILE     dump every counter, per-master stall\n"
+        "                            attribution and violations as JSON\n"
+        "      --progress            heartbeat to stderr (cycle, wall time,\n"
+        "                            kcycles/s) roughly once a second\n"
+        "      --self-profile        table of where the simulator's own wall\n"
+        "                            clock went (per kernel component)\n"
         "  checkpoint <scenario>     run to a cycle and snapshot the"
         " platform\n"
         "      --at N                bus cycle to checkpoint at (or the\n"
@@ -79,6 +91,8 @@ int usage(std::ostream& os, int code) {
         "      --csv FILE            write per-point outcomes as CSV\n"
         "      --speed               add kcycles/sec columns (wall-clock"
         " dependent)\n"
+        "      --progress            per-point completion heartbeat to"
+        " stderr\n"
         "      --max-cycle-error P   with --model both: fail when any"
         " point's\n"
         "                            TLM-vs-RTL cycle error exceeds P"
@@ -165,11 +179,15 @@ void write_capture_dir(const core::Platform& p,
 }
 
 /// One model's share of `run`: checkpoint mid-flight when the scenario
-/// asks for it, capture when requested, then run to completion.
+/// asks for it, capture when requested, then run to completion.  `tl` and
+/// `sp` may be shared between both models of a `--model both` run (each
+/// model registers its own timeline process / "tlm."-vs-"rtl." phases).
 core::SimResult run_model(const core::PlatformConfig& cfg,
                           core::ModelKind kind, std::ostream* vcd_os,
                           const std::string& capture_dir,
-                          const std::string& checkpoint_path) {
+                          const std::string& checkpoint_path,
+                          obs::Timeline* tl, obs::SelfProfiler* sp,
+                          bool progress) {
   core::Platform p(cfg, kind);
   if (vcd_os != nullptr) {
     p.enable_vcd(*vcd_os);
@@ -177,14 +195,46 @@ core::SimResult run_model(const core::PlatformConfig& cfg,
   if (!capture_dir.empty()) {
     p.enable_capture();
   }
+  if (tl != nullptr) {
+    p.enable_timeline(*tl);
+  }
+  if (sp != nullptr) {
+    p.enable_self_profile(*sp);
+  }
+  if (progress) {
+    p.set_progress(&std::cerr);
+  }
   if (cfg.checkpoint.enabled()) {
     run_to_checkpoint(p, cfg, cfg.checkpoint.at_cycle, checkpoint_path);
   }
   p.run_to_completion();
+  if (tl != nullptr) {
+    tl->finalize(p.now());
+  }
   if (!capture_dir.empty()) {
     write_capture_dir(p, cfg, capture_dir);
   }
   return p.result();
+}
+
+/// Render the self-profiler's per-phase table (sorted by registration
+/// order: platform setup first, then kernel components).
+void print_self_profile(const obs::SelfProfiler& sp) {
+  std::cout << "self-profile ("
+            << stats::fmt_double(static_cast<double>(sp.total_ns()) / 1e6, 2)
+            << " ms instrumented):\n";
+  stats::TextTable t({"phase", "calls", "total ms", "avg us"});
+  for (const auto& ph : sp.phases()) {
+    const double avg_us =
+        ph.calls == 0 ? 0.0
+                      : static_cast<double>(ph.ns) / 1e3 /
+                            static_cast<double>(ph.calls);
+    t.add_row({ph.name, std::to_string(ph.calls),
+               stats::fmt_double(static_cast<double>(ph.ns) / 1e6, 2),
+               stats::fmt_double(avg_us, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
 }
 
 int cmd_list() {
@@ -205,7 +255,10 @@ int cmd_show(const std::string& name) {
 
 int cmd_run(const std::string& name, const std::string& model_s,
             unsigned items, std::uint64_t seed, const std::string& vcd_path,
-            const std::string& capture_dir, bool csv, bool quiet) {
+            const std::string& capture_dir, bool csv, bool quiet,
+            const std::string& timeline_path,
+            const std::string& stats_json_path, bool progress,
+            bool self_profile) {
   sweep::Model model = sweep::Model::kTlm;
   if (!sweep::model_from_string(model_s, model)) {
     std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
@@ -228,12 +281,19 @@ int cmd_run(const std::string& name, const std::string& model_s,
   }
 
   // A scenario [checkpoint] section makes the run snapshot mid-flight and
-  // continue; resume later picks the snapshot up.
+  // continue; resume later picks the snapshot up.  The timeline and the
+  // self-profiler are shared across models: one trace file with a "tlm"
+  // and an "rtl" process, one phase table with both prefixes.
+  obs::Timeline timeline;
+  obs::Timeline* tl = timeline_path.empty() ? nullptr : &timeline;
+  obs::SelfProfiler profiler;
+  obs::SelfProfiler* sp = self_profile ? &profiler : nullptr;
+
   core::SimResult tlm, rtl;
   bool ran_tlm = false, ran_rtl = false;
   if (model != sweep::Model::kRtl) {
     tlm = run_model(cfg, core::ModelKind::kTlm, nullptr, capture_dir,
-                    cfg.checkpoint.path);
+                    cfg.checkpoint.path, tl, sp, progress);
     ran_tlm = true;
     print_run(tlm, csv, quiet);
   }
@@ -253,13 +313,46 @@ int cmd_run(const std::string& name, const std::string& model_s,
                                       ? cfg.checkpoint.path + ".rtl"
                                       : cfg.checkpoint.path;
     rtl = run_model(cfg, core::ModelKind::kRtl, vcd_os, capture_dir,
-                    ckpt_path);
+                    ckpt_path, tl, sp, progress);
     ran_rtl = true;
     print_run(rtl, csv, quiet);
     if (vcd_os != nullptr) {
       std::cout << "waveform written to " << vcd_path
                 << " (open with gtkwave)\n";
     }
+  }
+
+  if (tl != nullptr) {
+    std::ofstream os(timeline_path);
+    if (!os) {
+      std::cerr << "cannot open '" << timeline_path << "' for writing\n";
+      return 2;
+    }
+    timeline.write(os);
+    std::cout << "timeline written to " << timeline_path
+              << " (load in Perfetto or chrome://tracing)\n";
+  }
+  if (!stats_json_path.empty()) {
+    std::ofstream os(stats_json_path);
+    if (!os) {
+      std::cerr << "cannot open '" << stats_json_path << "' for writing\n";
+      return 2;
+    }
+    os << "{\"runs\": [";
+    if (ran_tlm) {
+      core::write_stats_json(os, tlm);
+    }
+    if (ran_rtl) {
+      if (ran_tlm) {
+        os << ", ";
+      }
+      core::write_stats_json(os, rtl);
+    }
+    os << "]}\n";
+    std::cout << "stats written to " << stats_json_path << "\n";
+  }
+  if (sp != nullptr) {
+    print_self_profile(profiler);
   }
   if (ran_tlm && ran_rtl && rtl.cycles != 0) {
     std::cout << "tlm vs rtl: " << tlm.cycles << " vs " << rtl.cycles
@@ -343,7 +436,8 @@ int cmd_resume(const std::string& path, const std::string& vcd_path, bool csv,
 
 int cmd_sweep(const std::string& path, const std::string& model_s,
               unsigned jobs, const std::string& csv_path, bool speed,
-              double max_cycle_error, std::uint64_t warmup_cycles) {
+              double max_cycle_error, std::uint64_t warmup_cycles,
+              bool progress) {
   sweep::Model model = sweep::Model::kTlm;
   if (!sweep::model_from_string(model_s, model)) {
     std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
@@ -363,7 +457,14 @@ int cmd_sweep(const std::string& path, const std::string& model_s,
   }
   std::cout << "\n\n";
 
-  const sweep::SweepRunner runner(jobs);
+  sweep::SweepRunner runner(jobs);
+  std::mutex progress_mu;
+  if (progress) {
+    runner.set_progress([&progress_mu](std::size_t done, std::size_t total) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      std::cerr << "# sweep: " << done << "/" << total << " points done\n";
+    });
+  }
   const auto outcomes =
       runner.run(points, model, spec.base_config, warmup_cycles);
 
@@ -424,12 +525,15 @@ int main(int argc, char** argv) {
   std::string csv_path;      // sweep --csv FILE
   std::string out_path;      // checkpoint --out FILE
   std::string capture_dir;   // run --capture-trace DIR
+  std::string timeline_path;    // run --timeline FILE
+  std::string stats_json_path;  // run --stats-json FILE
   unsigned items = 0;
   std::uint64_t seed = 0;
   std::uint64_t at_cycle = 0;        // checkpoint --at N
   std::uint64_t warmup_cycles = 0;   // sweep --warmup-cycles N
   unsigned jobs = 1;
   bool csv = false, quiet = false, speed = false;
+  bool progress = false, self_profile = false;
   double max_cycle_error = -1.0;  // negative = gate off
 
   const auto need_value = [&](std::size_t& i) -> std::string {
@@ -534,6 +638,24 @@ int main(int argc, char** argv) {
       } else {
         csv = true;
       }
+    } else if (a == "--timeline") {
+      timeline_path = need_value(i);
+      if (timeline_path.empty() || timeline_path[0] == '-') {
+        std::cerr << "--timeline needs a file path, got '" << timeline_path
+                  << "'\n";
+        return 2;
+      }
+    } else if (a == "--stats-json") {
+      stats_json_path = need_value(i);
+      if (stats_json_path.empty() || stats_json_path[0] == '-') {
+        std::cerr << "--stats-json needs a file path, got '"
+                  << stats_json_path << "'\n";
+        return 2;
+      }
+    } else if (a == "--progress") {
+      progress = true;
+    } else if (a == "--self-profile") {
+      self_profile = true;
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--speed") {
@@ -588,11 +710,13 @@ int main(int argc, char** argv) {
     }
     if (cmd == "run") {
       if (!check_options({"--model", "--items", "--seed", "--vcd",
-                          "--capture-trace", "--csv", "--quiet"})) {
+                          "--capture-trace", "--csv", "--quiet", "--timeline",
+                          "--stats-json", "--progress", "--self-profile"})) {
         return 2;
       }
       return cmd_run(positional, model, items, seed, vcd_path, capture_dir,
-                     csv, quiet);
+                     csv, quiet, timeline_path, stats_json_path, progress,
+                     self_profile);
     }
     if (cmd == "checkpoint") {
       if (!check_options({"--model", "--items", "--seed", "--at", "--out"})) {
@@ -609,11 +733,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "sweep") {
       if (!check_options({"--jobs", "--model", "--csv", "--speed",
-                          "--max-cycle-error", "--warmup-cycles"})) {
+                          "--max-cycle-error", "--warmup-cycles",
+                          "--progress"})) {
         return 2;
       }
       return cmd_sweep(positional, model, jobs, csv_path, speed,
-                       max_cycle_error, warmup_cycles);
+                       max_cycle_error, warmup_cycles, progress);
     }
     std::cerr << "unknown command '" << cmd << "'\n";
     return usage(std::cerr, 2);
