@@ -78,15 +78,15 @@ BENCHMARK(BM_SignalCommit);
 // Delta cascade: a chain of N combinational processes settles per write —
 // the ripple/mux cost class of the pin-level model.
 void BM_DeltaCascade(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
   EventKernel k;
   std::vector<std::unique_ptr<Signal<std::uint64_t>>> sigs;
-  for (int i = 0; i <= depth; ++i) {
+  for (std::size_t i = 0; i <= depth; ++i) {
     sigs.push_back(std::make_unique<Signal<std::uint64_t>>(
         k, "n" + std::to_string(i)));
   }
   std::vector<std::unique_ptr<Process>> ps;
-  for (int i = 0; i < depth; ++i) {
+  for (std::size_t i = 0; i < depth; ++i) {
     auto* in = sigs[i].get();
     auto* out = sigs[i + 1].get();
     ps.push_back(std::make_unique<Process>(
@@ -99,7 +99,8 @@ void BM_DeltaCascade(benchmark::State& state) {
     k.settle();
   }
   benchmark::DoNotOptimize(sigs[depth]->read());
-  state.SetItemsProcessed(state.iterations() * depth);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(depth));
 }
 BENCHMARK(BM_DeltaCascade)->Arg(4)->Arg(16)->Arg(64);
 

@@ -93,11 +93,14 @@ int main(int argc, char** argv) {
   t.add_row({"method-based (evaluate())", std::to_string(method.cycles),
              std::to_string(method.completed),
              stats::fmt_double(method.wall, 3),
-             stats::fmt_double(method.cycles / method.wall / 1000.0, 1)});
+             stats::fmt_double(
+                 static_cast<double>(method.cycles) / method.wall / 1000.0, 1)});
   t.add_row({"thread-based (blocking)", std::to_string(threaded.cycles),
              std::to_string(threaded.completed),
              stats::fmt_double(threaded.wall, 3),
-             stats::fmt_double(threaded.cycles / threaded.wall / 1000.0, 1)});
+             stats::fmt_double(
+                 static_cast<double>(threaded.cycles) / threaded.wall / 1000.0,
+                 1)});
   t.print(std::cout);
 
   const bool identical = method.cycles == threaded.cycles &&

@@ -29,7 +29,7 @@ enum class FilterBit : std::uint8_t {
 inline constexpr std::uint8_t kAllFilters = 0x7F;
 
 constexpr bool filter_enabled(std::uint8_t mask, FilterBit f) noexcept {
-  return (mask >> static_cast<unsigned>(f)) & 1U;
+  return ((static_cast<unsigned>(mask) >> static_cast<unsigned>(f)) & 1U) != 0;
 }
 
 constexpr std::uint8_t with_filter(std::uint8_t mask, FilterBit f,

@@ -396,7 +396,7 @@ void write_checkpoint(state::StateWriter& w, const Platform& p,
   const std::vector<MasterSpec>& masters = p.config().masters;
   std::uint64_t trace_masters = 0;
   for (const MasterSpec& m : masters) {
-    trace_masters += m.traffic.is_trace() ? 1 : 0;
+    trace_masters += m.traffic.is_trace() ? 1u : 0u;
   }
   w.put_u64(trace_masters);
   for (std::size_t i = 0; i < masters.size(); ++i) {

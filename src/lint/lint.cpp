@@ -1,0 +1,760 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ahbp::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// 1-based line of byte offset `pos` in `text`.
+std::size_t line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(pos, text.size())),
+                            '\n'));
+}
+
+/// Word-boundary occurrences of `token` in `text` (offsets).
+std::vector<std::size_t> find_token(std::string_view text,
+                                    std::string_view token) {
+  std::vector<std::size_t> out;
+  for (std::size_t pos = text.find(token); pos != std::string_view::npos;
+       pos = text.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_word(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    // Tokens ending in ':' (qualified names) or containing '::' carry
+    // their own boundary; otherwise require a non-word follower.
+    const bool right_ok = end >= text.size() || !is_word(text[end]);
+    if (left_ok && right_ok) {
+      out.push_back(pos);
+    }
+  }
+  return out;
+}
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+/// Offset just past the matching close for the opener at `open` (which must
+/// hold `lhs`); npos when unbalanced.
+std::size_t match_pair(std::string_view s, std::size_t open, char lhs,
+                       char rhs) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == lhs) {
+      ++depth;
+    } else if (s[i] == rhs) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::string strip_code(std::string_view text) {
+  std::string out(text);
+  enum class St {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  St st = St::kCode;
+  std::string raw_close;  // e.g. )delim" for the active raw string
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_word(text[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < text.size() && text[p] != '(') {
+            delim += text[p++];
+          }
+          raw_close = ")" + delim + "\"";
+          st = St::kRawString;
+          // Keep the prefix characters; blank from the '(' onwards.
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') {
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRawString:
+        if (text.compare(i, raw_close.size(), raw_close) == 0) {
+          i += raw_close.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+SnapshotManifest parse_manifest(std::string_view text) {
+  SnapshotManifest m;
+  bool have_version = false;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;  // blank / comment-only
+    }
+    if (word == "version") {
+      unsigned long v = 0;
+      std::string rest;
+      if (have_version || !(ls >> v) || (ls >> rest)) {
+        throw std::runtime_error("snapshot manifest line " +
+                                 std::to_string(lineno) +
+                                 ": malformed version line");
+      }
+      m.version = static_cast<std::uint32_t>(v);
+      have_version = true;
+    } else {
+      std::string rest;
+      if (ls >> rest) {
+        throw std::runtime_error("snapshot manifest line " +
+                                 std::to_string(lineno) +
+                                 ": one tag per line, got trailing '" + rest +
+                                 "'");
+      }
+      m.tags.push_back(word);
+    }
+  }
+  if (!have_version) {
+    throw std::runtime_error(
+        "snapshot manifest: missing 'version N' line (regenerate with"
+        " ahbp_lint --update-snapshot-manifest)");
+  }
+  std::sort(m.tags.begin(), m.tags.end());
+  m.tags.erase(std::unique(m.tags.begin(), m.tags.end()), m.tags.end());
+  return m;
+}
+
+std::string render_manifest(const SnapshotManifest& m) {
+  std::ostringstream os;
+  os << "# Snapshot-format manifest — the StateWriter section tags declared\n"
+        "# in src/ and the state::kFormatVersion they were generated"
+        " against.\n"
+        "# Regenerate with: ahbp_lint --update-snapshot-manifest (it refuses\n"
+        "# to record a changed tag set until kFormatVersion is bumped).\n"
+        "version "
+     << m.version << "\n";
+  std::vector<std::string> tags = m.tags;
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  for (const std::string& t : tags) {
+    os << t << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> collect_snapshot_tags(
+    const std::vector<SourceFile>& files, std::vector<Finding>* findings) {
+  std::map<std::string, std::string> first_site;  // tag -> "file:line"
+  std::vector<std::string> tags;
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.path, "src/")) {
+      continue;
+    }
+    const std::string_view text = f.text;
+    for (const std::size_t pos : find_token(text, "begin")) {
+      std::size_t i = skip_ws(text, pos + 5);
+      if (i >= text.size() || text[i] != '(') {
+        continue;
+      }
+      i = skip_ws(text, i + 1);
+      if (i >= text.size() || text[i] != '"') {
+        continue;
+      }
+      const std::size_t close = text.find('"', i + 1);
+      if (close == std::string_view::npos) {
+        continue;
+      }
+      const std::string tag(text.substr(i + 1, close - i - 1));
+      const std::string site =
+          f.path + ":" + std::to_string(line_of(text, pos));
+      const auto [it, inserted] = first_site.emplace(tag, site);
+      if (inserted) {
+        tags.push_back(tag);
+      } else if (findings != nullptr) {
+        findings->push_back(
+            {f.path, line_of(text, pos), "snapshot/tag-unique",
+             "StateWriter tag \"" + tag + "\" is already used at " +
+                 it->second +
+                 " — every snapshottable component needs its own section"
+                 " tag, or a reader cannot tell their streams apart"});
+      }
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+std::uint32_t find_format_version(const std::vector<SourceFile>& files) {
+  for (const SourceFile& f : files) {
+    if (f.path != "src/state/snapshot.hpp") {
+      continue;
+    }
+    const std::string_view text = f.text;
+    const std::size_t pos = text.find("kFormatVersion =");
+    if (pos == std::string_view::npos) {
+      return 0;
+    }
+    std::size_t i = skip_ws(text, pos + 16);
+    std::uint32_t v = 0;
+    bool any = false;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+      v = v * 10 + static_cast<std::uint32_t>(text[i] - '0');
+      ++i;
+      any = true;
+    }
+    return any ? v : 0;
+  }
+  return 0;
+}
+
+namespace {
+
+struct Rule {
+  const char* token;
+  const char* rule;
+  const char* message;
+};
+
+constexpr Rule kRngRules[] = {
+    {"rand", "determinism/rng", "rand() in library code"},
+    {"srand", "determinism/rng", "srand() in library code"},
+    {"rand_r", "determinism/rng", "rand_r() in library code"},
+    {"drand48", "determinism/rng", "drand48() in library code"},
+    {"random_device", "determinism/rng", "std::random_device in library code"},
+    {"mt19937", "determinism/rng", "raw std::mt19937 engine in library code"},
+    {"mt19937_64", "determinism/rng",
+     "raw std::mt19937_64 engine in library code"},
+    {"minstd_rand", "determinism/rng", "std::minstd_rand in library code"},
+    {"default_random_engine", "determinism/rng",
+     "std::default_random_engine in library code"},
+    {"random_shuffle", "determinism/rng",
+     "std::random_shuffle in library code"},
+};
+
+constexpr Rule kClockRules[] = {
+    {"system_clock", "determinism/wall-clock",
+     "std::chrono::system_clock in library code"},
+    {"high_resolution_clock", "determinism/wall-clock",
+     "std::chrono::high_resolution_clock in library code (use steady_clock"
+     " for profiling)"},
+    {"gettimeofday", "determinism/wall-clock",
+     "gettimeofday() in library code"},
+    {"clock_gettime", "determinism/wall-clock",
+     "clock_gettime() in library code"},
+    {"localtime", "determinism/wall-clock", "localtime() in library code"},
+    {"gmtime", "determinism/wall-clock", "gmtime() in library code"},
+    {"strftime", "determinism/wall-clock", "strftime() in library code"},
+};
+
+constexpr Rule kStdoutRules[] = {
+    {"std::cout", "library/no-stdout", "std::cout in library code"},
+    {"std::cerr", "library/no-stdout", "std::cerr in library code"},
+    {"std::clog", "library/no-stdout", "std::clog in library code"},
+    {"printf", "library/no-stdout", "printf() in library code"},
+    {"fprintf", "library/no-stdout", "fprintf() in library code"},
+    {"puts", "library/no-stdout", "puts() in library code"},
+};
+
+const char* const kRngSuffix =
+    " — all library randomness flows through traffic::TrafficRng"
+    " (src/traffic/generator.*), the one owned, seeded, per-master stream;"
+    " anything else breaks run-to-run determinism";
+
+const char* const kClockSuffix =
+    " — simulated behaviour must be a pure function of the scenario;"
+    " std::chrono::steady_clock is the only sanctioned clock (wall-clock"
+    " self-profiling)";
+
+const char* const kStdoutSuffix =
+    " — the library reports through return values and caller-supplied"
+    " streams; stray output corrupts machine-readable reports (CSV, JSON)"
+    " and the byte-stable sweep tables";
+
+const char* const kCassertSuffix =
+    " — use AHBP_ASSERT (src/assertions/assert.hpp): plain assert()"
+    " vanishes under NDEBUG, and Release CI must keep model invariants"
+    " armed";
+
+void apply_token_rules(const SourceFile& f, std::string_view stripped,
+                       const Rule* rules, std::size_t n, const char* suffix,
+                       std::vector<Finding>& out) {
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const std::size_t pos : find_token(stripped, rules[r].token)) {
+      out.push_back({f.path, line_of(stripped, pos), rules[r].rule,
+                     std::string(rules[r].message) + suffix});
+    }
+  }
+}
+
+/// `time(nullptr)` / `time(NULL)` / `time(0)` calls.
+void check_time_calls(const SourceFile& f, std::string_view stripped,
+                      std::vector<Finding>& out) {
+  for (const std::size_t pos : find_token(stripped, "time")) {
+    std::size_t i = skip_ws(stripped, pos + 4);
+    if (i >= stripped.size() || stripped[i] != '(') {
+      continue;
+    }
+    i = skip_ws(stripped, i + 1);
+    bool null_arg = false;
+    for (const std::string_view arg : {"nullptr", "NULL", "0"}) {
+      if (stripped.compare(i, arg.size(), arg) == 0 &&
+          skip_ws(stripped, i + arg.size()) < stripped.size() &&
+          stripped[skip_ws(stripped, i + arg.size())] == ')') {
+        null_arg = true;
+      }
+    }
+    if (null_arg) {
+      out.push_back({f.path, line_of(stripped, pos), "determinism/wall-clock",
+                     std::string("time() in library code") + kClockSuffix});
+    }
+  }
+}
+
+void check_cassert(const SourceFile& f, std::string_view stripped,
+                   std::vector<Finding>& out) {
+  const std::size_t inc = stripped.find("#include <cassert>");
+  if (inc != std::string_view::npos) {
+    out.push_back({f.path, line_of(stripped, inc), "library/no-cassert",
+                   std::string("#include <cassert> in library code") +
+                       kCassertSuffix});
+  }
+  const std::size_t inc2 = stripped.find("#include <assert.h>");
+  if (inc2 != std::string_view::npos) {
+    out.push_back({f.path, line_of(stripped, inc2), "library/no-cassert",
+                   std::string("#include <assert.h> in library code") +
+                       kCassertSuffix});
+  }
+  for (const std::size_t pos : find_token(stripped, "assert")) {
+    const std::size_t i = skip_ws(stripped, pos + 6);
+    if (i < stripped.size() && stripped[i] == '(') {
+      out.push_back({f.path, line_of(stripped, pos), "library/no-cassert",
+                     std::string("bare assert() in library code") +
+                         kCassertSuffix});
+    }
+  }
+}
+
+/// Names declared as unordered containers anywhere in the input (member or
+/// local; the serialization rule needs cross-file visibility because
+/// members live in headers and save_state in sources).
+std::set<std::string> unordered_names(const std::vector<SourceFile>& files) {
+  std::set<std::string> names;
+  for (const SourceFile& f : files) {
+    const std::string stripped = strip_code(f.text);
+    const std::string_view text = stripped;
+    for (const char* kw :
+         {"unordered_map", "unordered_set", "unordered_multimap",
+          "unordered_multiset"}) {
+      for (const std::size_t pos : find_token(text, kw)) {
+        std::size_t i = skip_ws(text, pos + std::string_view(kw).size());
+        if (i >= text.size() || text[i] != '<') {
+          continue;
+        }
+        const std::size_t after = match_pair(text, i, '<', '>');
+        if (after == std::string_view::npos) {
+          continue;
+        }
+        i = skip_ws(text, after);
+        std::string name;
+        while (i < text.size() && is_word(text[i])) {
+          name += text[i++];
+        }
+        i = skip_ws(text, i);
+        if (!name.empty() && i < text.size() &&
+            (text[i] == ';' || text[i] == '=' || text[i] == '{')) {
+          names.insert(name);
+        }
+      }
+    }
+  }
+  return names;
+}
+
+/// Range-for loops inside `save_state` / `serialize` bodies that iterate an
+/// unordered container *and* emit records from inside the loop.  Iterating
+/// to collect-and-sort is fine; emitting in hash order is not.
+void check_unordered_serialization(const SourceFile& f,
+                                   std::string_view stripped,
+                                   const std::set<std::string>& unordered,
+                                   std::vector<Finding>& out) {
+  for (const char* fn : {"save_state", "serialize"}) {
+    for (const std::size_t pos : find_token(stripped, fn)) {
+      // Find the function *definition*: name ( ... ) [const] {
+      std::size_t i = skip_ws(stripped, pos + std::string_view(fn).size());
+      if (i >= stripped.size() || stripped[i] != '(') {
+        continue;
+      }
+      std::size_t after_args = match_pair(stripped, i, '(', ')');
+      if (after_args == std::string_view::npos) {
+        continue;
+      }
+      after_args = skip_ws(stripped, after_args);
+      if (stripped.compare(after_args, 5, "const") == 0) {
+        after_args = skip_ws(stripped, after_args + 5);
+      }
+      if (stripped.compare(after_args, 8, "override") == 0) {
+        after_args = skip_ws(stripped, after_args + 8);
+      }
+      if (after_args >= stripped.size() || stripped[after_args] != '{') {
+        continue;  // declaration, not definition
+      }
+      const std::size_t body_end =
+          match_pair(stripped, after_args, '{', '}');
+      if (body_end == std::string_view::npos) {
+        continue;
+      }
+      const std::string_view body =
+          stripped.substr(after_args, body_end - after_args);
+
+      for (const std::size_t fpos : find_token(body, "for")) {
+        std::size_t j = skip_ws(body, fpos + 3);
+        if (j >= body.size() || body[j] != '(') {
+          continue;
+        }
+        const std::size_t hdr_end = match_pair(body, j, '(', ')');
+        if (hdr_end == std::string_view::npos) {
+          continue;
+        }
+        const std::string_view hdr = body.substr(j + 1, hdr_end - j - 2);
+        // The range-for separator: a ':' that is not half of a '::'.
+        std::size_t colon = std::string_view::npos;
+        for (std::size_t c = 0; c < hdr.size(); ++c) {
+          if (hdr[c] != ':') {
+            continue;
+          }
+          if (c + 1 < hdr.size() && hdr[c + 1] == ':') {
+            ++c;
+            continue;
+          }
+          colon = c;
+          break;
+        }
+        if (colon == std::string_view::npos) {
+          continue;  // not a range-for
+        }
+        // Trailing identifier of the range expression ("pages_",
+        // "this->pages_").
+        std::string_view range = hdr.substr(colon + 1);
+        std::size_t e = range.size();
+        while (e > 0 &&
+               std::isspace(static_cast<unsigned char>(range[e - 1])) != 0) {
+          --e;
+        }
+        std::size_t b = e;
+        while (b > 0 && is_word(range[b - 1])) {
+          --b;
+        }
+        const std::string var(range.substr(b, e - b));
+        if (unordered.count(var) == 0) {
+          continue;
+        }
+        const std::size_t loop_open = body.find('{', hdr_end);
+        if (loop_open == std::string_view::npos) {
+          continue;
+        }
+        const std::size_t loop_end = match_pair(body, loop_open, '{', '}');
+        const std::string_view loop_body = body.substr(
+            loop_open, loop_end == std::string_view::npos
+                           ? body.size() - loop_open
+                           : loop_end - loop_open);
+        if (loop_body.find("put_") != std::string_view::npos) {
+          out.push_back(
+              {f.path, line_of(stripped, after_args + fpos),
+               "snapshot/unordered-iteration",
+               "serialization emits records while iterating unordered"
+               " container '" +
+                   var +
+                   "' — hash order is not canonical; collect keys, sort,"
+                   " then emit (save->restore->save byte-identity depends"
+                   " on it)"});
+        }
+      }
+    }
+  }
+}
+
+/// obs::Timeline* / obs::SelfProfiler* member names declared anywhere.
+std::set<std::string> obs_pointer_names(const std::vector<SourceFile>& files) {
+  std::set<std::string> names;
+  for (const SourceFile& f : files) {
+    const std::string stripped = strip_code(f.text);
+    const std::string_view text = stripped;
+    for (const char* type : {"Timeline", "SelfProfiler"}) {
+      for (const std::size_t pos : find_token(text, type)) {
+        // Require the obs:: qualifier right before the type name.
+        if (pos < 5 || text.compare(pos - 5, 5, "obs::") != 0) {
+          continue;
+        }
+        std::size_t i = skip_ws(text, pos + std::string_view(type).size());
+        if (i >= text.size() || text[i] != '*') {
+          continue;
+        }
+        i = skip_ws(text, i + 1);
+        std::string name;
+        while (i < text.size() && is_word(text[i])) {
+          name += text[i++];
+        }
+        i = skip_ws(text, i);
+        // Member/variable declaration, not a parameter list use.
+        if (!name.empty() && i < text.size() &&
+            (text[i] == ';' || text[i] == '=')) {
+          names.insert(name);
+        }
+      }
+    }
+  }
+  return names;
+}
+
+bool has_null_gate(std::string_view stripped, const std::string& name) {
+  for (const std::size_t pos : find_token(stripped, name)) {
+    const std::size_t after = skip_ws(stripped, pos + name.size());
+    // NAME != nullptr / NAME == nullptr / NAME && / NAME ?
+    if (stripped.compare(after, 2, "!=") == 0 ||
+        stripped.compare(after, 2, "==") == 0 ||
+        stripped.compare(after, 2, "&&") == 0 ||
+        (after < stripped.size() && stripped[after] == '?')) {
+      return true;
+    }
+    // if (NAME) / while (NAME)
+    if (after < stripped.size() && stripped[after] == ')' && pos >= 1) {
+      std::size_t b = pos;
+      while (b > 0 && std::isspace(static_cast<unsigned char>(
+                          stripped[b - 1])) != 0) {
+        --b;
+      }
+      if (b > 0 && stripped[b - 1] == '(') {
+        return true;
+      }
+    }
+    // !NAME
+    std::size_t b = pos;
+    while (b > 0 &&
+           std::isspace(static_cast<unsigned char>(stripped[b - 1])) != 0) {
+      --b;
+    }
+    if (b > 0 && stripped[b - 1] == '!') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_obs_gates(const SourceFile& f, std::string_view stripped,
+                     const std::set<std::string>& obs_ptrs,
+                     std::vector<Finding>& out) {
+  for (const std::string& name : obs_ptrs) {
+    bool deref = false;
+    std::size_t first_line = 0;
+    for (const std::size_t pos : find_token(stripped, name)) {
+      const std::size_t after = skip_ws(stripped, pos + name.size());
+      if (stripped.compare(after, 2, "->") == 0) {
+        deref = true;
+        if (first_line == 0) {
+          first_line = line_of(stripped, pos);
+        }
+      }
+    }
+    if (deref && !has_null_gate(stripped, name)) {
+      out.push_back(
+          {f.path, first_line, "obs/null-gate",
+           "observability pointer '" + name +
+               "' is dereferenced but never null-checked in this file —"
+               " obs taps are optional by contract (instrumentation must"
+               " not perturb, and must not be required); gate every"
+               " emission on '" +
+               name + " != nullptr'"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_sources(const std::vector<SourceFile>& files,
+                                  std::string_view manifest_text) {
+  std::vector<Finding> out;
+
+  const std::set<std::string> unordered = unordered_names(files);
+  const std::set<std::string> obs_ptrs = obs_pointer_names(files);
+
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.path, "src/")) {
+      continue;  // library rules only; tools/tests/benches are drivers
+    }
+    const std::string stripped = strip_code(f.text);
+    const bool rng_exempt = starts_with(f.path, "src/traffic/generator.");
+    if (!rng_exempt) {
+      apply_token_rules(f, stripped, kRngRules, std::size(kRngRules),
+                        kRngSuffix, out);
+    }
+    apply_token_rules(f, stripped, kClockRules, std::size(kClockRules),
+                      kClockSuffix, out);
+    check_time_calls(f, stripped, out);
+    apply_token_rules(f, stripped, kStdoutRules, std::size(kStdoutRules),
+                      kStdoutSuffix, out);
+    if (!starts_with(f.path, "src/assertions/assert.hpp")) {
+      check_cassert(f, stripped, out);
+    }
+    check_unordered_serialization(f, stripped, unordered, out);
+    if (!starts_with(f.path, "src/obs/")) {
+      check_obs_gates(f, stripped, obs_ptrs, out);
+    }
+  }
+
+  // Snapshot tag discipline: unique tags, and the tag set + format version
+  // recorded in the manifest.
+  const std::vector<std::string> tags = collect_snapshot_tags(files, &out);
+  if (!tags.empty()) {
+    if (manifest_text.empty()) {
+      out.push_back(
+          {"tools/snapshot_manifest.txt", 0, "snapshot/manifest",
+           "missing snapshot manifest — generate it with ahbp_lint"
+           " --update-snapshot-manifest"});
+    } else {
+      try {
+        const SnapshotManifest m = parse_manifest(manifest_text);
+        if (m.tags != tags) {
+          std::string msg =
+              "StateWriter tag set differs from tools/snapshot_manifest.txt"
+              " (";
+          for (const std::string& t : tags) {
+            if (std::find(m.tags.begin(), m.tags.end(), t) == m.tags.end()) {
+              msg += "+" + t + " ";
+            }
+          }
+          for (const std::string& t : m.tags) {
+            if (std::find(tags.begin(), tags.end(), t) == tags.end()) {
+              msg += "-" + t + " ";
+            }
+          }
+          msg +=
+              ") — a changed tag set changes the snapshot layout: bump"
+              " state::kFormatVersion and regenerate the manifest with"
+              " ahbp_lint --update-snapshot-manifest";
+          out.push_back({"tools/snapshot_manifest.txt", 0,
+                         "snapshot/manifest", msg});
+        }
+        const std::uint32_t version = find_format_version(files);
+        if (version != 0 && version != m.version) {
+          out.push_back(
+              {"tools/snapshot_manifest.txt", 0, "snapshot/manifest",
+               "state::kFormatVersion is " + std::to_string(version) +
+                   " but the manifest records " + std::to_string(m.version) +
+                   " — regenerate with ahbp_lint"
+                   " --update-snapshot-manifest"});
+        }
+      } catch (const std::exception& e) {
+        out.push_back({"tools/snapshot_manifest.txt", 0, "snapshot/manifest",
+                       e.what()});
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) {
+                return a.file < b.file;
+              }
+              if (a.line != b.line) {
+                return a.line < b.line;
+              }
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+}  // namespace ahbp::lint

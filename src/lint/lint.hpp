@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lint.hpp
+/// The repo-specific source linter behind `ahbp_lint`.
+///
+/// Generic tools (warnings, sanitizers, clang-tidy) police the language;
+/// this linter polices the *model's* invariants — the rules that make the
+/// paper's cycle-accuracy claim and the checkpoint layer's bit-exactness
+/// hold, and that no generic checker can express:
+///
+///  * **Determinism** — the only randomness source in library code is
+///    `traffic::TrafficRng` (src/traffic/generator.*); wall-clock reads
+///    other than `steady_clock` (used for self-profiling only) are banned,
+///    because any `rand()`/`time()` leaking into a model would make two
+///    runs of the same scenario disagree.
+///  * **Serialization canonicality** — snapshot emitters must never write
+///    records in unordered-container iteration order (hash order varies
+///    across libraries and runs; the save→restore→save byte-identity the
+///    checkpoint tests pin would silently break).
+///  * **Snapshot discipline** — every `StateWriter::begin` tag is unique,
+///    and the tag set matches the checked-in manifest
+///    (tools/snapshot_manifest.txt) which also records the
+///    `state::kFormatVersion` it was generated against.  Changing the tag
+///    set forces a manifest regeneration, and the regeneration tool
+///    refuses to run until the format version is bumped.
+///  * **Observability non-perturbation** — library files that hold
+///    `obs::Timeline*` / `obs::SelfProfiler*` taps must null-gate them:
+///    observation is optional by contract, and an ungated dereference
+///    turns "instrumentation changed nothing" into a crash.
+///  * **Library hygiene** — no `std::cout`/`printf` in library code (the
+///    library reports through return values and caller-supplied streams),
+///    and no `<cassert>` (use AHBP_ASSERT, which stays active under
+///    NDEBUG; a plain `assert` silently vanishes in Release builds).
+///
+/// The engine works on in-memory sources so the fixture tests can feed it
+/// must-pass / must-fail snippets; `tools/ahbp_lint.cpp` wraps it with
+/// directory walking.
+
+namespace ahbp::lint {
+
+/// One source file to lint.  `path` is repo-relative with '/' separators —
+/// the scope rules (library vs tool, TrafficRng exemption) key off it.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based; 0 for file-level findings
+  std::string rule;      ///< e.g. "determinism/rng"
+  std::string message;
+};
+
+/// The checked-in record of the snapshot format: the tag set the sources
+/// declared when `version` was current.  See tools/snapshot_manifest.txt.
+struct SnapshotManifest {
+  std::uint32_t version = 0;
+  std::vector<std::string> tags;  ///< sorted, unique
+};
+
+/// Parse manifest text ("version N" line + one tag per line, '#' comments).
+/// Throws std::runtime_error on malformed input.
+SnapshotManifest parse_manifest(std::string_view text);
+
+/// Canonical manifest text for (version, tags).
+std::string render_manifest(const SnapshotManifest& m);
+
+/// Blank out comments and string/character literals, preserving length and
+/// newlines, so token rules cannot fire on prose.  Exposed for tests.
+std::string strip_code(std::string_view text);
+
+/// All `StateWriter::begin("tag")` string literals in `files`, sorted and
+/// deduplicated.  Duplicate declarations (the same tag used by two
+/// components) are reported into `findings` when non-null.
+std::vector<std::string> collect_snapshot_tags(
+    const std::vector<SourceFile>& files, std::vector<Finding>* findings);
+
+/// `state::kFormatVersion` as declared in src/state/snapshot.hpp within
+/// `files`; 0 when the header is not part of the input.
+std::uint32_t find_format_version(const std::vector<SourceFile>& files);
+
+/// Run every rule over `files`.  `manifest_text` is the content of
+/// tools/snapshot_manifest.txt (empty = manifest missing, itself a finding
+/// when the input declares snapshot tags).  Findings are ordered by file,
+/// then line.
+std::vector<Finding> lint_sources(const std::vector<SourceFile>& files,
+                                  std::string_view manifest_text);
+
+}  // namespace ahbp::lint

@@ -153,16 +153,20 @@ std::vector<std::uint8_t> StateWriter::finish() const {
     throw StateError("StateWriter::finish() with " + std::to_string(depth_) +
                      " unclosed section(s)");
   }
-  std::vector<std::uint8_t> out;
-  out.reserve(kMagic.size() + 4 + payload_.size() + 4);
-  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  std::vector<std::uint8_t> out(kMagic.size() + 4 + payload_.size() + 4);
+  std::size_t o = 0;
+  std::memcpy(out.data(), kMagic.data(), kMagic.size());
+  o += kMagic.size();
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(kFormatVersion >> (8 * i)));
+    out[o++] = static_cast<std::uint8_t>(kFormatVersion >> (8 * i));
   }
-  out.insert(out.end(), payload_.begin(), payload_.end());
+  if (!payload_.empty()) {
+    std::memcpy(out.data() + o, payload_.data(), payload_.size());
+    o += payload_.size();
+  }
   const std::uint32_t crc = crc32(payload_.data(), payload_.size());
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    out[o++] = static_cast<std::uint8_t>(crc >> (8 * i));
   }
   return out;
 }
@@ -225,7 +229,7 @@ void StateReader::validate_header() {
     throw StateError("snapshot: bad magic (not an ahbp checkpoint)");
   }
   std::uint32_t version = 0;
-  for (int i = 0; i < 4; ++i) {
+  for (unsigned i = 0; i < 4; ++i) {
     version |= static_cast<std::uint32_t>(data_[kMagic.size() + i]) << (8 * i);
   }
   if (version != kFormatVersion) {
@@ -234,7 +238,7 @@ void StateReader::validate_header() {
                      std::to_string(kFormatVersion) + ")");
   }
   std::uint32_t stored = 0;
-  for (int i = 0; i < 4; ++i) {
+  for (unsigned i = 0; i < 4; ++i) {
     stored |= static_cast<std::uint32_t>(data_[size_ - 4 + i]) << (8 * i);
   }
   data_ += kMagic.size() + 4;

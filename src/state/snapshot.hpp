@@ -40,8 +40,12 @@ namespace ahbp::state {
 /// Snapshot format version.  Bump on any layout change; readers reject
 /// other versions.  v2: checkpoint headers carry embedded trace-backed
 /// stimulus (count + per-master trace text) after the scenario.  v3:
-/// MasterProfile carries per-master stall-attribution counters.
-inline constexpr std::uint32_t kFormatVersion = 3;
+/// MasterProfile carries per-master stall-attribution counters.  v4:
+/// ScriptSource records a content hash of its consumed script prefix, so a
+/// warm-up fork whose stimulus diverges from the snapshotted run is
+/// detected (ForkDivergence) instead of silently replaying inconsistent
+/// state.
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// Any save/restore failure: malformed file, version mismatch, type or
 /// section-tag mismatch, or a component-level incompatibility (e.g. a
@@ -49,6 +53,19 @@ inline constexpr std::uint32_t kFormatVersion = 3;
 class StateError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A restore that is *structurally* legal but whose stimulus history
+/// differs from the snapshotted run: the platform shape matches, yet the
+/// transactions the snapshot already issued are not the ones this
+/// configuration would have issued (e.g. a sweep axis changed a master's
+/// seed or pattern).  Recoverable by running the configuration cold —
+/// sweep::SweepRunner catches exactly this type to demote such points
+/// instead of failing them, while genuine structural mismatches stay
+/// fatal StateErrors.
+class ForkDivergence : public StateError {
+ public:
+  using StateError::StateError;
 };
 
 /// Serializer for the tagged binary format.  Typed `put` overloads append

@@ -73,12 +73,24 @@ std::vector<PointOutcome> SweepRunner::run(
 
   const auto run_one = [](const core::PlatformConfig& cfg,
                           core::ModelKind kind,
-                          const std::vector<std::uint8_t>& snapshot) {
-    core::Platform p(cfg, kind);
+                          const std::vector<std::uint8_t>& snapshot,
+                          bool& demoted) {
     if (!snapshot.empty()) {
-      state::StateReader r(snapshot.data(), snapshot.size());
-      p.restore_state(r);
+      try {
+        core::Platform p(cfg, kind);
+        state::StateReader r(snapshot.data(), snapshot.size());
+        p.restore_state(r);
+        p.run_to_completion();
+        return p.result();
+      } catch (const state::ForkDivergence&) {
+        // The point's stimulus diverged from the warm base before the fork
+        // point: the warm state is not this configuration's history.  Run
+        // it cold — exact, just without the fork speedup.  Structural
+        // mismatches stay fatal (plain StateError propagates).
+        demoted = true;
+      }
     }
+    core::Platform p(cfg, kind);
     p.run_to_completion();
     return p.result();
   };
@@ -91,11 +103,11 @@ std::vector<PointOutcome> SweepRunner::run(
     o.label = p.label;
     try {
       if (model == Model::kTlm || model == Model::kBoth) {
-        o.tlm = run_one(p.config, core::ModelKind::kTlm, warm_tlm);
+        o.tlm = run_one(p.config, core::ModelKind::kTlm, warm_tlm, o.demoted);
         o.has_tlm = true;
       }
       if (model == Model::kRtl || model == Model::kBoth) {
-        o.rtl = run_one(p.config, core::ModelKind::kRtl, warm_rtl);
+        o.rtl = run_one(p.config, core::ModelKind::kRtl, warm_rtl, o.demoted);
         o.has_rtl = true;
       }
     } catch (const std::exception& e) {
@@ -174,7 +186,9 @@ stats::TextTable aggregate_table(const std::vector<PointOutcome>& outcomes,
   stats::TextTable table(std::move(headers));
 
   for (const PointOutcome& o : outcomes) {
-    std::vector<std::string> row{std::to_string(o.index), o.label};
+    std::vector<std::string> row{
+        std::to_string(o.index),
+        o.demoted ? o.label + " [cold]" : o.label};
     const core::SimResult& primary = o.has_tlm ? o.tlm : o.rtl;
     const auto cycles_cell = [](bool has, const core::SimResult& r) {
       if (!has) {
@@ -284,7 +298,7 @@ void write_point_csv(std::ostream& os,
   if (tlm && rtl) {
     os << ",cycle_error";
   }
-  os << ",error\n";
+  os << ",demoted,error\n";
 
   for (const PointOutcome& o : outcomes) {
     os << o.index << ',' << csv_field(o.label);
@@ -300,7 +314,7 @@ void write_point_csv(std::ostream& os,
         os << stats::fmt_double(o.cycle_error(), 6);
       }
     }
-    os << ',' << csv_field(o.error) << '\n';
+    os << ',' << (o.demoted ? 1 : 0) << ',' << csv_field(o.error) << '\n';
   }
 }
 

@@ -35,6 +35,12 @@
 /// standard checkpoint-sweep trade-off.  Structural mismatches (master or
 /// channel count, bank geometry, checker enablement) fail the point with a
 /// clear error instead of diverging silently.
+///
+/// Axes that reshape the stimulus *prefix* itself (seeds, patterns,
+/// address windows, traces) are caught by the script-hash check in the v4
+/// snapshot format: the restore throws state::ForkDivergence, the runner
+/// demotes the point to a cold run (exact numbers, no fork speedup), and
+/// the per-point CSV flags it in the `demoted` column.
 
 namespace ahbp::sweep {
 
@@ -61,6 +67,12 @@ struct PointOutcome {
   core::SimResult tlm;
   core::SimResult rtl;
   std::string error;  ///< non-empty when the run threw instead of finishing
+
+  /// A warm-up-forked point whose stimulus diverged from the warm base
+  /// (state::ForkDivergence on restore) was re-run cold: its numbers are
+  /// exact, but it paid the full warm-up it was supposed to skip.  Always
+  /// false for cold sweeps.  Flagged in the per-point CSV.
+  bool demoted = false;
 
   /// |tlm - rtl| / rtl cycle error (0 unless both models ran).
   double cycle_error() const noexcept;

@@ -460,7 +460,8 @@ void AhbPlusBus::do_absorption(sim::Cycle now) {
       s.txn = t;
       s.st = Slot::St::kBuffered;
       s.buffered_done_at = t.finished_at;
-      qos_.state(m).requesting = false;  // request satisfied by the buffer
+      qos_.state(static_cast<ahb::MasterId>(m)).requesting =
+          false;  // request satisfied by the buffer
       master_profiles_[m].record(t, /*buffered=*/true);
     }
   }

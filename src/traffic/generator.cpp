@@ -299,6 +299,34 @@ std::uint64_t script_bytes(const Script& s) {
   return total;
 }
 
+std::uint64_t script_prefix_hash(const Script& s, std::size_t items) {
+  // FNV-1a 64.  Field order is part of the snapshot format (v4).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFU;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const std::size_t n = std::min(items, s.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const TrafficItem& it = s[i];
+    mix(it.gap);
+    mix(it.txn.master);
+    mix(static_cast<std::uint64_t>(it.txn.dir));
+    mix(it.txn.addr);
+    mix(static_cast<std::uint64_t>(it.txn.size));
+    mix(static_cast<std::uint64_t>(it.txn.burst));
+    mix(it.txn.beats);
+    mix(it.txn.locked ? 1 : 0);
+    mix(it.txn.data.size());
+    for (const ahb::Word w : it.txn.data) {
+      mix(w);
+    }
+  }
+  return h;
+}
+
 ahb::Transaction ScriptSource::pop(sim::Cycle now) {
   if (!ready(now)) {
     throw std::logic_error("ScriptSource::pop before ready");
@@ -328,6 +356,9 @@ void ScriptSource::save_state(state::StateWriter& w) const {
   w.put_u64(index_);
   w.put_u64(earliest_);
   w.put_bool(in_flight_);
+  // v4: content hash of everything already issued, so a restore can prove
+  // the receiving script shares this run's history (not just its length).
+  w.put_u64(script_prefix_hash(script_, index_));
   w.end();
 }
 
@@ -337,6 +368,7 @@ void ScriptSource::restore_state(state::StateReader& r) {
   index_ = r.get_u64();
   earliest_ = r.get_u64();
   in_flight_ = r.get_bool();
+  const std::uint64_t prefix_hash = r.get_u64();
   r.leave();
   // Restoring into a *longer* script is legal (a sweep point extending
   // `items` shares the generated prefix); a shorter one would replay
@@ -356,6 +388,17 @@ void ScriptSource::restore_state(state::StateReader& r) {
     throw state::StateError(
         "ScriptSource: snapshot exhausted its script; restoring into a"
         " longer script is only sound before the source drains");
+  }
+  // Same length bookkeeping, different history: the snapshotted run issued
+  // transactions this script would not have issued (a swept seed, pattern,
+  // window or trace axis reshaped the prefix).  Recoverable by running the
+  // configuration cold — hence the distinct exception type.
+  if (script_prefix_hash(script_, index_) != prefix_hash) {
+    throw state::ForkDivergence(
+        "ScriptSource: the warm-up snapshot issued " + std::to_string(index_) +
+        " transaction(s) that differ from this configuration's script — the"
+        " stimulus diverged before the fork point, so the warm state does"
+        " not belong to this configuration (run it cold)");
   }
 }
 

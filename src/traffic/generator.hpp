@@ -114,6 +114,15 @@ Script make_script(const PatternConfig& cfg, ahb::MasterId master);
 /// Total bytes a script will move (for bandwidth accounting in benches).
 std::uint64_t script_bytes(const Script& s);
 
+/// Content hash (FNV-1a 64) of the first `items` script entries — gap plus
+/// the full transaction identity (master, direction, address, size, burst,
+/// beats, lock, write data; timestamps are zero in scripts).  ScriptSource
+/// snapshots hash their consumed prefix so a restore can prove the
+/// receiving script agrees on everything the snapshotted run already
+/// issued; `items` beyond the script length clamps (the items-prefix
+/// property makes longer scripts share the prefix hash by construction).
+std::uint64_t script_prefix_hash(const Script& s, std::size_t items);
+
 class TraceRecorder;  // stimulus.hpp — capture tap on the master port
 
 /// Script source: hands transactions to a model's master port one at a

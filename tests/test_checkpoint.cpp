@@ -157,8 +157,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "table1/rt-2", "table1/rt-3", "table1/rt-4",
                       "single-master", "bursty-dma", "bank-conflict",
                       "wbuf-stress", "qos-starvation"),
-    [](const auto& info) {
-      std::string n = info.param;
+    [](const auto& pinfo) {
+      std::string n = pinfo.param;
       for (char& c : n) {
         if (c == '/' || c == '-') {
           c = '_';

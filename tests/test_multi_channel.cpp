@@ -69,8 +69,8 @@ TEST_P(MultiChannelEquivalence, ModelsAgreeAtEveryChannelCount) {
 INSTANTIATE_TEST_SUITE_P(Table1PlusBankConflict, MultiChannelEquivalence,
                          ::testing::Values("table1/cpu-1", "table1/dma-1",
                                            "table1/rt-1", "bank-conflict"),
-                         [](const auto& info) {
-                           std::string n = info.param;
+                         [](const auto& pinfo) {
+                           std::string n = pinfo.param;
                            for (char& c : n) {
                              if (c == '/' || c == '-') {
                                c = '_';

@@ -120,8 +120,8 @@ TEST_P(TraceReplayClosedLoop, EveryTable1PresetReplaysBitExactly) {
 INSTANTIATE_TEST_SUITE_P(BothModels, TraceReplayClosedLoop,
                          ::testing::Values(core::ModelKind::kTlm,
                                            core::ModelKind::kRtl),
-                         [](const auto& info) {
-                           return std::string(core::to_string(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(core::to_string(pinfo.param));
                          });
 
 TEST(TraceReplay, CaptureCrossesModels) {

@@ -1,0 +1,198 @@
+// ahbp_lint — the repo-specific source linter.
+//
+// Walks src/ under the repo root, runs every rule in src/lint/lint.cpp, and
+// prints findings as `file:line: [rule] message` (exit 1 when any fire).
+// `--update-snapshot-manifest` regenerates tools/snapshot_manifest.txt from
+// the StateWriter tags declared in the sources — and refuses when the tag
+// set changed but state::kFormatVersion did not, which is the enforcement
+// point for "snapshot layout changes bump the format version".
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+#ifndef AHBP_SOURCE_ROOT
+#define AHBP_SOURCE_ROOT "."
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using ahbp::lint::Finding;
+using ahbp::lint::SnapshotManifest;
+using ahbp::lint::SourceFile;
+
+int usage(std::ostream& os, int rc) {
+  os << "usage: ahbp_lint [options]\n"
+        "\n"
+        "Repo-specific linter: determinism, serialization canonicality,\n"
+        "snapshot tag discipline, and observability null-gating.  Checks\n"
+        "src/ under the repo root.\n"
+        "\n"
+        "options:\n"
+        "  --root <dir>       repo root to lint (default: the tree this\n"
+        "                     binary was configured from)\n"
+        "  --manifest <file>  snapshot manifest path (default:\n"
+        "                     <root>/tools/snapshot_manifest.txt)\n"
+        "  --update-snapshot-manifest\n"
+        "                     rewrite the manifest from the current sources;\n"
+        "                     refuses when the tag set changed without a\n"
+        "                     state::kFormatVersion bump\n"
+        "  -h, --help         this text\n";
+  return rc;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot read '" + p.string() + "'");
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Repo-relative path with '/' separators (the rule scopes key off these).
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  std::string s = p.lexically_relative(root).generic_string();
+  return s;
+}
+
+std::vector<SourceFile> collect_sources(const fs::path& root) {
+  std::vector<SourceFile> files;
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    throw std::runtime_error("no src/ directory under '" + root.string() +
+                             "'");
+  }
+  for (const fs::directory_entry& e :
+       fs::recursive_directory_iterator(src)) {
+    if (!e.is_regular_file()) {
+      continue;
+    }
+    const std::string ext = e.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    files.push_back({rel_path(root, e.path()), read_file(e.path())});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+int update_manifest(const std::vector<SourceFile>& files,
+                    const fs::path& manifest_path) {
+  std::vector<Finding> dup_findings;
+  SnapshotManifest next;
+  next.tags = ahbp::lint::collect_snapshot_tags(files, &dup_findings);
+  next.version = ahbp::lint::find_format_version(files);
+  if (next.version == 0) {
+    std::cerr << "ahbp_lint: cannot find state::kFormatVersion in "
+                 "src/state/snapshot.hpp — refusing to write a manifest\n";
+    return 2;
+  }
+  for (const Finding& f : dup_findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!dup_findings.empty()) {
+    std::cerr << "ahbp_lint: duplicate tags must be fixed before the "
+                 "manifest can be regenerated\n";
+    return 1;
+  }
+
+  if (fs::exists(manifest_path)) {
+    const SnapshotManifest prev =
+        ahbp::lint::parse_manifest(read_file(manifest_path));
+    if (prev.tags != next.tags && prev.version == next.version) {
+      std::cerr
+          << "ahbp_lint: the StateWriter tag set changed but "
+             "state::kFormatVersion is still "
+          << next.version
+          << " — a changed tag set changes the snapshot layout; bump "
+             "kFormatVersion in src/state/snapshot.hpp first, then rerun "
+             "--update-snapshot-manifest\n";
+      return 1;
+    }
+    if (prev.tags == next.tags && prev.version == next.version) {
+      std::cout << "ahbp_lint: manifest already current (version "
+                << next.version << ", " << next.tags.size() << " tags)\n";
+      return 0;
+    }
+  }
+
+  std::ofstream os(manifest_path, std::ios::trunc);
+  if (!os) {
+    std::cerr << "ahbp_lint: cannot write '" << manifest_path.string()
+              << "'\n";
+    return 2;
+  }
+  os << ahbp::lint::render_manifest(next);
+  std::cout << "ahbp_lint: wrote " << manifest_path.string() << " (version "
+            << next.version << ", " << next.tags.size() << " tags)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = AHBP_SOURCE_ROOT;
+  fs::path manifest_path;
+  bool update = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      return usage(std::cout, 0);
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (arg == "--update-snapshot-manifest") {
+      update = true;
+    } else {
+      std::cerr << "ahbp_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (manifest_path.empty()) {
+    manifest_path = root / "tools" / "snapshot_manifest.txt";
+  }
+
+  try {
+    const std::vector<SourceFile> files = collect_sources(root);
+    if (update) {
+      return update_manifest(files, manifest_path);
+    }
+    std::string manifest_text;
+    if (fs::exists(manifest_path)) {
+      manifest_text = read_file(manifest_path);
+    }
+    const std::vector<Finding> findings =
+        ahbp::lint::lint_sources(files, manifest_text);
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+    if (findings.empty()) {
+      std::cout << "ahbp_lint: " << files.size() << " files clean\n";
+      return 0;
+    }
+    std::cout << "ahbp_lint: " << findings.size() << " finding(s) in "
+              << files.size() << " files\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "ahbp_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -16,6 +16,7 @@
 //   ahbp_sim resume <checkpoint> [--vcd FILE] [--csv] [--quiet]
 //   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv FILE]
 //                         [--warmup-cycles N] [--speed] [--progress]
+//   ahbp_sim lint <scenario|sweep> [--warmup-cycles N] [--strict]
 
 #include <cmath>
 #include <cstdint>
@@ -35,6 +36,7 @@
 #include "scenario/scenario.hpp"
 #include "state/snapshot.hpp"
 #include "stats/report.hpp"
+#include "sweep/analyze.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
 #include "traffic/trace.hpp"
@@ -97,6 +99,16 @@ int usage(std::ostream& os, int code) {
         " point's\n"
         "                            TLM-vs-RTL cycle error exceeds P"
         " percent\n"
+        "  lint <scenario|sweep>     static analysis without simulating:\n"
+        "                            parse/validate, pre-validate traces,\n"
+        "                            provable timeouts, bandwidth"
+        " oversubscription,\n"
+        "                            channel imbalance, axis hygiene\n"
+        "      --warmup-cycles N     also flag warm-up fork hazards (axes"
+        " that\n"
+        "                            demote points to cold runs or cannot"
+        " fork)\n"
+        "      --strict              exit nonzero on warnings too\n"
         "\n"
         "<scenario> is a built-in name (see list) or a scenario file path.\n"
         "A scenario [checkpoint] section (at_cycle, path) makes 'run'"
@@ -506,6 +518,18 @@ int cmd_sweep(const std::string& path, const std::string& model_s,
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_lint(const std::string& ref, std::uint64_t warmup_cycles,
+             bool strict) {
+  sweep::LintOptions opts;
+  opts.warmup_cycles = warmup_cycles;
+  const sweep::LintReport report = sweep::lint_ref(ref, opts);
+  sweep::write_report(std::cout, report);
+  if (!report.ok()) {
+    return 1;
+  }
+  return strict && report.warnings() != 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -533,7 +557,7 @@ int main(int argc, char** argv) {
   std::uint64_t warmup_cycles = 0;   // sweep --warmup-cycles N
   unsigned jobs = 1;
   bool csv = false, quiet = false, speed = false;
-  bool progress = false, self_profile = false;
+  bool progress = false, self_profile = false, strict = false;
   double max_cycle_error = -1.0;  // negative = gate off
 
   const auto need_value = [&](std::size_t& i) -> std::string {
@@ -652,6 +676,8 @@ int main(int argc, char** argv) {
                   << stats_json_path << "'\n";
         return 2;
       }
+    } else if (a == "--strict") {
+      strict = true;
     } else if (a == "--progress") {
       progress = true;
     } else if (a == "--self-profile") {
@@ -739,6 +765,12 @@ int main(int argc, char** argv) {
       }
       return cmd_sweep(positional, model, jobs, csv_path, speed,
                        max_cycle_error, warmup_cycles, progress);
+    }
+    if (cmd == "lint") {
+      if (!check_options({"--warmup-cycles", "--strict"})) {
+        return 2;
+      }
+      return cmd_lint(positional, warmup_cycles, strict);
     }
     std::cerr << "unknown command '" << cmd << "'\n";
     return usage(std::cerr, 2);
