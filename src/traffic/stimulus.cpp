@@ -1,10 +1,13 @@
 #include "traffic/stimulus.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "assertions/assert.hpp"
 #include "traffic/trace.hpp"
+#include "traffic/trace_bin.hpp"
 
 namespace ahbp::traffic {
 
@@ -20,6 +23,15 @@ void resolve(StimulusSpec& spec) {
     throw std::runtime_error(
         "trace-backed stimulus needs a trace path (or pre-resolved text)");
   }
+  // On Linux ifstream happily *opens* a directory; the reads then fail in
+  // a way rdbuf() extraction reports identically to an empty file, so
+  // without this check a directory path silently became an empty workload
+  // with trace_loaded = true.
+  std::error_code ec;
+  if (std::filesystem::is_directory(spec.trace_path, ec)) {
+    throw std::runtime_error("'" + spec.trace_path +
+                             "' is a directory, not a trace file");
+  }
   std::ifstream in(spec.trace_path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open trace file '" + spec.trace_path +
@@ -27,6 +39,13 @@ void resolve(StimulusSpec& spec) {
   }
   std::ostringstream ss;
   ss << in.rdbuf();
+  // failbit alone only says "zero characters extracted" (legal: an empty
+  // trace); badbit on either stream is a genuine I/O failure and must not
+  // resolve into an empty workload.
+  if (in.bad() || ss.bad()) {
+    throw std::runtime_error("error reading trace file '" + spec.trace_path +
+                             "'");
+  }
   spec.trace_text = ss.str();
   spec.trace_loaded = true;  // authoritative even when the file was empty
 }
@@ -62,8 +81,15 @@ Script expand_stimulus(const StimulusSpec& spec, ahb::MasterId master,
 
   Script script;
   try {
-    std::istringstream is(*text);
-    script = load_trace(is, master);
+    // Format auto-detection: binary traces announce themselves with the
+    // magic prefix (trace_bin.hpp); anything else is the text format.
+    // Works identically for file-resolved and checkpoint-embedded bytes.
+    if (is_trace_bin(*text)) {
+      script = load_trace_bin(*text, master);
+    } else {
+      std::istringstream is(*text);
+      script = load_trace(is, master);
+    }
   } catch (const std::runtime_error& e) {
     throw std::runtime_error(origin + ": " + e.what());
   }
@@ -83,11 +109,21 @@ Script expand_stimulus(const StimulusSpec& spec, ahb::MasterId master,
 }
 
 void TraceRecorder::record_issue(sim::Cycle now, const ahb::Transaction& txn) {
+  // An issue can never precede the port's previous completion — a model
+  // reporting one is contradicting itself, and the unsigned subtraction
+  // below would wrap it into a near-2^64 gap that poisons the capture.
+  AHBP_ASSERT_MSG(now >= last_complete_,
+                  "trace capture observed an issue at cycle " +
+                      std::to_string(now) +
+                      " before the port's previous completion at cycle " +
+                      std::to_string(last_complete_));
   TrafficItem item;
   // Observed think time: issue relative to this port's previous
-  // completion.  For the first item this is the absolute issue cycle,
-  // which replay ignores (the source's gap timer starts armed at 0).
-  item.gap = now - last_complete_;
+  // completion, saturated at zero so the recorded gap can never wrap even
+  // if a driver swallows the assertion and keeps capturing.  For the first
+  // item this is the absolute issue cycle, which replay ignores (the
+  // source's gap timer starts armed at 0).
+  item.gap = now >= last_complete_ ? now - last_complete_ : 0;
   item.txn = txn;
   items_.push_back(std::move(item));
 }
@@ -98,6 +134,10 @@ std::string TraceRecorder::to_trace_text() const {
   std::ostringstream os;
   save_trace(os, items_);
   return os.str();
+}
+
+std::string TraceRecorder::to_trace_bin() const {
+  return trace_bin_bytes(items_);
 }
 
 }  // namespace ahbp::traffic

@@ -86,7 +86,41 @@ std::uint64_t parse_hex(const std::string& tok, const char* what) {
 
 }  // namespace
 
+namespace {
+
+/// Pin the caller's stream to default formatting for the duration of
+/// save_trace and restore it afterwards — including on exception paths.
+/// A caller stream carrying uppercase/showbase/fill/width state would
+/// otherwise corrupt the emitted hex fields ("0XDE" parses back as
+/// garbage, a nonzero width pads the first field with fill characters),
+/// and the hex/dec toggling inside the writer must never leak back out.
+class StreamStateGuard {
+ public:
+  explicit StreamStateGuard(std::ostream& os)
+      : os_(os), flags_(os.flags()), fill_(os.fill()), width_(os.width()) {
+    os_.flags(std::ios_base::dec | std::ios_base::skipws);
+    os_.fill(' ');
+    os_.width(0);
+  }
+  ~StreamStateGuard() {
+    os_.flags(flags_);
+    os_.fill(fill_);
+    os_.width(width_);
+  }
+  StreamStateGuard(const StreamStateGuard&) = delete;
+  StreamStateGuard& operator=(const StreamStateGuard&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::ios_base::fmtflags flags_;
+  char fill_;
+  std::streamsize width_;
+};
+
+}  // namespace
+
 std::size_t save_trace(std::ostream& os, const Script& script) {
+  const StreamStateGuard guard(os);
   os << "# ahbp trace v1: gap dir addr size burst beats [data...]\n";
   for (const TrafficItem& item : script) {
     const ahb::Transaction& t = item.txn;

@@ -1,0 +1,389 @@
+#include "traffic/trace_bin.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "assertions/assert.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AHBP_TRACE_BIN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ahbp::traffic {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 40;
+constexpr std::size_t kRecordHeadBytes = 24;  // gap+addr+4 bytes+beats
+/// Same ceiling as the text loader: the AHB 1KB boundary over 1-byte
+/// beats; structurally_valid enforces the exact burst-dependent bound.
+constexpr std::uint32_t kMaxBeats = 1024;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (unsigned i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+/// Bounds-checked little-endian reader over one trace image.  Every load
+/// funnels through `take`, which both enforces the image size and feeds
+/// the bytes-examined counter the window-seek tests pin.
+class Cursor {
+ public:
+  Cursor(std::string_view bytes, TraceBinReadStats* stats)
+      : data_(reinterpret_cast<const unsigned char*>(bytes.data())),
+        size_(bytes.size()),
+        stats_(stats) {}
+
+  std::uint32_t u32_at(std::size_t off, const char* what) {
+    const unsigned char* p = take(off, 4, what);
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+  }
+
+  std::uint64_t u64_at(std::size_t off, const char* what) {
+    std::uint64_t v = 0;
+    const unsigned char* p = take(off, 8, what);
+    for (unsigned i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint8_t u8_at(std::size_t off, const char* what) {
+    return *take(off, 1, what);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  const unsigned char* take(std::size_t off, std::size_t n,
+                            const char* what) {
+    if (off > size_ || size_ - off < n) {
+      throw std::runtime_error(std::string("binary trace truncated reading ") +
+                               what + " at offset " + std::to_string(off) +
+                               " (image is " + std::to_string(size_) +
+                               " bytes)");
+    }
+    if (stats_ != nullptr) {
+      stats_->bytes_examined += n;
+    }
+    return data_ + off;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  TraceBinReadStats* stats_;
+};
+
+/// Decode the record at `off`, append it to `script`, and return the
+/// offset one past it.  `record` is the 1-based record number for errors;
+/// ids restart at script position (a slice is a standalone script).
+std::size_t decode_record(Cursor& c, std::size_t off, std::uint64_t record,
+                          ahb::MasterId master, Script& script) {
+  try {
+    TrafficItem item;
+    ahb::Transaction& t = item.txn;
+    item.gap = c.u64_at(off, "gap");
+    t.addr = c.u64_at(off + 8, "address");
+    const std::uint8_t dir = c.u8_at(off + 16, "direction");
+    if (dir > 1) {
+      throw std::runtime_error("direction must be 0 (read) or 1 (write), got " +
+                               std::to_string(dir));
+    }
+    t.dir = dir == 1 ? ahb::Dir::kWrite : ahb::Dir::kRead;
+    const std::uint8_t size = c.u8_at(off + 17, "size");
+    if (size > static_cast<std::uint8_t>(ahb::Size::kDword)) {
+      throw std::runtime_error("size code out of range: " +
+                               std::to_string(size));
+    }
+    t.size = static_cast<ahb::Size>(size);
+    const std::uint8_t burst = c.u8_at(off + 18, "burst");
+    if (burst > static_cast<std::uint8_t>(ahb::Burst::kIncr16)) {
+      throw std::runtime_error("burst code out of range: " +
+                               std::to_string(burst));
+    }
+    t.burst = static_cast<ahb::Burst>(burst);
+    const std::uint8_t flags = c.u8_at(off + 19, "flags");
+    if ((flags & ~std::uint8_t{1}) != 0) {
+      throw std::runtime_error("reserved flag bits set: " +
+                               std::to_string(flags));
+    }
+    t.locked = (flags & 1u) != 0;
+    const std::uint32_t beats = c.u32_at(off + 20, "beats");
+    // Ceiling before the data read: a crafted beat count must error, not
+    // drive a multi-gigabyte allocation.
+    if (beats == 0 || beats > kMaxBeats) {
+      throw std::runtime_error("beat count out of range: " +
+                               std::to_string(beats));
+    }
+    t.beats = beats;
+    std::size_t next = off + kRecordHeadBytes;
+    if (t.dir == ahb::Dir::kWrite) {
+      t.data.resize(beats);
+      for (std::uint32_t b = 0; b < beats; ++b) {
+        t.data[b] = c.u64_at(next, "write data");
+        next += 8;
+      }
+    }
+    t.id = script.size() + 1;
+    t.master = master;
+    if (!ahb::structurally_valid(t)) {
+      throw std::runtime_error("transaction violates AHB structure rules");
+    }
+    script.push_back(std::move(item));
+    return next;
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("binary trace record " + std::to_string(record) +
+                             ": " + e.what());
+  }
+}
+
+/// Byte length of the record at `off` without decoding its payload — the
+/// index-less skip path (reads only the 5 bytes it needs).
+std::size_t record_span(Cursor& c, std::size_t off, std::uint64_t record) {
+  try {
+    const std::uint8_t dir = c.u8_at(off + 16, "direction");
+    if (dir > 1) {
+      throw std::runtime_error("direction must be 0 (read) or 1 (write), got " +
+                               std::to_string(dir));
+    }
+    const std::uint32_t beats = c.u32_at(off + 20, "beats");
+    if (beats == 0 || beats > kMaxBeats) {
+      throw std::runtime_error("beat count out of range: " +
+                               std::to_string(beats));
+    }
+    return kRecordHeadBytes + (dir == 1 ? std::size_t{beats} * 8 : 0);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("binary trace record " + std::to_string(record) +
+                             ": " + e.what());
+  }
+}
+
+TraceBinInfo read_header(Cursor& c, std::string_view bytes) {
+  if (!is_trace_bin(bytes)) {
+    throw std::runtime_error(
+        "not a binary trace (magic mismatch — text traces load through"
+        " load_trace)");
+  }
+  TraceBinInfo info;
+  info.file_bytes = bytes.size();
+  info.version = c.u32_at(8, "version");
+  if (info.version != kTraceBinVersion) {
+    throw std::runtime_error(
+        "binary trace version " + std::to_string(info.version) +
+        " not supported (this build reads version " +
+        std::to_string(kTraceBinVersion) + ")");
+  }
+  const std::uint32_t reserved = c.u32_at(12, "reserved field");
+  if (reserved != 0) {
+    throw std::runtime_error("binary trace reserved field is nonzero");
+  }
+  info.records = c.u64_at(16, "record count");
+  info.index_offset = c.u64_at(24, "index offset");
+  info.payload_bytes = c.u64_at(32, "payload size");
+  if (info.payload_bytes > bytes.size() - kHeaderBytes) {
+    throw std::runtime_error(
+        "binary trace truncated: header declares " +
+        std::to_string(info.payload_bytes) + " payload bytes but only " +
+        std::to_string(bytes.size() - kHeaderBytes) + " follow");
+  }
+  if (info.records > info.payload_bytes / kRecordHeadBytes) {
+    throw std::runtime_error(
+        "binary trace record count " + std::to_string(info.records) +
+        " impossible for " + std::to_string(info.payload_bytes) +
+        " payload bytes");
+  }
+  if (info.index_offset != 0) {
+    if (info.index_offset != kHeaderBytes + info.payload_bytes ||
+        info.records > (bytes.size() - info.index_offset) / 8) {
+      throw std::runtime_error("binary trace index offset/size inconsistent");
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+bool is_trace_bin(std::string_view bytes) noexcept {
+  return bytes.size() >= sizeof kTraceBinMagic &&
+         std::memcmp(bytes.data(), kTraceBinMagic, sizeof kTraceBinMagic) == 0;
+}
+
+TraceBinInfo trace_bin_info(std::string_view bytes) {
+  Cursor c(bytes, nullptr);
+  return read_header(c, bytes);
+}
+
+std::size_t save_trace_bin(std::ostream& os, const Script& script) {
+  // Records and their offsets first; the header needs the payload size.
+  std::string payload;
+  std::string index;
+  payload.reserve(script.size() * (kRecordHeadBytes + 8));
+  index.reserve(script.size() * 8);
+  for (const TrafficItem& item : script) {
+    const ahb::Transaction& t = item.txn;
+    append_u64(index, kHeaderBytes + payload.size());
+    append_u64(payload, item.gap);
+    append_u64(payload, t.addr);
+    payload.push_back(static_cast<char>(t.dir == ahb::Dir::kWrite ? 1 : 0));
+    payload.push_back(static_cast<char>(t.size));
+    payload.push_back(static_cast<char>(t.burst));
+    payload.push_back(static_cast<char>(t.locked ? 1 : 0));
+    append_u32(payload, t.beats);
+    if (t.dir == ahb::Dir::kWrite) {
+      AHBP_ASSERT_MSG(t.data.size() >= t.beats,
+                      "write transaction carries fewer data words than beats");
+      for (unsigned b = 0; b < t.beats; ++b) {
+        append_u64(payload, t.data[b]);
+      }
+    }
+  }
+
+  std::string header;
+  header.reserve(kHeaderBytes);
+  header.append(reinterpret_cast<const char*>(kTraceBinMagic),
+                sizeof kTraceBinMagic);
+  append_u32(header, kTraceBinVersion);
+  append_u32(header, 0);  // reserved
+  append_u64(header, script.size());
+  append_u64(header, kHeaderBytes + payload.size());  // index_offset
+  append_u64(header, payload.size());
+
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  os.write(index.data(), static_cast<std::streamsize>(index.size()));
+  return script.size();
+}
+
+std::string trace_bin_bytes(const Script& script) {
+  std::ostringstream os;
+  save_trace_bin(os, script);
+  return os.str();
+}
+
+Script load_trace_bin(std::string_view bytes, ahb::MasterId master,
+                      TraceBinReadStats* stats) {
+  return load_trace_bin_window(bytes, master, 0, ~std::uint64_t{0}, stats);
+}
+
+Script load_trace_bin_window(std::string_view bytes, ahb::MasterId master,
+                             std::uint64_t first, std::uint64_t count,
+                             TraceBinReadStats* stats) {
+  Cursor c(bytes, stats);
+  const TraceBinInfo info = read_header(c, bytes);
+  Script script;
+  if (first >= info.records || count == 0) {
+    return script;
+  }
+  const std::uint64_t take = std::min(count, info.records - first);
+  script.reserve(static_cast<std::size_t>(take));
+
+  // Find record `first`: one index lookup when the file carries its index,
+  // otherwise hop record headers (never decoding payloads).  Either way
+  // the prefix's data words are untouched — bytes_examined stays far below
+  // the prefix size, which is the property the slice tests pin.
+  std::size_t off;
+  if (info.indexed()) {
+    off = static_cast<std::size_t>(
+        c.u64_at(static_cast<std::size_t>(info.index_offset + 8 * first),
+                 "index entry"));
+    if (off < kHeaderBytes || off > kHeaderBytes + info.payload_bytes) {
+      throw std::runtime_error("binary trace index entry " +
+                               std::to_string(first) + " out of bounds");
+    }
+  } else {
+    off = kHeaderBytes;
+    for (std::uint64_t r = 0; r < first; ++r) {
+      off += record_span(c, off, r + 1);
+    }
+  }
+
+  for (std::uint64_t r = 0; r < take; ++r) {
+    off = decode_record(c, off, first + r + 1, master, script);
+  }
+  if (stats != nullptr) {
+    stats->records_decoded += take;
+  }
+  // A whole-file load must consume the payload exactly — trailing garbage
+  // between the last record and the index is corruption, not padding.
+  if (first == 0 && take == info.records &&
+      off != kHeaderBytes + info.payload_bytes) {
+    throw std::runtime_error(
+        "binary trace payload size mismatch: records end at offset " +
+        std::to_string(off) + " but the header declares " +
+        std::to_string(kHeaderBytes + info.payload_bytes));
+  }
+  return script;
+}
+
+MappedTrace::MappedTrace(const std::string& path) {
+#if AHBP_TRACE_BIN_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot stat trace file '" + path + "'");
+  }
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    throw std::runtime_error("'" + path +
+                             "' is a directory, not a trace file");
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len > 0 && S_ISREG(st.st_mode)) {
+    void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      data_ = map;
+      size_ = len;
+      mapped_ = true;
+      return;
+    }
+  }
+  ::close(fd);
+#endif
+  // Fallback: buffered read (non-POSIX hosts, pipes, zero-length files,
+  // exotic filesystems where mmap fails).
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad() || ss.bad()) {
+    throw std::runtime_error("error reading trace file '" + path + "'");
+  }
+  fallback_ = ss.str();
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+  mapped_ = false;
+}
+
+MappedTrace::~MappedTrace() {
+#if AHBP_TRACE_BIN_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace ahbp::traffic

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "traffic/generator.hpp"
+
+/// \file trace_bin.hpp
+/// Binary, seekable trace format — the text format's fast sibling.
+///
+/// The text format (traffic/trace.hpp) is the human-facing one: greppable,
+/// hand-editable, diff-friendly.  Parsing it dominates replay of recorded
+/// workloads (BENCH_TRACE: ~13x slower than synthetic expansion), which
+/// caps the million-transaction replay story.  This module provides the
+/// same Script round-trip as a length-prefixed binary container that loads
+/// by copying fixed-width fields instead of tokenizing, and that carries a
+/// record index so a window of records [first, first+count) is reached by
+/// one seek instead of parsing the whole prefix.
+///
+/// Layout (all integers little-endian, independent of host endianness):
+///
+///   header (40 bytes)
+///     0   u8[8]  magic       "\x89AHBPTRC" (high bit first, like PNG: a
+///                            7-bit-stripped or CRLF-translated copy fails
+///                            the magic check instead of misparsing)
+///     8   u32    version     = 1 (readers reject other versions)
+///     12  u32    reserved    = 0
+///     16  u64    records     transaction count
+///     24  u64    index_offset byte offset of the record index, 0 = none
+///     32  u64    payload_bytes record bytes following the header
+///   records (payload_bytes bytes)
+///     u64 gap, u64 addr,
+///     u8 dir (0=R 1=W), u8 size (ahb::Size), u8 burst (ahb::Burst),
+///     u8 flags (bit0 = locked, others reserved-zero),
+///     u32 beats, then for writes exactly `beats` u64 data words
+///   index (records x u64, at index_offset)
+///     absolute byte offset of each record from the start of the file
+///
+/// `save_trace_bin` always writes the trailing index; `load_trace_bin`
+/// tolerates index-less files (index_offset = 0) by scanning, so truncated
+/// tooling output stays loadable.  Everything a loaded record is allowed to
+/// contain is validated exactly as the text loader validates it (enum
+/// ranges, beat ceilings, ahb::structurally_valid) — a corrupt or crafted
+/// file throws with the record number, it never produces a malformed
+/// transaction.
+///
+/// The read path is zero-copy: loaders take a `std::string_view` over the
+/// bytes wherever they live — a resolved `StimulusSpec::trace_text`, an
+/// embedded checkpoint payload, or a `MappedTrace` (mmap with a plain-read
+/// fallback) for files too big to slurp.
+
+namespace ahbp::traffic {
+
+/// Format version written and accepted by this build.
+inline constexpr std::uint32_t kTraceBinVersion = 1;
+
+/// Magic prefix ("\x89AHBPTRC").  Exposed for tests and format sniffing.
+inline constexpr unsigned char kTraceBinMagic[8] = {0x89, 'A', 'H', 'B',
+                                                    'P',  'T', 'R', 'C'};
+
+/// True when `bytes` starts with the binary-trace magic — the format
+/// auto-detection `expand_stimulus` and the trace tools key off.  A text
+/// trace can never collide: its first byte is printable ASCII.
+bool is_trace_bin(std::string_view bytes) noexcept;
+
+/// Header facts of a binary trace, without decoding any record.
+struct TraceBinInfo {
+  std::uint32_t version = 0;
+  std::uint64_t records = 0;
+  std::uint64_t index_offset = 0;   ///< 0 = no index present
+  std::uint64_t payload_bytes = 0;  ///< record bytes after the header
+  std::uint64_t file_bytes = 0;     ///< total image size
+  bool indexed() const noexcept { return index_offset != 0; }
+};
+
+/// Parse and validate the header (magic, version, sizes consistent with
+/// the image).  Throws std::runtime_error on anything malformed.
+TraceBinInfo trace_bin_info(std::string_view bytes);
+
+/// How much of the image a load actually touched — the observable proof
+/// that window loads seek instead of parsing the prefix (pinned by tests).
+struct TraceBinReadStats {
+  std::uint64_t bytes_examined = 0;  ///< header + index + record bytes read
+  std::uint64_t records_decoded = 0;
+};
+
+/// Serialize `script` (header + records + trailing index).  Returns the
+/// number of records written.  The stream should be binary-mode; output is
+/// byte-deterministic (same script, same bytes — the round-trip identity
+/// the tests pin).
+std::size_t save_trace_bin(std::ostream& os, const Script& script);
+
+/// save_trace_bin into a string (e.g. a StimulusSpec::trace_text or a
+/// checkpoint embedding).
+std::string trace_bin_bytes(const Script& script);
+
+/// Decode a whole binary trace.  `master` stamps ownership exactly like
+/// the text loader; ids are 1-based record positions.  Throws
+/// std::runtime_error with the record number on any malformed record.
+Script load_trace_bin(std::string_view bytes, ahb::MasterId master,
+                      TraceBinReadStats* stats = nullptr);
+
+/// Decode the window [first, first+count).  `first` past the end yields an
+/// empty script; `count` clamps to the remaining records.  With an index
+/// this is one seek to record `first` (prefix records are never read —
+/// `stats->bytes_examined` proves it); without one the prefix is skipped by
+/// record-header hops, still never decoding data words.  Ids restart at 1:
+/// a slice is a standalone script.
+Script load_trace_bin_window(std::string_view bytes, ahb::MasterId master,
+                             std::uint64_t first, std::uint64_t count,
+                             TraceBinReadStats* stats = nullptr);
+
+/// A read-only file image for the zero-copy loaders: mmap(2) where
+/// available (no copy of the trace into process memory — many consumers
+/// can share one page-cached file), falling back to a plain buffered read
+/// anywhere mmap is unavailable or fails.  Rejects directories and
+/// unreadable files with a clear error either way.
+class MappedTrace {
+ public:
+  explicit MappedTrace(const std::string& path);
+  ~MappedTrace();
+
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+
+  /// The file image (valid for the lifetime of this object).
+  std::string_view bytes() const noexcept {
+    return {static_cast<const char*>(data_), size_};
+  }
+
+  /// True when the image is a live mapping rather than a private copy.
+  bool zero_copy() const noexcept { return mapped_; }
+
+ private:
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace ahbp::traffic

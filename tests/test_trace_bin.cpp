@@ -1,0 +1,443 @@
+// Binary trace format: round-trips against every pattern, byte-determinism,
+// cross-format equivalence with the text loader, malformed-image rejection
+// (header and record level), and the seekability contract — loading a
+// mid-file window must touch a small, bounded number of bytes, never the
+// prefix records (pinned through TraceBinReadStats).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "sweep/analyze.hpp"
+#include "traffic/stimulus.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/trace_bin.hpp"
+
+namespace {
+
+using namespace ahbp;
+using namespace ahbp::traffic;
+
+constexpr std::size_t kHeaderBytes = 40;
+
+/// Bitwise equality of two scripts (everything the formats carry).
+void expect_script_equal(const Script& a, const Script& b,
+                         const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string at = what + " item " + std::to_string(i);
+    EXPECT_EQ(a[i].gap, b[i].gap) << at;
+    EXPECT_EQ(a[i].txn.id, b[i].txn.id) << at;
+    EXPECT_EQ(a[i].txn.master, b[i].txn.master) << at;
+    EXPECT_EQ(a[i].txn.dir, b[i].txn.dir) << at;
+    EXPECT_EQ(a[i].txn.addr, b[i].txn.addr) << at;
+    EXPECT_EQ(a[i].txn.size, b[i].txn.size) << at;
+    EXPECT_EQ(a[i].txn.burst, b[i].txn.burst) << at;
+    EXPECT_EQ(a[i].txn.beats, b[i].txn.beats) << at;
+    EXPECT_EQ(a[i].txn.locked, b[i].txn.locked) << at;
+    if (a[i].txn.dir == ahb::Dir::kWrite) {
+      EXPECT_EQ(a[i].txn.data, b[i].txn.data) << at;
+    }
+  }
+}
+
+Script pattern_script(PatternKind kind, unsigned items = 40,
+                      unsigned beat_bytes = 4, ahb::MasterId master = 2) {
+  PatternConfig cfg;
+  cfg.kind = kind;
+  cfg.items = items;
+  cfg.seed = 77;
+  cfg.base = 0x4000;
+  cfg.span = 1 << 16;
+  cfg.beat_bytes = beat_bytes;
+  return make_script(cfg, master);
+}
+
+class TraceBinRoundtrip : public ::testing::TestWithParam<PatternKind> {};
+
+TEST_P(TraceBinRoundtrip, SaveLoadPreservesEverything) {
+  const Script original = pattern_script(GetParam());
+  const std::string bytes = trace_bin_bytes(original);
+  ASSERT_TRUE(is_trace_bin(bytes));
+
+  const Script loaded = load_trace_bin(bytes, 2);
+  expect_script_equal(loaded, original, "bin round-trip");
+
+  // Byte-determinism: save(load(save(s))) is the identity on the image.
+  EXPECT_EQ(trace_bin_bytes(loaded), bytes);
+
+  // And the header describes exactly what was written.
+  const TraceBinInfo info = trace_bin_info(bytes);
+  EXPECT_EQ(info.version, kTraceBinVersion);
+  EXPECT_EQ(info.records, original.size());
+  EXPECT_TRUE(info.indexed());
+  EXPECT_EQ(info.index_offset, kHeaderBytes + info.payload_bytes);
+  EXPECT_EQ(info.file_bytes,
+            kHeaderBytes + info.payload_bytes + 8 * info.records);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, TraceBinRoundtrip,
+                         ::testing::Values(PatternKind::kCpu,
+                                           PatternKind::kDma,
+                                           PatternKind::kRtStream,
+                                           PatternKind::kRandom));
+
+TEST(TraceBin, CrossFormatEquivalence) {
+  // The two formats are siblings behind one Script: loading a text save
+  // and loading a binary save of the same script must agree bit-for-bit —
+  // including 8-byte beats, whose data words exercise the full u64 field.
+  for (const unsigned beat_bytes : {4u, 8u}) {
+    const Script original =
+        pattern_script(PatternKind::kDma, 24, beat_bytes, 1);
+    std::stringstream text;
+    save_trace(text, original);
+    const Script from_text = load_trace(text, 1);
+    const Script from_bin = load_trace_bin(trace_bin_bytes(original), 1);
+    expect_script_equal(from_bin, from_text,
+                        "beat_bytes " + std::to_string(beat_bytes));
+  }
+}
+
+TEST(TraceBin, LockedAndGapFieldsRoundTrip) {
+  // The binary format carries HLOCK (flags bit 0) and full-width gaps —
+  // build a script by hand to pin both.
+  Script s(2);
+  s[0].gap = 0;
+  s[0].txn = {.id = 1, .master = 3, .dir = ahb::Dir::kWrite, .addr = 0x1000,
+              .size = ahb::Size::kWord, .burst = ahb::Burst::kIncr4,
+              .beats = 4, .locked = true,
+              .data = {0x11, 0x22, 0x33, 0xFFFFFFFFFFFFFFFFull}};
+  s[1].gap = ~std::uint64_t{0} >> 1;
+  s[1].txn.id = 2;
+  s[1].txn.master = 3;
+  s[1].txn.addr = 0x2000;
+  const Script loaded = load_trace_bin(trace_bin_bytes(s), 3);
+  expect_script_equal(loaded, s, "locked/gap");
+  EXPECT_TRUE(loaded[0].txn.locked);
+  EXPECT_EQ(loaded[1].gap, ~std::uint64_t{0} >> 1);
+}
+
+TEST(TraceBin, EmptyScriptRoundTrips) {
+  const std::string bytes = trace_bin_bytes(Script{});
+  EXPECT_EQ(bytes.size(), kHeaderBytes);
+  EXPECT_TRUE(is_trace_bin(bytes));
+  const TraceBinInfo info = trace_bin_info(bytes);
+  EXPECT_EQ(info.records, 0u);
+  EXPECT_EQ(info.payload_bytes, 0u);
+  EXPECT_TRUE(load_trace_bin(bytes, 0).empty());
+  EXPECT_TRUE(load_trace_bin_window(bytes, 0, 0, 5).empty());
+}
+
+TEST(TraceBin, MagicDetection) {
+  EXPECT_FALSE(is_trace_bin(""));
+  EXPECT_FALSE(is_trace_bin("# ahbp trace v1: gap dir addr ..."));
+  EXPECT_FALSE(is_trace_bin("0 R 100 4 INCR4 4\n"));
+  EXPECT_FALSE(is_trace_bin(std::string_view("\x89", 1)));  // short prefix
+  EXPECT_TRUE(is_trace_bin(trace_bin_bytes(Script{})));
+  // A 7-bit-stripped copy (the PNG-style high-bit trick) fails the magic.
+  std::string stripped = trace_bin_bytes(Script{});
+  stripped[0] = static_cast<char>(stripped[0] & 0x7F);
+  EXPECT_FALSE(is_trace_bin(stripped));
+}
+
+TEST(TraceBin, ExpandStimulusAutoDetectsFormat) {
+  // The same StimulusSpec slot accepts either format; expansion keys off
+  // the magic, so binary bytes in trace_text (a checkpoint embedding, a
+  // resolved binary file) load without being told.
+  const Script original = pattern_script(PatternKind::kRandom, 20, 4, 1);
+
+  StimulusSpec spec;
+  spec.source = StimulusSource::kTrace;
+  spec.trace_text = trace_bin_bytes(original);
+  spec.trace_loaded = true;
+  expect_script_equal(expand_stimulus(spec, 1, 4), original, "from text slot");
+
+  // And from a file on disk through resolve().
+  const std::string path = "trace_bin_autodetect.trace";
+  {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os);
+    save_trace_bin(os, original);
+  }
+  StimulusSpec file_spec;
+  file_spec.source = StimulusSource::kTrace;
+  file_spec.trace_path = path;
+  expect_script_equal(expand_stimulus(file_spec, 1, 4), original,
+                      "from file");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ malformed --
+
+TEST(TraceBin, TruncatedImagesRejected) {
+  const std::string bytes = trace_bin_bytes(pattern_script(PatternKind::kCpu));
+  // Every proper prefix of the image must be rejected, never mis-loaded.
+  for (const std::size_t len : {0ul, 7ul, 8ul, 16ul, 39ul, kHeaderBytes,
+                                kHeaderBytes + 10, bytes.size() - 1}) {
+    const std::string_view prefix(bytes.data(), len);
+    EXPECT_THROW(load_trace_bin(prefix, 0), std::runtime_error) << len;
+  }
+}
+
+TEST(TraceBin, BadHeaderFieldsRejected) {
+  const std::string good = trace_bin_bytes(pattern_script(PatternKind::kCpu));
+
+  std::string bad_magic = good;
+  bad_magic[1] = 'X';
+  EXPECT_THROW(trace_bin_info(bad_magic), std::runtime_error);
+
+  std::string bad_version = good;
+  bad_version[8] = 2;  // u32 version at offset 8
+  try {
+    trace_bin_info(bad_version);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 2"), std::string::npos)
+        << e.what();
+  }
+
+  std::string bad_reserved = good;
+  bad_reserved[12] = 1;  // u32 reserved at offset 12
+  EXPECT_THROW(trace_bin_info(bad_reserved), std::runtime_error);
+
+  std::string bad_count = good;
+  bad_count[16] = static_cast<char>(0xFF);  // record count at offset 16
+  bad_count[17] = static_cast<char>(0xFF);
+  EXPECT_THROW(trace_bin_info(bad_count), std::runtime_error);
+
+  std::string bad_index = good;
+  bad_index[24] = static_cast<char>(bad_index[24] + 1);  // index offset
+  EXPECT_THROW(trace_bin_info(bad_index), std::runtime_error);
+
+  std::string bad_payload = good;
+  bad_payload[32] = static_cast<char>(bad_payload[32] + 1);  // payload size
+  EXPECT_THROW(trace_bin_info(bad_payload), std::runtime_error);
+}
+
+/// A one-record image (read, so the record is exactly 24 bytes at offset
+/// 40) for byte-level corruption tests.
+std::string one_read_record_image() {
+  Script s(1);
+  s[0].txn.id = 1;
+  s[0].txn.addr = 0x100;
+  s[0].txn.burst = ahb::Burst::kIncr4;
+  s[0].txn.beats = 4;
+  return trace_bin_bytes(s);
+}
+
+TEST(TraceBin, CorruptRecordFieldsRejectedWithRecordNumber) {
+  struct Case {
+    const char* name;
+    std::size_t offset;  // within the record (record head starts at 40)
+    char value;
+  };
+  const Case cases[] = {
+      {"direction", 16, 2},     // dir must be 0/1
+      {"size", 17, 7},          // past ahb::Size::kDword
+      {"burst", 18, 9},         // past ahb::Burst::kIncr16
+      {"flags", 19, 0x40},      // reserved flag bits
+      {"beats-zero", 20, 0},    // beat count 0
+      {"alignment", 8, 0x02},   // addr 0x102: misaligned word transfer
+  };
+  for (const Case& c : cases) {
+    std::string image = one_read_record_image();
+    image[kHeaderBytes + c.offset] = c.value;
+    try {
+      load_trace_bin(image, 0);
+      FAIL() << c.name;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("record 1"), std::string::npos)
+          << c.name << ": " << e.what();
+    }
+  }
+}
+
+TEST(TraceBin, CraftedBeatCountRejectedBeforeAllocation) {
+  // beats = 0x40000000 on a write record must error on the ceiling check,
+  // not attempt a multi-gigabyte data allocation or a wild read.
+  std::string image = one_read_record_image();
+  image[kHeaderBytes + 16] = 1;                        // make it a write
+  image[kHeaderBytes + 20] = 0;                        // beats u32 LE
+  image[kHeaderBytes + 21] = 0;
+  image[kHeaderBytes + 22] = 0;
+  image[kHeaderBytes + 23] = 0x40;
+  try {
+    load_trace_bin(image, 0);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("beat count"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceBin, PayloadSizeMismatchRejected) {
+  // Understate the record count: the whole-file load must notice records
+  // ending before the declared payload end (trailing garbage), not
+  // silently drop the tail.
+  std::string image = trace_bin_bytes(pattern_script(PatternKind::kCpu, 4));
+  image[16] = 2;  // record count 4 -> 2 (u64 LE at offset 16)
+  // The index length check also sees the shrunken count, so the image
+  // stays header-consistent; only the payload walk can catch it.
+  EXPECT_THROW(load_trace_bin(image, 0), std::runtime_error);
+}
+
+// ------------------------------------------------------------- windows --
+
+TEST(TraceBin, WindowSliceMatchesFullLoad) {
+  const Script full = pattern_script(PatternKind::kRandom, 200);
+  const std::string bytes = trace_bin_bytes(full);
+
+  const Script window = load_trace_bin_window(bytes, 2, 50, 20);
+  ASSERT_EQ(window.size(), 20u);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const TrafficItem& want = full[50 + i];
+    EXPECT_EQ(window[i].gap, want.gap) << i;
+    EXPECT_EQ(window[i].txn.addr, want.txn.addr) << i;
+    EXPECT_EQ(window[i].txn.dir, want.txn.dir) << i;
+    EXPECT_EQ(window[i].txn.beats, want.txn.beats) << i;
+    EXPECT_EQ(window[i].txn.data, want.txn.data) << i;
+    // Ids restart at 1: a slice is a standalone script.
+    EXPECT_EQ(window[i].txn.id, i + 1) << i;
+  }
+
+  // Clamping and out-of-range behavior.
+  EXPECT_EQ(load_trace_bin_window(bytes, 2, 190, 100).size(), 10u);
+  EXPECT_TRUE(load_trace_bin_window(bytes, 2, 200, 5).empty());
+  EXPECT_TRUE(load_trace_bin_window(bytes, 2, 9999, 5).empty());
+  EXPECT_TRUE(load_trace_bin_window(bytes, 2, 0, 0).empty());
+}
+
+TEST(TraceBin, WindowLoadSeeksInsteadOfParsingPrefix) {
+  // The acceptance contract: slicing a mid-file window must not read the
+  // prefix records.  20k write-heavy records put ~3MB ahead of the window;
+  // the indexed load may touch only the header, one index entry, and the
+  // window's own records.
+  const Script big = pattern_script(PatternKind::kDma, 20000);
+  const std::string bytes = trace_bin_bytes(big);
+  const TraceBinInfo info = trace_bin_info(bytes);
+  ASSERT_GT(info.payload_bytes, 1000000u);
+
+  TraceBinReadStats window_stats;
+  const Script window =
+      load_trace_bin_window(bytes, 2, 10000, 10, &window_stats);
+  ASSERT_EQ(window.size(), 10u);
+  EXPECT_EQ(window_stats.records_decoded, 10u);
+
+  // Generous ceiling: header + index entry + 10 maximal records is well
+  // under 4KB; the prefix alone is over a megabyte.
+  EXPECT_LT(window_stats.bytes_examined, 4096u);
+  EXPECT_LT(window_stats.bytes_examined, info.payload_bytes / 100);
+
+  // A full load by contrast must examine at least the whole payload.
+  TraceBinReadStats full_stats;
+  const Script full = load_trace_bin(bytes, 2, &full_stats);
+  EXPECT_EQ(full_stats.records_decoded, big.size());
+  EXPECT_GE(full_stats.bytes_examined, info.payload_bytes);
+  expect_script_equal(full, big, "full load");
+}
+
+TEST(TraceBin, IndexlessImageStillLoadsAndSkipsCheaply) {
+  // Strip the trailing index (truncate it, zero the header's offset): the
+  // full load is unchanged and the window load falls back to record-header
+  // hops — still never decoding prefix payloads.
+  const Script big = pattern_script(PatternKind::kDma, 5000);
+  std::string image = trace_bin_bytes(big);
+  const TraceBinInfo info = trace_bin_info(image);
+  image.resize(static_cast<std::size_t>(info.index_offset));
+  for (std::size_t i = 24; i < 32; ++i) {
+    image[i] = 0;  // index_offset = 0: no index
+  }
+  EXPECT_FALSE(trace_bin_info(image).indexed());
+
+  expect_script_equal(load_trace_bin(image, 2), big, "index-less full");
+
+  TraceBinReadStats stats;
+  const Script window = load_trace_bin_window(image, 2, 2500, 10, &stats);
+  ASSERT_EQ(window.size(), 10u);
+  EXPECT_EQ(window[0].txn.addr, big[2500].txn.addr);
+  // The skip path reads 5 bytes per prefix record (dir + beats), so the
+  // write payloads — the bulk of the image — stay untouched.
+  EXPECT_LT(stats.bytes_examined, info.payload_bytes / 8);
+}
+
+TEST(TraceBin, LintPreValidatesBinaryTraces) {
+  // `ahbp_sim lint` expands stimulus exactly as the models do, so a
+  // binary trace gets the same pre-validation as a text one: a valid
+  // image lints clean, a corrupted record is an error naming the master
+  // and the record before any cycles are spent.
+  core::PlatformConfig cfg = core::default_platform(2, 3, 30);
+  const auto scripts = core::expand_stimulus(cfg);
+  traffic::StimulusSpec& spec = cfg.masters[1].traffic;
+  spec.source = StimulusSource::kTrace;
+  spec.trace_text = trace_bin_bytes(scripts[1]);
+  spec.trace_loaded = true;
+  EXPECT_TRUE(sweep::lint_config(cfg).ok());
+
+  spec.trace_text[kHeaderBytes + 16] = 2;  // record 1 direction -> invalid
+  const sweep::LintReport report = sweep::lint_config(cfg);
+  ASSERT_GT(report.errors(), 0u);
+  bool found = false;
+  for (const auto& f : report.findings) {
+    if (f.severity == sweep::LintSeverity::kError &&
+        f.message.find("binary trace record 1") != std::string::npos &&
+        f.message.find("master 1") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// -------------------------------------------------------------- mapping --
+
+TEST(TraceBin, MappedTraceReadsBackExactBytes) {
+  const std::string path = "trace_bin_mapped.trace";
+  const std::string bytes = trace_bin_bytes(pattern_script(PatternKind::kCpu));
+  {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    MappedTrace map(path);
+    EXPECT_EQ(map.bytes(), bytes);
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(map.zero_copy());
+#endif
+    expect_script_equal(load_trace_bin(map.bytes(), 2),
+                        pattern_script(PatternKind::kCpu), "mapped load");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceBin, MappedTraceEmptyFileFallsBack) {
+  const std::string path = "trace_bin_mapped_empty.trace";
+  { std::ofstream os(path, std::ios::binary); ASSERT_TRUE(os); }
+  {
+    MappedTrace map(path);
+    EXPECT_FALSE(map.zero_copy());  // nothing to map
+    EXPECT_TRUE(map.bytes().empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceBin, MappedTraceRejectsMissingFileAndDirectory) {
+  EXPECT_THROW(MappedTrace("definitely/not/here.trace"), std::runtime_error);
+  const std::string dir = "trace_bin_mapped_dir";
+  std::filesystem::create_directory(dir);
+  try {
+    MappedTrace map(dir);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("directory"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(dir);
+}
+
+}  // namespace

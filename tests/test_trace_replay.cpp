@@ -12,12 +12,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "assertions/assert.hpp"
 #include "core/checkpoint.hpp"
 #include "core/platform.hpp"
 #include "core/workloads.hpp"
@@ -25,6 +30,7 @@
 #include "state/snapshot.hpp"
 #include "traffic/stimulus.hpp"
 #include "traffic/trace.hpp"
+#include "traffic/trace_bin.hpp"
 
 namespace {
 
@@ -287,6 +293,183 @@ TEST(TraceReplay, TraceOutsideApertureRejected) {
   spec.source = traffic::StimulusSource::kTrace;
   spec.trace_text = "0 R fffffff0 4 SINGLE 1\n";  // far past an 8MB device
   EXPECT_THROW(core::expand_stimulus(cfg), std::runtime_error);
+}
+
+TEST(TraceReplay, BinaryCaptureReplaysBitExactlyOnBothModels) {
+  // The binary format closes the same loop as the text format: feed a
+  // capture back as binary trace_text (auto-detected by magic) and both
+  // models reproduce the original cycles, and a re-capture of the replay
+  // reproduces the capture bit-exactly, gaps included.
+  const core::Workload row = core::table1_workloads(kItems)[8];  // rt-1
+  for (const core::ModelKind model :
+       {core::ModelKind::kTlm, core::ModelKind::kRtl}) {
+    const auto [orig, captured] = run_captured(row.config, model);
+    ASSERT_TRUE(orig.finished);
+
+    core::PlatformConfig replay = row.config;
+    for (std::size_t m = 0; m < replay.masters.size(); ++m) {
+      traffic::StimulusSpec& spec = replay.masters[m].traffic;
+      spec.source = traffic::StimulusSource::kTrace;
+      spec.trace_path.clear();
+      spec.trace_text = traffic::trace_bin_bytes(captured[m]);
+    }
+    const auto [replayed, recaptured] = run_captured(replay, model);
+    EXPECT_EQ(replayed.cycles, orig.cycles)
+        << core::to_string(model);
+    EXPECT_EQ(replayed.completed, orig.completed);
+    for (std::size_t m = 0; m < captured.size(); ++m) {
+      expect_stream_equal(recaptured[m], captured[m],
+                          std::string(core::to_string(model)) +
+                              " bin replay m" + std::to_string(m),
+                          /*compare_gaps=*/true);
+    }
+  }
+}
+
+TEST(TraceReplay, BinaryTraceCheckpointSurvivesFileDeletion) {
+  // Same self-describing-snapshot contract as the text-trace test, with
+  // the parked files in the binary format: the checkpoint embeds the
+  // binary bytes intact and the resume auto-detects them.
+  const core::Workload row = core::table1_workloads(kItems)[4];  // dma-1
+  for (const core::ModelKind model :
+       {core::ModelKind::kTlm, core::ModelKind::kRtl}) {
+    const auto [orig, captured] = run_captured(row.config, model);
+
+    core::PlatformConfig cfg = row.config;
+    std::vector<std::string> paths;
+    for (std::size_t m = 0; m < cfg.masters.size(); ++m) {
+      const std::string path = "trace_replay_bin_ckpt_m" + std::to_string(m) +
+                               "." + std::string(core::to_string(model)) +
+                               ".trace";
+      std::ofstream os(path, std::ios::binary);
+      ASSERT_TRUE(os) << path;
+      traffic::save_trace_bin(os, captured[m]);
+      paths.push_back(path);
+      traffic::StimulusSpec& spec = cfg.masters[m].traffic;
+      spec.source = traffic::StimulusSource::kTrace;
+      spec.trace_path = path;
+      spec.trace_text.clear();
+    }
+
+    core::Platform straight(cfg, model);
+    straight.run_to_completion();
+    const core::SimResult expect = straight.result();
+    EXPECT_EQ(expect.cycles, orig.cycles);
+
+    core::Platform warm(cfg, model);
+    warm.run(expect.ran_cycles / 2 + 1);
+    ASSERT_FALSE(warm.finished());
+    state::StateWriter w;
+    core::write_checkpoint(w, warm, scenario::serialize(cfg));
+    const std::vector<std::uint8_t> bytes = w.finish();
+
+    for (const std::string& path : paths) {
+      std::remove(path.c_str());
+    }
+
+    state::StateReader r(bytes.data(), bytes.size());
+    const core::CheckpointInfo info = core::read_checkpoint_header(r);
+    ASSERT_EQ(info.traces.size(), cfg.masters.size());
+    // The embedded payloads are the binary images, carried intact.
+    for (const auto& [master, text] : info.traces) {
+      EXPECT_TRUE(traffic::is_trace_bin(text)) << master;
+    }
+    core::PlatformConfig resumed_cfg = scenario::parse(info.scenario_text);
+    core::apply_embedded_traces(resumed_cfg, info);
+    const core::SimResult resumed = core::run_from(resumed_cfg, model, r);
+
+    EXPECT_EQ(resumed.finished, expect.finished);
+    EXPECT_EQ(resumed.cycles, expect.cycles);
+    EXPECT_EQ(resumed.ran_cycles, expect.ran_cycles);
+    EXPECT_EQ(resumed.completed, expect.completed);
+    EXPECT_EQ(resumed.protocol_errors, expect.protocol_errors);
+  }
+}
+
+TEST(TraceReplay, DirectoryTracePathRejected) {
+  // Regression: an openable directory used to resolve into an empty
+  // workload with trace_loaded = true (on Linux, ifstream opens a
+  // directory and rdbuf extraction reports it exactly like an empty
+  // file).  It must throw, naming the path, and leave the spec
+  // unresolved.
+  const std::string dir = "trace_replay_dir_fixture";
+  std::filesystem::create_directory(dir);
+
+  traffic::StimulusSpec spec;
+  spec.source = traffic::StimulusSource::kTrace;
+  spec.trace_path = dir;
+  try {
+    traffic::resolve(spec);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(dir), std::string::npos) << msg;
+    EXPECT_NE(msg.find("directory"), std::string::npos) << msg;
+  }
+  EXPECT_FALSE(spec.trace_loaded);
+  EXPECT_FALSE(spec.resolved());
+
+  // Through the platform choke point the error also names the master.
+  core::PlatformConfig cfg = core::default_platform(2, 3, kItems);
+  cfg.masters[1].traffic.source = traffic::StimulusSource::kTrace;
+  cfg.masters[1].traffic.trace_path = dir;
+  try {
+    core::expand_stimulus(cfg);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("master 1"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(dir);
+}
+
+TEST(TraceReplay, UnreadableTraceFileRejected) {
+  // A file the process cannot open must throw, not resolve empty.  Root
+  // bypasses permission bits entirely, so skip there (CI runners and
+  // developer machines exercise it).
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "running as root: permission bits are not enforced";
+  }
+  const std::string path = "trace_replay_unreadable.trace";
+  {
+    std::ofstream os(path);
+    ASSERT_TRUE(os);
+    os << "0 R 100 4 INCR4 4\n";
+  }
+  ASSERT_EQ(::chmod(path.c_str(), 0), 0);
+
+  traffic::StimulusSpec spec;
+  spec.source = traffic::StimulusSource::kTrace;
+  spec.trace_path = path;
+  EXPECT_THROW(traffic::resolve(spec), std::runtime_error);
+  EXPECT_FALSE(spec.trace_loaded);
+
+  ::chmod(path.c_str(), 0600);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplay, RecorderRejectsIssueBeforeCompletion) {
+  // Regression: `now - last_complete_` on uint64 wrapped a contradictory
+  // issue-before-completion report into a near-2^64 gap that poisoned the
+  // capture.  The recorder must assert (throw) instead, and the bad entry
+  // must not be captured.
+  traffic::TraceRecorder rec(0);
+  ahb::Transaction txn;
+  txn.addr = 0x100;
+  rec.record_issue(10, txn);
+  rec.record_complete(100);
+  EXPECT_THROW(rec.record_issue(50, txn), chk::ModelAssertError);
+  ASSERT_EQ(rec.captured().size(), 1u);  // the bad entry was rejected
+
+  // Equality is legal (zero think time): gap saturates at exactly 0.
+  rec.record_issue(100, txn);
+  ASSERT_EQ(rec.captured().size(), 2u);
+  EXPECT_EQ(rec.captured()[1].gap, 0u);
+
+  // And the normal case still measures think time.
+  rec.record_complete(120);
+  rec.record_issue(127, txn);
+  EXPECT_EQ(rec.captured()[2].gap, 7u);
 }
 
 TEST(TraceReplay, MissingTraceFileNamesTheMaster) {

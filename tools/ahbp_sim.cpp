@@ -17,7 +17,12 @@
 //   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv FILE]
 //                         [--warmup-cycles N] [--speed] [--progress]
 //   ahbp_sim lint <scenario|sweep> [--warmup-cycles N] [--strict]
+//   ahbp_sim trace info <file>
+//   ahbp_sim trace convert <file> --out FILE [--to text|bin]
+//   ahbp_sim trace slice <file> --out FILE --first N [--count K]
+//                               [--to text|bin]
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -25,7 +30,9 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -40,6 +47,7 @@
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
 #include "traffic/trace.hpp"
+#include "traffic/trace_bin.hpp"
 
 namespace {
 
@@ -61,6 +69,10 @@ int usage(std::ostream& os, int code) {
         "                            to DIR/masterK.trace + a ready-to-run\n"
         "                            DIR/replay.scenario (single model"
         " only)\n"
+        "      --trace-format F      capture trace format: text (default,\n"
+        "                            greppable) or bin (seekable, ~10x"
+        " faster\n"
+        "                            to load; replay auto-detects either)\n"
         "      --csv                 machine-readable per-master report\n"
         "      --quiet               summary line only\n"
         "      --timeline FILE       write a Chrome-trace-event timeline\n"
@@ -109,6 +121,19 @@ int usage(std::ostream& os, int code) {
         "                            demote points to cold runs or cannot"
         " fork)\n"
         "      --strict              exit nonzero on warnings too\n"
+        "  trace <action> <file>     inspect / transform a recorded trace\n"
+        "                            (text or binary — detected by magic):\n"
+        "      info                  header + per-record summary\n"
+        "      convert               rewrite as the other format (or --to"
+        " F);\n"
+        "                            needs --out FILE\n"
+        "      slice                 extract records [--first N, +--count"
+        " K);\n"
+        "                            binary inputs seek via the record"
+        " index\n"
+        "                            instead of parsing the prefix; needs\n"
+        "                            --out FILE (--to F overrides the"
+        " format)\n"
         "\n"
         "<scenario> is a built-in name (see list) or a scenario file path.\n"
         "A scenario [checkpoint] section (at_cycle, path) makes 'run'"
@@ -159,21 +184,29 @@ void run_to_checkpoint(core::Platform& p, const core::PlatformConfig& cfg,
 
 /// Write every master's captured stream to `dir`/masterK.trace plus a
 /// ready-to-run `dir`/replay.scenario whose masters replay the captures.
+/// `format` picks the trace encoding ("text" or "bin"); replay
+/// auto-detects either, so the scenario is identical in both cases.
 void write_capture_dir(const core::Platform& p,
                        const core::PlatformConfig& cfg,
-                       const std::string& dir) {
+                       const std::string& dir, const std::string& format) {
   namespace fs = std::filesystem;
   fs::create_directories(dir);
+  const bool bin = format == "bin";
   core::PlatformConfig replay = cfg;
   for (std::size_t m = 0; m < cfg.masters.size(); ++m) {
     const std::string path =
         (fs::path(dir) / ("master" + std::to_string(m) + ".trace")).string();
-    std::ofstream os(path);
+    std::ofstream os(path, bin ? std::ios::binary : std::ios::out);
     if (!os) {
       throw std::runtime_error("cannot open '" + path + "' for writing");
     }
-    traffic::save_trace(os, p.capture(static_cast<ahb::MasterId>(m))
-                                .captured());
+    const traffic::Script& captured =
+        p.capture(static_cast<ahb::MasterId>(m)).captured();
+    if (bin) {
+      traffic::save_trace_bin(os, captured);
+    } else {
+      traffic::save_trace(os, captured);
+    }
     traffic::StimulusSpec& spec = replay.masters[m].traffic;
     spec.source = traffic::StimulusSource::kTrace;
     spec.trace_path = path;
@@ -197,6 +230,7 @@ void write_capture_dir(const core::Platform& p,
 core::SimResult run_model(const core::PlatformConfig& cfg,
                           core::ModelKind kind, std::ostream* vcd_os,
                           const std::string& capture_dir,
+                          const std::string& capture_format,
                           const std::string& checkpoint_path,
                           obs::Timeline* tl, obs::SelfProfiler* sp,
                           bool progress) {
@@ -224,7 +258,7 @@ core::SimResult run_model(const core::PlatformConfig& cfg,
     tl->finalize(p.now());
   }
   if (!capture_dir.empty()) {
-    write_capture_dir(p, cfg, capture_dir);
+    write_capture_dir(p, cfg, capture_dir, capture_format);
   }
   return p.result();
 }
@@ -267,7 +301,8 @@ int cmd_show(const std::string& name) {
 
 int cmd_run(const std::string& name, const std::string& model_s,
             unsigned items, std::uint64_t seed, const std::string& vcd_path,
-            const std::string& capture_dir, bool csv, bool quiet,
+            const std::string& capture_dir,
+            const std::string& capture_format, bool csv, bool quiet,
             const std::string& timeline_path,
             const std::string& stats_json_path, bool progress,
             bool self_profile) {
@@ -291,6 +326,11 @@ int cmd_run(const std::string& name, const std::string& model_s,
                  " tlm or rtl (the capture replays in both)\n";
     return 2;
   }
+  if (capture_format != "text" && capture_format != "bin") {
+    std::cerr << "--trace-format must be text or bin, got '" << capture_format
+              << "'\n";
+    return 2;
+  }
 
   // A scenario [checkpoint] section makes the run snapshot mid-flight and
   // continue; resume later picks the snapshot up.  The timeline and the
@@ -305,7 +345,7 @@ int cmd_run(const std::string& name, const std::string& model_s,
   bool ran_tlm = false, ran_rtl = false;
   if (model != sweep::Model::kRtl) {
     tlm = run_model(cfg, core::ModelKind::kTlm, nullptr, capture_dir,
-                    cfg.checkpoint.path, tl, sp, progress);
+                    capture_format, cfg.checkpoint.path, tl, sp, progress);
     ran_tlm = true;
     print_run(tlm, csv, quiet);
   }
@@ -325,7 +365,7 @@ int cmd_run(const std::string& name, const std::string& model_s,
                                       ? cfg.checkpoint.path + ".rtl"
                                       : cfg.checkpoint.path;
     rtl = run_model(cfg, core::ModelKind::kRtl, vcd_os, capture_dir,
-                    ckpt_path, tl, sp, progress);
+                    capture_format, ckpt_path, tl, sp, progress);
     ran_rtl = true;
     print_run(rtl, csv, quiet);
     if (vcd_os != nullptr) {
@@ -518,6 +558,134 @@ int cmd_sweep(const std::string& path, const std::string& model_s,
   return failures == 0 ? 0 : 1;
 }
 
+/// Load a trace of either format into a Script.  Binary inputs go through
+/// the zero-copy loader; text inputs are parsed from the mapped bytes.
+traffic::Script load_any_trace(std::string_view bytes) {
+  if (traffic::is_trace_bin(bytes)) {
+    return traffic::load_trace_bin(bytes, 0);
+  }
+  std::istringstream is{std::string(bytes)};
+  return traffic::load_trace(is, 0);
+}
+
+/// Write `script` to `path` in `format` ("text" or "bin").
+void write_trace_file(const std::string& path, const std::string& format,
+                      const traffic::Script& script) {
+  std::ofstream os(path,
+                   format == "bin" ? std::ios::binary : std::ios::out);
+  if (!os) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  if (format == "bin") {
+    traffic::save_trace_bin(os, script);
+  } else {
+    traffic::save_trace(os, script);
+  }
+  if (!os) {
+    throw std::runtime_error("error writing '" + path + "'");
+  }
+}
+
+int cmd_trace(const std::string& action, const std::string& path,
+              const std::string& out_path, std::string to_format,
+              std::uint64_t first, std::uint64_t count) {
+  if (action != "info" && action != "convert" && action != "slice") {
+    std::cerr << "unknown trace action '" << action
+              << "' (info, convert, slice)\n";
+    return 2;
+  }
+  if (!to_format.empty() && to_format != "text" && to_format != "bin") {
+    std::cerr << "--to must be text or bin, got '" << to_format << "'\n";
+    return 2;
+  }
+
+  // mmap where possible: info/slice on a multi-GB binary trace touch the
+  // header, one index entry and the requested records — nothing else.
+  const traffic::MappedTrace file(path);
+  const std::string_view bytes = file.bytes();
+  const bool bin = traffic::is_trace_bin(bytes);
+
+  if (action == "info") {
+    std::cout << "file:    " << path << " (" << bytes.size() << " bytes, "
+              << (file.zero_copy() ? "mmap" : "buffered") << ")\n";
+    traffic::Script script;
+    if (bin) {
+      const traffic::TraceBinInfo info = traffic::trace_bin_info(bytes);
+      std::cout << "format:  binary v" << info.version << " ("
+                << (info.indexed() ? "indexed" : "no index") << ", "
+                << info.payload_bytes << " payload bytes)\n";
+      script = traffic::load_trace_bin(bytes, 0);
+    } else {
+      std::cout << "format:  text\n";
+      script = load_any_trace(bytes);
+    }
+    std::uint64_t reads = 0, writes = 0, beats = 0, moved = 0, gaps = 0;
+    for (const traffic::TrafficItem& item : script) {
+      (item.txn.dir == ahb::Dir::kRead ? reads : writes) += 1;
+      beats += item.txn.beats;
+      moved += item.txn.bytes();
+      gaps += item.gap;
+    }
+    std::cout << "records: " << script.size() << " (" << reads << " reads, "
+              << writes << " writes)\n"
+              << "beats:   " << beats << " (" << moved << " bytes moved)\n"
+              << "gaps:    " << gaps << " think-time cycles\n";
+    if (!script.empty()) {
+      ahb::Addr lo = script[0].txn.addr, hi = script[0].txn.addr;
+      for (const traffic::TrafficItem& item : script) {
+        lo = std::min(lo, item.txn.addr);
+        hi = std::max(hi, item.txn.addr + item.txn.bytes());
+      }
+      std::cout << "addresses: [0x" << std::hex << lo << ", 0x" << hi
+                << std::dec << ")\n";
+    }
+    return 0;
+  }
+
+  if (out_path.empty()) {
+    std::cerr << "trace " << action << " needs --out FILE\n";
+    return 2;
+  }
+
+  if (action == "convert") {
+    // Default: the other format — converting is most often a round trip.
+    if (to_format.empty()) {
+      to_format = bin ? "text" : "bin";
+    }
+    const traffic::Script script = load_any_trace(bytes);
+    write_trace_file(out_path, to_format, script);
+    std::cout << "converted " << script.size() << " record(s): "
+              << (bin ? "bin" : "text") << " -> " << to_format << " ("
+              << out_path << ")\n";
+    return 0;
+  }
+
+  // slice: binary inputs seek to record `first` through the index; text
+  // inputs have no seekable structure, so the whole file is parsed first.
+  if (to_format.empty()) {
+    to_format = bin ? "bin" : "text";
+  }
+  traffic::Script window;
+  if (bin) {
+    window = traffic::load_trace_bin_window(bytes, 0, first, count);
+  } else {
+    traffic::Script all = load_any_trace(bytes);
+    const std::uint64_t from = std::min<std::uint64_t>(first, all.size());
+    const std::uint64_t take =
+        std::min<std::uint64_t>(count, all.size() - from);
+    window.assign(all.begin() + static_cast<std::ptrdiff_t>(from),
+                  all.begin() + static_cast<std::ptrdiff_t>(from + take));
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i].txn.id = i + 1;  // a slice is a standalone script
+    }
+  }
+  write_trace_file(out_path, to_format, window);
+  std::cout << "sliced records [" << first << ", " << first + window.size()
+            << ") of " << path << " -> " << out_path << " (" << to_format
+            << ", " << window.size() << " record(s))\n";
+  return 0;
+}
+
 int cmd_lint(const std::string& ref, std::uint64_t warmup_cycles,
              bool strict) {
   sweep::LintOptions opts;
@@ -543,18 +711,22 @@ int main(int argc, char** argv) {
   // accepts is checked afterwards so irrelevant flags error instead of
   // being silently ignored.
   std::vector<std::string> given_options;
-  std::string positional;
+  std::vector<std::string> positionals;  // most commands take 1; trace takes 2
   std::string model = "tlm";
   std::string vcd_path;
   std::string csv_path;      // sweep --csv FILE
-  std::string out_path;      // checkpoint --out FILE
+  std::string out_path;      // checkpoint/trace --out FILE
   std::string capture_dir;   // run --capture-trace DIR
+  std::string capture_format = "text";  // run --trace-format text|bin
+  std::string to_format;     // trace --to text|bin (empty = action default)
   std::string timeline_path;    // run --timeline FILE
   std::string stats_json_path;  // run --stats-json FILE
   unsigned items = 0;
   std::uint64_t seed = 0;
   std::uint64_t at_cycle = 0;        // checkpoint --at N
   std::uint64_t warmup_cycles = 0;   // sweep --warmup-cycles N
+  std::uint64_t first = 0;                    // trace slice --first N
+  std::uint64_t count = ~std::uint64_t{0};    // trace slice --count K
   unsigned jobs = 1;
   bool csv = false, quiet = false, speed = false;
   bool progress = false, self_profile = false, strict = false;
@@ -620,6 +792,14 @@ int main(int argc, char** argv) {
                   << capture_dir << "'\n";
         return 2;
       }
+    } else if (a == "--trace-format") {
+      capture_format = need_value(i);
+    } else if (a == "--to") {
+      to_format = need_value(i);
+    } else if (a == "--first") {
+      first = need_unsigned(i, ~std::uint64_t{0});
+    } else if (a == "--count") {
+      count = need_unsigned(i, ~std::uint64_t{0});
     } else if (a == "--at") {
       at_cycle = need_unsigned(i, ~std::uint64_t{0});
       if (at_cycle == 0) {
@@ -691,13 +871,14 @@ int main(int argc, char** argv) {
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown option '" << a << "'\n";
       return usage(std::cerr, 2);
-    } else if (positional.empty()) {
-      positional = a;
+    } else if (positionals.size() < (cmd == "trace" ? 2u : 1u)) {
+      positionals.push_back(a);
     } else {
       std::cerr << "unexpected argument '" << a << "'\n";
       return usage(std::cerr, 2);
     }
   }
+  const std::string positional = positionals.empty() ? "" : positionals[0];
 
   const auto check_options =
       [&](std::initializer_list<const char*> allowed) -> bool {
@@ -736,13 +917,26 @@ int main(int argc, char** argv) {
     }
     if (cmd == "run") {
       if (!check_options({"--model", "--items", "--seed", "--vcd",
-                          "--capture-trace", "--csv", "--quiet", "--timeline",
-                          "--stats-json", "--progress", "--self-profile"})) {
+                          "--capture-trace", "--trace-format", "--csv",
+                          "--quiet", "--timeline", "--stats-json",
+                          "--progress", "--self-profile"})) {
         return 2;
       }
       return cmd_run(positional, model, items, seed, vcd_path, capture_dir,
-                     csv, quiet, timeline_path, stats_json_path, progress,
-                     self_profile);
+                     capture_format, csv, quiet, timeline_path,
+                     stats_json_path, progress, self_profile);
+    }
+    if (cmd == "trace") {
+      if (!check_options({"--out", "--to", "--first", "--count"})) {
+        return 2;
+      }
+      if (positionals.size() < 2) {
+        std::cerr << "trace needs an action and a file: trace"
+                     " info|convert|slice <file>\n";
+        return 2;
+      }
+      return cmd_trace(positionals[0], positionals[1], out_path, to_format,
+                       first, count);
     }
     if (cmd == "checkpoint") {
       if (!check_options({"--model", "--items", "--seed", "--at", "--out"})) {
