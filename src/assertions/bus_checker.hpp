@@ -73,6 +73,12 @@ class BusChecker {
   /// order (but gaps are allowed if a model skips idle cycles).
   void on_cycle(const BusCycleView& v);
 
+  /// Bulk-feed the idle cycles [from, to): exactly the state on_cycle()
+  /// would produce given a default (idle) view per cycle.  Only legal when
+  /// the model proved the bus inert over the stretch (no requests, no
+  /// address phase, empty write buffer).
+  void skip_idle(sim::Cycle from, sim::Cycle to);
+
   std::uint64_t cycles_checked() const noexcept { return cycles_; }
 
   /// The checker carries cross-cycle protocol state (previous view, burst

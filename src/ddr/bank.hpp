@@ -117,6 +117,13 @@ class BankEngine {
 
   /// Refresh is due when tREFI has elapsed since the last refresh.
   bool refresh_due(sim::Cycle now) const noexcept;
+  /// The cycle at which refresh_due() first becomes true (kNeverCycle when
+  /// refresh is disabled).  Lower bound for idle-skip planning: an idle
+  /// engine stays inert strictly before this cycle.
+  sim::Cycle next_refresh_due() const noexcept {
+    return timing_.tREFI == 0 ? sim::kNeverCycle
+                              : last_refresh_ + timing_.tREFI;
+  }
   /// True when a refresh could issue at `now` (all banks idle, bus free).
   bool can_refresh(sim::Cycle now) const noexcept;
   /// True while a refresh's tRFC window is in progress.

@@ -78,21 +78,29 @@ void DdrcEngine::begin(const MemRequest& req, sim::Cycle now) {
   if (req.beats == 0) {
     throw std::invalid_argument("DdrcEngine::begin: zero beats");
   }
-  CurrentTxn txn;
-  txn.req = req;
-  decompose(txn);
+  // Rebuild the persistent CurrentTxn in place: decompose() resizes
+  // beat_addr / refills chunks, and beat_ready is assign()ed — all three
+  // reuse whatever capacity earlier transactions left behind.
+  cur_.req = req;
+  decompose(cur_);
   if (!req.is_write) {
-    txn.beat_ready.assign(req.beats, sim::kNeverCycle);
+    cur_.beat_ready.assign(req.beats, sim::kNeverCycle);
+  } else {
+    cur_.beat_ready.clear();
   }
-  txn.last_consume = now;  // consumption can start next cycle at earliest
-  current_ = std::move(txn);
+  cur_.active_chunk = 0;
+  cur_.beats_issued = 0;
+  cur_.beats_consumed = 0;
+  cur_.last_consume = now;  // consumption can start next cycle at earliest
+  cur_.beats_accepted = 0;
+  cur_active_ = true;
 }
 
 bool DdrcEngine::done() const noexcept {
-  if (!current_) {
+  if (!cur_active_) {
     return false;
   }
-  const CurrentTxn& t = *current_;
+  const CurrentTxn& t = cur_;
   return t.req.is_write ? t.beats_accepted >= t.req.beats
                         : t.beats_consumed >= t.req.beats;
 }
@@ -101,16 +109,16 @@ void DdrcEngine::finish() {
   if (!done()) {
     throw std::logic_error("DdrcEngine::finish before done");
   }
-  current_.reset();
+  cur_active_ = false;  // vectors keep their capacity for the next begin()
 }
 
 // ----------------------------------------------------------- read stream
 
 bool DdrcEngine::read_beat_available(sim::Cycle now) const noexcept {
-  if (!current_ || current_->req.is_write) {
+  if (!cur_active_ || cur_.req.is_write) {
     return false;
   }
-  const CurrentTxn& t = *current_;
+  const CurrentTxn& t = cur_;
   if (t.beats_consumed >= t.req.beats) {
     return false;
   }
@@ -126,7 +134,7 @@ ahb::Word DdrcEngine::take_read_beat(sim::Cycle now) {
   if (!read_beat_available(now)) {
     throw std::logic_error("DdrcEngine::take_read_beat: no beat available");
   }
-  CurrentTxn& t = *current_;
+  CurrentTxn& t = cur_;
   const ahb::Word w =
       mem_.read(t.beat_addr[t.beats_consumed], t.req.beat_bytes);
   ++t.beats_consumed;
@@ -138,10 +146,10 @@ ahb::Word DdrcEngine::take_read_beat(sim::Cycle now) {
 
 bool DdrcEngine::write_beat_ready(sim::Cycle now) const noexcept {
   (void)now;
-  if (!current_ || !current_->req.is_write) {
+  if (!cur_active_ || !cur_.req.is_write) {
     return false;
   }
-  if (current_->beats_accepted >= current_->req.beats) {
+  if (cur_.beats_accepted >= cur_.req.beats) {
     return false;
   }
   // Back-pressure: no room to queue another chunk means no acceptance.
@@ -152,7 +160,7 @@ void DdrcEngine::put_write_beat(sim::Cycle now, ahb::Word w) {
   if (!write_beat_ready(now)) {
     throw std::logic_error("DdrcEngine::put_write_beat: not ready");
   }
-  CurrentTxn& t = *current_;
+  CurrentTxn& t = cur_;
   mem_.write(t.beat_addr[t.beats_accepted], w, t.req.beat_bytes);
   ++t.beats_accepted;
   // When acceptance crosses a chunk boundary, queue that chunk for the
@@ -187,8 +195,8 @@ BankAffinity DdrcEngine::affinity_for(ahb::Addr offset, sim::Cycle now) const {
 // --------------------------------------------------------- command pick
 
 bool DdrcEngine::bank_needed_soon(std::uint32_t bank) const {
-  if (current_) {
-    const CurrentTxn& t = *current_;
+  if (cur_active_) {
+    const CurrentTxn& t = cur_;
     if (!t.req.is_write) {
       for (std::size_t i = t.active_chunk; i < t.chunks.size(); ++i) {
         if (t.chunks[i].start.bank == bank) {
@@ -213,10 +221,10 @@ bool DdrcEngine::bank_needed_soon(std::uint32_t bank) const {
 }
 
 std::optional<Command> DdrcEngine::column_for_read(sim::Cycle now) {
-  if (!current_ || current_->req.is_write) {
+  if (!cur_active_ || cur_.req.is_write) {
     return std::nullopt;
   }
-  CurrentTxn& t = *current_;
+  CurrentTxn& t = cur_;
   if (t.active_chunk >= t.chunks.size()) {
     return std::nullopt;
   }
@@ -326,10 +334,9 @@ Command DdrcEngine::pick_command(sim::Cycle now) {
   if (auto cmd = column_for_write_drain(now)) {
     return *cmd;
   }
-  if (current_ && !current_->req.is_write &&
-      current_->active_chunk < current_->chunks.size()) {
-    if (auto cmd = row_or_pre_for(
-            current_->chunks[current_->active_chunk].start, now)) {
+  if (cur_active_ && !cur_.req.is_write &&
+      cur_.active_chunk < cur_.chunks.size()) {
+    if (auto cmd = row_or_pre_for(cur_.chunks[cur_.active_chunk].start, now)) {
       return *cmd;
     }
   }
@@ -347,7 +354,7 @@ Command DdrcEngine::pick_command(sim::Cycle now) {
 Command DdrcEngine::step(sim::Cycle now) {
   // Idle fast path: nothing in flight, nothing queued, no hint, and
   // refresh not due — the common case on a lightly loaded bus.
-  if (!current_ && write_queue_.empty() && !hint_ &&
+  if (!cur_active_ && write_queue_.empty() && !hint_ &&
       !engine_.refresh_due(now)) {
     return Command{};
   }
@@ -357,7 +364,7 @@ Command DdrcEngine::step(sim::Cycle now) {
   }
   const sim::Cycle first_beat = engine_.issue(cmd, now);
   if (cmd.kind == CmdKind::kRead) {
-    CurrentTxn& t = *current_;
+    CurrentTxn& t = cur_;
     Chunk& c = t.chunks[t.active_chunk];
     c.issued = c.beats;
     unsigned base = 0;
@@ -413,9 +420,9 @@ void DdrcEngine::save_state(state::StateWriter& w) const {
   w.begin("ddrc-engine");
   engine_.save_state(w);
   mem_.save_state(w);
-  w.put_bool(current_.has_value());
-  if (current_) {
-    const CurrentTxn& t = *current_;
+  w.put_bool(cur_active_);
+  if (cur_active_) {
+    const CurrentTxn& t = cur_;
     ddr::save_state(w, t.req);
     w.put_u64(t.beat_addr.size());
     for (const ahb::Addr a : t.beat_addr) {
@@ -460,8 +467,8 @@ void DdrcEngine::restore_state(state::StateReader& r) {
   engine_.restore_state(r);
   mem_.restore_state(r);
   if (r.get_bool()) {
-    current_.emplace();
-    CurrentTxn& t = *current_;
+    cur_active_ = true;
+    CurrentTxn& t = cur_;
     ddr::restore_state(r, t.req);
     t.beat_addr.assign(r.get_count(), 0);
     for (ahb::Addr& a : t.beat_addr) {
@@ -484,7 +491,7 @@ void DdrcEngine::restore_state(state::StateReader& r) {
     t.last_consume = r.get_u64();
     t.beats_accepted = r.get_u32();
   } else {
-    current_.reset();
+    cur_active_ = false;
   }
   write_queue_.clear();
   const std::uint64_t wq = r.get_count();

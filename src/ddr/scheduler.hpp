@@ -78,7 +78,7 @@ class DdrcEngine {
   // ------------------------------------------------- transaction control
 
   /// True if a bus transaction is currently being serviced.
-  bool busy() const noexcept { return current_.has_value(); }
+  bool busy() const noexcept { return cur_active_; }
 
   /// Begin servicing a request.  Pre: !busy().  `now` is the cycle the
   /// transaction's first address phase is presented to the controller.
@@ -92,10 +92,10 @@ class DdrcEngine {
   /// (0 when idle).  Exposed over the BI so the arbiter can pipeline the
   /// next request into the tail of the current transfer.
   unsigned remaining_beats() const noexcept {
-    if (!current_) {
+    if (!cur_active_) {
       return 0;
     }
-    const CurrentTxn& t = *current_;
+    const CurrentTxn& t = cur_;
     return t.req.beats - (t.req.is_write ? t.beats_accepted : t.beats_consumed);
   }
 
@@ -108,6 +108,18 @@ class DdrcEngine {
   /// per cycle, before the data-beat polls for the same cycle.  Returns the
   /// issued command (kNop if none) so wrappers/tracers can observe it.
   Command step(sim::Cycle now);
+
+  /// Lower bound on the engine's next "interesting" cycle: step(t) is
+  /// guaranteed to be a state-preserving no-op for every t in
+  /// [now, idle_until(now)).  Returns `now` when anything is in flight
+  /// (no skip), kNeverCycle when the engine is idle and refresh disabled.
+  sim::Cycle idle_until(sim::Cycle now) const noexcept {
+    if (cur_active_ || !write_queue_.empty() || hint_.has_value()) {
+      return now;
+    }
+    const sim::Cycle due = engine_.next_refresh_due();
+    return due < now ? now : due;
+  }
 
   // -------------------------------------------------------- read stream
 
@@ -209,7 +221,11 @@ class DdrcEngine {
   BankEngine engine_;
   SparseMemory mem_;
 
-  std::optional<CurrentTxn> current_;
+  /// The in-flight transaction lives in a persistent member (flag, not
+  /// optional) so its beat/chunk vectors keep their capacity across
+  /// transactions — the steady-state begin/finish cycle never allocates.
+  CurrentTxn cur_;
+  bool cur_active_ = false;
   std::deque<WriteChunk> write_queue_;
   std::optional<Coord> hint_;
   HitStats hits_;

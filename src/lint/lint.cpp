@@ -369,6 +369,13 @@ const char* const kCassertSuffix =
     " vanishes under NDEBUG, and Release CI must keep model invariants"
     " armed";
 
+const char* const kSimFnSuffix =
+    " — kernel hot paths must use sim::InlineFunction"
+    " (src/sim/inline_function.hpp): std::function heap-allocates large"
+    " captures and defeats the allocation-free-stepping guarantee"
+    " tests/test_alloc.cpp pins; setup-time-only callables may opt out"
+    " with a 'lint:allow-std-function' comment on the same line";
+
 void apply_token_rules(const SourceFile& f, std::string_view stripped,
                        const Rule* rules, std::size_t n, const char* suffix,
                        std::vector<Finding>& out) {
@@ -377,6 +384,36 @@ void apply_token_rules(const SourceFile& f, std::string_view stripped,
       out.push_back({f.path, line_of(stripped, pos), rules[r].rule,
                      std::string(rules[r].message) + suffix});
     }
+  }
+}
+
+/// std::function in src/sim/ — the kernels' hot paths.  The allow marker
+/// lives in a comment, so it is looked up in the *original* text of the
+/// flagged line (strip_code blanks comments before token search).
+void check_sim_std_function(const SourceFile& f, std::string_view stripped,
+                            std::vector<Finding>& out) {
+  const auto original_line = [&](std::size_t line) {
+    std::size_t start = 0;
+    for (std::size_t n = 1; n < line; ++n) {
+      start = f.text.find('\n', start);
+      if (start == std::string::npos) {
+        return std::string_view{};
+      }
+      ++start;
+    }
+    const std::size_t end = f.text.find('\n', start);
+    return std::string_view(f.text).substr(
+        start, end == std::string::npos ? end : end - start);
+  };
+  for (const std::size_t pos : find_token(stripped, "std::function")) {
+    const std::size_t line = line_of(stripped, pos);
+    if (original_line(line).find("lint:allow-std-function") !=
+        std::string_view::npos) {
+      continue;
+    }
+    out.push_back({f.path, line, "sim/no-std-function",
+                   std::string("std::function in kernel code") +
+                       kSimFnSuffix});
   }
 }
 
@@ -688,6 +725,9 @@ std::vector<Finding> lint_sources(const std::vector<SourceFile>& files,
                       kStdoutSuffix, out);
     if (!starts_with(f.path, "src/assertions/assert.hpp")) {
       check_cassert(f, stripped, out);
+    }
+    if (starts_with(f.path, "src/sim/")) {
+      check_sim_std_function(f, stripped, out);
     }
     check_unordered_serialization(f, stripped, unordered, out);
     if (!starts_with(f.path, "src/obs/")) {

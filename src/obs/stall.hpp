@@ -54,6 +54,11 @@ struct StallCounters {
     ++cycles[static_cast<unsigned>(c)];
   }
 
+  /// Equivalent to n calls to add(c) (bulk replay for skipped idle cycles).
+  void add_n(StallClass c, std::uint64_t n) noexcept {
+    cycles[static_cast<unsigned>(c)] += n;
+  }
+
   std::uint64_t operator[](StallClass c) const noexcept {
     return cycles[static_cast<unsigned>(c)];
   }

@@ -88,6 +88,7 @@ class RtlFabric : public state::Snapshottable {
   const chk::ViolationLog& violations() const noexcept { return log_; }
   const sim::EventKernel& kernel() const noexcept { return kernel_; }
   const RtlDdrc& ddrc() const noexcept { return *ddrc_; }
+  RtlDdrc& ddrc() noexcept { return *ddrc_; }
   const ahb::QosRegisterFile& qos() const noexcept { return qos_; }
 
   /// Per-transaction observer (set before run()).

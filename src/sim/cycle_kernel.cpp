@@ -7,17 +7,12 @@
 
 namespace ahbp::sim {
 
-void CycleKernel::add(Clocked& component) {
-  components_.push_back(&component);
-  sorted_ = false;
-  prof_dirty_ = true;
-}
-
 void CycleKernel::sort_if_needed() {
   if (!sorted_) {
-    std::stable_sort(
-        components_.begin(), components_.end(),
-        [](const Clocked* a, const Clocked* b) { return a->phase() < b->phase(); });
+    std::stable_sort(components_.begin(), components_.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.base->phase() < b.base->phase();
+                     });
     sorted_ = true;
   }
 }
@@ -28,12 +23,14 @@ void CycleKernel::step() {
     step_profiled();
     return;
   }
-  for (Clocked* c : components_) {
-    c->evaluate(now_);
+  for (const Entry& e : components_) {
+    e.eval(e.obj, now_);
     ++evaluations_;
   }
-  for (Clocked* c : components_) {
-    c->update(now_);
+  for (const Entry& e : components_) {
+    if (e.upd != nullptr) {
+      e.upd(e.obj, now_);
+    }
   }
   ++now_;
 }
@@ -43,19 +40,24 @@ void CycleKernel::step_profiled() {
   // invalidates the parallel-array correspondence).
   if (prof_dirty_) {
     prof_ids_.clear();
-    for (const Clocked* c : components_) {
-      prof_ids_.push_back(profiler_->phase("tlm." + std::string(c->name())));
+    for (const Entry& e : components_) {
+      prof_ids_.push_back(profiler_->phase("tlm." + std::string(e.base->name())));
     }
     prof_dirty_ = false;
   }
   for (std::size_t i = 0; i < components_.size(); ++i) {
     obs::ScopedTimer t(profiler_, prof_ids_[i]);
-    components_[i]->evaluate(now_);
+    const Entry& e = components_[i];
+    e.eval(e.obj, now_);
     ++evaluations_;
   }
   for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Entry& e = components_[i];
+    if (e.upd == nullptr) {
+      continue;
+    }
     obs::ScopedTimer t(profiler_, prof_ids_[i]);
-    components_[i]->update(now_);
+    e.upd(e.obj, now_);
   }
   ++now_;
 }
@@ -65,17 +67,6 @@ void CycleKernel::run(Cycle cycles) {
   for (Cycle i = 0; i < cycles && !stop_; ++i) {
     step();
   }
-}
-
-Cycle CycleKernel::run_until(const std::function<bool()>& predicate,
-                             Cycle max_cycles) {
-  stop_ = false;
-  Cycle executed = 0;
-  while (executed < max_cycles && !stop_ && !predicate()) {
-    step();
-    ++executed;
-  }
-  return executed;
 }
 
 void CycleKernel::save_state(state::StateWriter& w) const {

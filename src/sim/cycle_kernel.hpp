@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 #include "state/snapshot.hpp"
 
@@ -28,10 +29,14 @@ class SelfProfiler;
 ///   2. `update(now)`   — components commit their next state.
 ///
 /// There is no event queue, no sensitivity bookkeeping and no delta
-/// iteration: cost per cycle is two virtual calls per component.  Ordering
-/// within a phase is controlled by a small integer `phase()` so a platform
-/// can guarantee e.g. masters evaluate before the arbiter, independent of
-/// registration order.
+/// iteration.  Registration is a template (`add<T>`) that freezes each
+/// component's `evaluate`/`update` into plain function-pointer thunks: for
+/// `final` component types the calls are fully devirtualized at compile time
+/// and a component that inherits the no-op `update` default pays nothing in
+/// the update sweep.  Cost per cycle is two indirect (not virtual) calls per
+/// component that needs them.  Ordering within a phase is controlled by a
+/// small integer `phase()` so a platform can guarantee e.g. masters evaluate
+/// before the arbiter, independent of registration order.
 
 namespace ahbp::sim {
 
@@ -54,11 +59,12 @@ class Clocked {
 };
 
 /// Convenience adapter turning two lambdas into a Clocked component.
+/// Move-only: the callables live in fixed inline storage (no heap).
 class CallbackClocked final : public Clocked {
  public:
-  CallbackClocked(std::string name, int phase,
-                  std::function<void(Cycle)> evaluate,
-                  std::function<void(Cycle)> update = {})
+  using Fn = InlineFunction<void(Cycle)>;
+
+  CallbackClocked(std::string name, int phase, Fn evaluate, Fn update = {})
       : name_(std::move(name)),
         phase_(phase),
         evaluate_(std::move(evaluate)),
@@ -80,8 +86,8 @@ class CallbackClocked final : public Clocked {
  private:
   std::string name_;
   int phase_;
-  std::function<void(Cycle)> evaluate_;
-  std::function<void(Cycle)> update_;
+  Fn evaluate_;
+  Fn update_;
 };
 
 /// The 2-step cycle-based scheduler.
@@ -94,7 +100,36 @@ class CycleKernel {
 
   /// Register a component (non-owning).  Components are sorted by phase();
   /// ties keep registration order (stable).
-  void add(Clocked& component);
+  ///
+  /// The component's static type is captured here: `final` types get direct
+  /// (devirtualized) thunks, and a type that inherits the default no-op
+  /// `update` is skipped entirely in the update sweep.
+  template <typename T>
+  void add(T& component) {
+    static_assert(std::is_base_of_v<Clocked, T>,
+                  "CycleKernel components must derive from Clocked");
+    Entry e;
+    e.obj = &component;
+    e.base = &component;
+    if constexpr (std::is_final_v<T>) {
+      e.eval = [](void* o, Cycle now) { static_cast<T*>(o)->T::evaluate(now); };
+    } else {
+      // Non-final static type: the dynamic type may override further, so the
+      // thunk keeps virtual dispatch (still hoisted out of std::function).
+      e.eval = [](void* o, Cycle now) { static_cast<T*>(o)->evaluate(now); };
+    }
+    if constexpr (std::is_same_v<decltype(&T::update),
+                                 void (Clocked::*)(Cycle)>) {
+      e.upd = nullptr;  // inherited no-op default — nothing to commit
+    } else if constexpr (std::is_final_v<T>) {
+      e.upd = [](void* o, Cycle now) { static_cast<T*>(o)->T::update(now); };
+    } else {
+      e.upd = [](void* o, Cycle now) { static_cast<T*>(o)->update(now); };
+    }
+    components_.push_back(e);
+    sorted_ = false;
+    prof_dirty_ = true;
+  }
 
   /// Execute one cycle: evaluate sweep then update sweep.
   void step();
@@ -104,10 +139,31 @@ class CycleKernel {
 
   /// Run until `predicate` returns true (checked after each cycle) or
   /// `max_cycles` elapse.  Returns the number of cycles executed.
-  Cycle run_until(const std::function<bool()>& predicate, Cycle max_cycles);
+  /// Templated so the per-cycle predicate check is a direct call.
+  template <typename Pred>
+  Cycle run_until(Pred&& predicate, Cycle max_cycles) {
+    stop_ = false;
+    Cycle executed = 0;
+    while (executed < max_cycles && !stop_ && !predicate()) {
+      step();
+      ++executed;
+    }
+    return executed;
+  }
 
   /// Current cycle number (cycles completed so far).
   Cycle now() const noexcept { return now_; }
+
+  /// Fast-forward the clock to `target` without evaluating any component.
+  /// This is the temporal-decoupling primitive: the platform may only call
+  /// it after proving (via the components' idle bounds) that every skipped
+  /// cycle would have been a no-op, and after bulk-replaying any per-cycle
+  /// bookkeeping the components owe for the gap.  No-op if `target <= now`.
+  void skip_to(Cycle target) noexcept {
+    if (target > now_) {
+      now_ = target;
+    }
+  }
 
   /// Stop at the end of the current cycle.
   void request_stop() noexcept { stop_ = true; }
@@ -131,10 +187,19 @@ class CycleKernel {
   void restore_state(state::StateReader& r);
 
  private:
+  /// Frozen dispatch record: direct function-pointer thunks, no virtual
+  /// call and no std::function on the per-cycle path.
+  struct Entry {
+    void* obj = nullptr;
+    Clocked* base = nullptr;  ///< for phase()/name() (setup/diagnostics only)
+    void (*eval)(void*, Cycle) = nullptr;
+    void (*upd)(void*, Cycle) = nullptr;  ///< null: inherited no-op update
+  };
+
   void sort_if_needed();
   void step_profiled();
 
-  std::vector<Clocked*> components_;
+  std::vector<Entry> components_;
   bool sorted_ = true;
   Cycle now_ = 0;
   bool stop_ = false;

@@ -9,8 +9,7 @@ namespace ahbp::sim {
 
 // ---------------------------------------------------------------- Process
 
-Process::Process(EventKernel& kernel, std::string name,
-                 std::function<void()> body)
+Process::Process(EventKernel& kernel, std::string name, Body body)
     : kernel_(kernel), name_(std::move(name)), body_(std::move(body)) {}
 
 void Process::trigger() { kernel_.make_runnable(*this); }
@@ -68,20 +67,75 @@ void EventKernel::unregister_signal(SignalBase& s) {
                  signals_.end());
 }
 
-void EventKernel::schedule(Tick delay, std::function<void()> fn) {
-  timed_.push(TimedEvent{now_ + delay, seq_++, std::move(fn)});
+void EventKernel::schedule(Tick delay, EventFn fn) {
+  const Tick at = now_ + delay;
+  if (delay < kTimedWheel) {
+    // Near-future (the clock's next-edge case): O(1) bucket append.  The
+    // window is narrower than the ring, so a bucket never mixes timestamps,
+    // and appends arrive in seq order by construction.
+    timed_ring_[at % kTimedWheel].push_back(TimedEvent{at, seq_++, std::move(fn)});
+  } else {
+    timed_heap_.push_back(TimedEvent{at, seq_++, std::move(fn)});
+    std::push_heap(timed_heap_.begin(), timed_heap_.end(), TimedEventLater{});
+  }
+  ++timed_count_;
+}
+
+Tick EventKernel::next_event_time() const noexcept {
+  Tick best = timed_heap_.empty() ? kNeverTick : timed_heap_.front().at;
+  for (const auto& bucket : timed_ring_) {
+    if (!bucket.empty() && bucket.front().at < best) {
+      best = bucket.front().at;
+    }
+  }
+  return best;
+}
+
+void EventKernel::dispatch_at(Tick at) {
+  // Handlers may schedule new events for this same timestamp (delay 0);
+  // keep collecting until the timestep is exhausted, exactly like the old
+  // top()/pop() loop did.
+  for (;;) {
+    dispatch_scratch_.clear();
+    std::vector<TimedEvent>& bucket = timed_ring_[at % kTimedWheel];
+    for (TimedEvent& e : bucket) {
+      dispatch_scratch_.push_back(std::move(e));
+    }
+    bucket.clear();
+    while (!timed_heap_.empty() && timed_heap_.front().at == at) {
+      std::pop_heap(timed_heap_.begin(), timed_heap_.end(), TimedEventLater{});
+      dispatch_scratch_.push_back(std::move(timed_heap_.back()));
+      timed_heap_.pop_back();
+    }
+    if (dispatch_scratch_.empty()) {
+      return;
+    }
+    // Bucket entries and heap pops are each seq-sorted, but interleave
+    // arbitrarily; restore global FIFO order among same-time events.
+    std::sort(dispatch_scratch_.begin(), dispatch_scratch_.end(),
+              [](const TimedEvent& a, const TimedEvent& b) {
+                return a.seq < b.seq;
+              });
+    timed_count_ -= dispatch_scratch_.size();
+    for (TimedEvent& e : dispatch_scratch_) {
+      ++stats_.timed_events;
+      e.fn();
+    }
+  }
 }
 
 void EventKernel::run_delta_rounds() {
   // Each round: evaluate all runnable processes, then commit all signal
   // writes.  Commits that change values re-arm subscribed processes for the
-  // next round.  Loop until quiescent.
+  // next round.  Loop until quiescent.  The scratch vectors are members so
+  // their capacity survives across rounds and steps — the steady-state loop
+  // never allocates.
   while (!runnable_.empty() || !updates_.empty()) {
     ++stats_.deltas;
 
-    std::vector<Process*> to_run;
-    to_run.swap(runnable_);
-    for (Process* p : to_run) {
+    run_scratch_.clear();
+    run_scratch_.swap(runnable_);
+    for (Process* p : run_scratch_) {
       ++stats_.process_activations;
       if (profiler_ == nullptr) {
         p->run();
@@ -94,9 +148,9 @@ void EventKernel::run_delta_rounds() {
       }
     }
 
-    std::vector<SignalBase*> to_commit;
-    to_commit.swap(updates_);
-    for (SignalBase* s : to_commit) {
+    commit_scratch_.clear();
+    commit_scratch_.swap(updates_);
+    for (SignalBase* s : commit_scratch_) {
       s->update_pending_ = false;
       if (s->commit()) {
         ++stats_.signal_commits;
@@ -153,18 +207,13 @@ void EventKernel::restore_signals(state::StateReader& r) {
 
 void EventKernel::run_until(Tick until) {
   run_delta_rounds();
-  while (!timed_.empty() && timed_.top().at <= until) {
-    const Tick at = timed_.top().at;
-    now_ = at;
-    // Dispatch every timed event at this timestamp, then settle deltas.
-    while (!timed_.empty() && timed_.top().at == at) {
-      // priority_queue::top() is const; the handler is moved out via pop
-      // after copying.  Keep it simple: copy the function, pop, run.
-      auto fn = timed_.top().fn;
-      timed_.pop();
-      ++stats_.timed_events;
-      fn();
+  for (;;) {
+    const Tick at = next_event_time();
+    if (at == kNeverTick || at > until) {
+      break;
     }
+    now_ = at;
+    dispatch_at(at);
     run_delta_rounds();
   }
   if (now_ < until) {

@@ -1,12 +1,12 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 #include "state/snapshot.hpp"
 
@@ -31,6 +31,12 @@ class SelfProfiler;
 /// The kernel keeps activity counters (deltas, process activations, signal
 /// updates) so the speed benchmarks can report *why* signal-level simulation
 /// is slow, not just that it is.
+///
+/// Hot-path engineering: process bodies and timed handlers are move-only
+/// `InlineFunction`s (no heap, no copy-per-event), near-future timed events
+/// (delay < kTimedWheel — the clock's next-edge case) go into a bucketed
+/// ring instead of a binary heap, and the delta loop recycles its scratch
+/// vectors, so the steady-state dispatch loop performs zero allocations.
 
 namespace ahbp::sim {
 
@@ -44,7 +50,9 @@ class SignalBase;
 /// kernel references them.
 class Process {
  public:
-  Process(EventKernel& kernel, std::string name, std::function<void()> body);
+  using Body = InlineFunction<void()>;
+
+  Process(EventKernel& kernel, std::string name, Body body);
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -61,7 +69,7 @@ class Process {
   friend class EventKernel;
   EventKernel& kernel_;
   std::string name_;
-  std::function<void()> body_;
+  Body body_;
   bool scheduled_ = false;
   unsigned prof_id_ = ~0U;  ///< cached self-profiler phase id
 };
@@ -214,6 +222,13 @@ struct KernelStats {
 /// sensitivities, then the testbench calls run_until().
 class EventKernel {
  public:
+  using EventFn = InlineFunction<void()>;
+
+  /// Ring size for near-future timed events.  A clock with period P
+  /// schedules its next edge P/2 ticks out, so any sane clocking fits the
+  /// ring and never touches the overflow heap.
+  static constexpr Tick kTimedWheel = 16;
+
   EventKernel() = default;
 
   EventKernel(const EventKernel&) = delete;
@@ -223,8 +238,10 @@ class EventKernel {
   Tick now() const noexcept { return now_; }
 
   /// Schedule a one-shot callback `delay` ticks from now (delay 0 means the
-  /// next delta of the current timestep).
-  void schedule(Tick delay, std::function<void()> fn);
+  /// next delta of the current timestep).  The handler is moved, never
+  /// copied; near-future events (delay < kTimedWheel) go to the bucketed
+  /// ring, the rest to the overflow heap.
+  void schedule(Tick delay, EventFn fn);
 
   /// Run until simulated time reaches `until` (inclusive of events at
   /// `until`) or until no events remain.
@@ -234,7 +251,7 @@ class EventKernel {
   void settle();
 
   /// True if no timed events remain.
-  bool idle() const noexcept { return timed_.empty(); }
+  bool idle() const noexcept { return timed_count_ == 0; }
 
   const KernelStats& stats() const noexcept { return stats_; }
 
@@ -275,10 +292,17 @@ class EventKernel {
   /// Run evaluate/update delta rounds until quiescent.
   void run_delta_rounds();
 
+  /// Earliest pending timed event, or kNeverTick.
+  Tick next_event_time() const noexcept;
+
+  /// Dispatch every timed event at timestamp `at` (including events
+  /// scheduled for `at` by the handlers themselves), in (at, seq) order.
+  void dispatch_at(Tick at);
+
   struct TimedEvent {
     Tick at;
     std::uint64_t seq;  // FIFO order among same-time events
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct TimedEventLater {
     bool operator()(const TimedEvent& a, const TimedEvent& b) const noexcept {
@@ -290,9 +314,20 @@ class EventKernel {
   std::uint64_t seq_ = 0;
   std::vector<Process*> runnable_;
   std::vector<SignalBase*> updates_;
+  std::vector<Process*> run_scratch_;       ///< recycled delta-round buffer
+  std::vector<SignalBase*> commit_scratch_; ///< recycled delta-round buffer
   std::vector<SignalBase*> signals_;
-  std::priority_queue<TimedEvent, std::vector<TimedEvent>, TimedEventLater>
-      timed_;
+
+  /// Bucketed ring for events with at in [now_, now_ + kTimedWheel).  Each
+  /// non-empty bucket holds exactly one timestamp (the window is narrower
+  /// than the ring), in seq order.  Bucket vectors keep their capacity.
+  std::array<std::vector<TimedEvent>, kTimedWheel> timed_ring_;
+  /// Overflow min-heap (std::push_heap/pop_heap over a reused vector) for
+  /// far-future events; entries are moved out on pop, never copied.
+  std::vector<TimedEvent> timed_heap_;
+  std::vector<TimedEvent> dispatch_scratch_;  ///< recycled dispatch buffer
+  std::size_t timed_count_ = 0;
+
   KernelStats stats_;
   obs::SelfProfiler* profiler_ = nullptr;
 };

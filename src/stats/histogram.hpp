@@ -21,6 +21,17 @@ class Summary {
     max_ = v > max_ ? v : max_;
   }
 
+  /// Equivalent to calling add(v) n times (bulk replay for skipped cycles).
+  void add_n(std::uint64_t v, std::uint64_t n) noexcept {
+    if (n == 0) {
+      return;
+    }
+    count_ += n;
+    sum_ += v * n;
+    min_ = v < min_ ? v : min_;
+    max_ = v > max_ ? v : max_;
+  }
+
   void save_state(state::StateWriter& w) const;
   void restore_state(state::StateReader& r);
 

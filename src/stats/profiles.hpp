@@ -82,6 +82,11 @@ struct BusProfile {
   /// cycle, `busy` = bus occupied, `moved_bytes` = data moved this cycle.
   void sample(unsigned requesters, bool busy, unsigned moved_bytes);
 
+  /// Bulk-record `n` provably idle cycles (no requesters, not busy, no
+  /// data) — equivalent to calling sample(0, false, 0) `n` times.  Used by
+  /// the quantum-skip fast path.
+  void sample_idle_n(sim::Cycle n) noexcept { cycles += n; }
+
   void save_state(state::StateWriter& w) const;
   void restore_state(state::StateReader& r);
 };

@@ -260,6 +260,22 @@ void Arbiter::tick(sim::Cycle now) {
   }
 }
 
+void Arbiter::skip_idle(sim::Cycle from, sim::Cycle to) {
+  // Replay tick(from), tick(from+1), ..., tick(to-1) in closed form: each
+  // refill fires at the first cycle >= last_epoch_ + epoch and resets the
+  // clock to that cycle (epoch >= 1 is guaranteed by QosRegisterFile).
+  const sim::Cycle epoch = qos_.epoch();
+  sim::Cycle t = last_epoch_ + epoch;
+  if (t < from) {
+    t = from;
+  }
+  while (t < to) {
+    qos_.refill_budgets();
+    last_epoch_ = t;
+    t = last_epoch_ + epoch;
+  }
+}
+
 std::optional<Arbiter::Grant> Arbiter::arbitrate(ArbContext& ctx) {
   ctx.last_grant = last_grant_;
   const auto winner = pipeline_.arbitrate(ctx);

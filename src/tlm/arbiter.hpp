@@ -110,6 +110,12 @@ class Arbiter {
   /// do) so budget refills are periodic even when arbitration is idle.
   void tick(sim::Cycle now);
 
+  /// Bulk-replay the epoch clock over skipped idle cycles: exactly the
+  /// state tick() would have produced if called for every now in
+  /// [from, to).  Only legal over a stretch with no requests and no grants
+  /// (refill_budgets() is idempotent across consecutive epochs then).
+  void skip_idle(sim::Cycle from, sim::Cycle to);
+
   /// Note that master `m` raised a request at `now` (updates QoS state).
   void on_request(ahb::MasterId m, sim::Cycle now);
 

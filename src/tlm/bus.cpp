@@ -86,7 +86,9 @@ bool AhbPlusBus::poll_done(ahb::MasterId m, ahb::Transaction& out) {
   if (s.st != Slot::St::kDone) {
     return false;
   }
-  out = std::move(s.txn);
+  // Copy (not move): the slot keeps its beat-buffer capacity for the
+  // master's next transaction, and `out` is the caller's reusable scratch.
+  out = s.txn;
   s.st = Slot::St::kIdle;
   return true;
 }
@@ -104,7 +106,7 @@ void AhbPlusBus::set_timeline(obs::Timeline& tl, unsigned pid) {
 }
 
 bool AhbPlusBus::quiescent() const noexcept {
-  if (inflight_ || granted_ || !wbuf_.empty() || ddrc_.busy()) {
+  if (inflight_active_ || granted_ || !wbuf_.empty() || ddrc_.busy()) {
     return false;
   }
   if (ddrc_.channels().pending_write_chunks() != 0) {
@@ -113,6 +115,48 @@ bool AhbPlusBus::quiescent() const noexcept {
   return std::all_of(slots_.begin(), slots_.end(), [](const Slot& s) {
     return s.st == Slot::St::kIdle;
   });
+}
+
+// --------------------------------------------------------- quantum skip
+
+sim::Cycle AhbPlusBus::idle_until(sim::Cycle now) const noexcept {
+  if (inflight_active_ || granted_ || !wbuf_.empty()) {
+    return now;
+  }
+  for (const Slot& s : slots_) {
+    if (s.st != Slot::St::kIdle) {
+      return now;
+    }
+  }
+  return ddrc_.idle_until(now);
+}
+
+void AhbPlusBus::skip_idle(sim::Cycle from, sim::Cycle to) {
+  AHBP_ASSERT(to > from);
+  const sim::Cycle n = to - from;
+  // Mirror of evaluate() on an inert bus, cycle by cycle: tick() is the
+  // epoch clock (closed-form catch-up); begin/BI/step/beat/completion/
+  // arbitration/absorption all no-op with no requests and an idle DDRC;
+  // what remains is bookkeeping, which commutes across cycles and
+  // collapses to bulk updates.
+  arbiter_.skip_idle(from, to);
+  // do_arbitration() with zero hazard candidates clears a stale hazard
+  // flag on the first idle cycle; the call is idempotent after that.
+  wbuf_.clear_hazard_if_unneeded(false);
+  for (unsigned m = 0; m < masters_; ++m) {
+    master_profiles_[m].stalls.add_n(obs::StallClass::kThink, n);
+  }
+  wbuf_.sample_n(n);
+  bus_profile_.sample_idle_n(n);
+  // Occupancy counter: constant (empty) over the stretch, so at most the
+  // first skipped cycle can emit a sample.
+  if (tl_ != nullptr && wbuf_.enabled() && wbuf_.occupancy() != tl_last_occ_) {
+    tl_last_occ_ = wbuf_.occupancy();
+    tl_->counter(tl_wbuf_track_, from, "occupancy", tl_last_occ_);
+  }
+  if (checker_) {
+    checker_->skip_idle(from, to);
+  }
 }
 
 // ------------------------------------------------------------ evaluate
@@ -144,17 +188,17 @@ void AhbPlusBus::evaluate(sim::Cycle now) {
   ddrc_.step(now);
 
   const bool moved = move_data_beat(now);
-  const bool busy = inflight_.has_value();
+  const bool busy = inflight_active_;
   const unsigned moved_bytes =
-      moved && inflight_ ? ahb::size_bytes(inflight_->txn.size) : 0;
+      moved && inflight_active_ ? ahb::size_bytes(inflight_.txn.size) : 0;
 
   // Capture the checker view before completion tears the transfer down —
   // the final beat must still be visible as an accepted SEQ/NONSEQ cycle.
   chk::BusCycleView view;
   if (checker_) {
     view.cycle = now;
-    if (inflight_) {
-      const Inflight& f = *inflight_;
+    if (inflight_active_) {
+      const Inflight& f = inflight_;
       const unsigned shown =
           moved ? f.beat - 1 : std::min(f.beat, f.txn.beats - 1);
       view.hmaster = f.owner;
@@ -208,7 +252,7 @@ void AhbPlusBus::account_stalls(sim::Cycle now) {
       case Slot::St::kRequested:
         if (s.txn.dir == ahb::Dir::kWrite && wbuf_.enabled() && wbuf_.full()) {
           c = obs::StallClass::kWbufFull;
-        } else if (inflight_) {
+        } else if (inflight_active_) {
           c = obs::StallClass::kBusBusy;
         } else if (ddrc_.busy() || !ddrc_.bi_upstream(now).access_permitted) {
           c = obs::StallClass::kDdrBusy;
@@ -222,7 +266,7 @@ void AhbPlusBus::account_stalls(sim::Cycle now) {
 }
 
 void AhbPlusBus::do_begin(sim::Cycle now) {
-  if (!granted_ || inflight_ || ddrc_.busy()) {
+  if (!granted_ || inflight_active_ || ddrc_.busy()) {
     return;
   }
   // Calibrated grant-to-address latency: models the registered HGRANT,
@@ -230,9 +274,11 @@ void AhbPlusBus::do_begin(sim::Cycle now) {
   if (now < granted_cycle_ + cfg_.tlm_grant_to_start) {
     return;
   }
-  Inflight f;
+  // Rebuild the in-flight record in place (beat buffers keep capacity).
+  Inflight& f = inflight_;
   f.owner = *granted_;
   f.from_wbuf = *granted_ == masters_;
+  f.beat = 0;
   if (f.from_wbuf) {
     AHBP_ASSERT_MSG(!wbuf_.empty(), "wbuf grant with empty buffer");
     f.txn = wbuf_.front();
@@ -258,15 +304,15 @@ void AhbPlusBus::do_begin(sim::Cycle now) {
                                        : master_profiles_[f.owner].name,
                            f.txn));
   }
-  inflight_ = std::move(f);
+  inflight_active_ = true;
   granted_.reset();
 }
 
 bool AhbPlusBus::move_data_beat(sim::Cycle now) {
-  if (!inflight_) {
+  if (!inflight_active_) {
     return false;
   }
-  Inflight& f = *inflight_;
+  Inflight& f = inflight_;
   if (f.beat >= f.txn.beats) {
     return false;
   }
@@ -289,11 +335,12 @@ bool AhbPlusBus::move_data_beat(sim::Cycle now) {
 }
 
 void AhbPlusBus::do_completion(sim::Cycle now) {
-  if (!inflight_ || inflight_->beat < inflight_->txn.beats || !ddrc_.done()) {
+  if (!inflight_active_ || inflight_.beat < inflight_.txn.beats ||
+      !ddrc_.done()) {
     return;
   }
   ddrc_.finish();
-  Inflight& f = *inflight_;
+  Inflight& f = inflight_;
   f.txn.finished_at = now;
   if (f.from_wbuf) {
     wbuf_.pop_front(now);
@@ -310,7 +357,7 @@ void AhbPlusBus::do_completion(sim::Cycle now) {
   if (tl_ != nullptr) {
     tl_->end(tl_bus_track_, now);
   }
-  inflight_.reset();
+  inflight_active_ = false;
 }
 
 void AhbPlusBus::do_arbitration(sim::Cycle now) {
@@ -319,11 +366,11 @@ void AhbPlusBus::do_arbitration(sim::Cycle now) {
   }
   // Request pipelining (§2): overlap the next arbitration with the tail of
   // the current transfer.  Without it, arbitrate only on an idle bus.
-  if (inflight_) {
+  if (inflight_active_) {
     if (!cfg_.request_pipelining) {
       return;
     }
-    const unsigned remaining = inflight_->txn.beats - inflight_->beat;
+    const unsigned remaining = inflight_.txn.beats - inflight_.beat;
     if (remaining > 2) {
       return;
     }
@@ -378,7 +425,7 @@ void AhbPlusBus::do_arbitration(sim::Cycle now) {
   // drain streams its tail); the buffer only re-requests while it holds a
   // further entry to drain.
   const unsigned draining =
-      inflight_ && inflight_->from_wbuf ? 1U : 0U;
+      inflight_active_ && inflight_.from_wbuf ? 1U : 0U;
   wc.requesting = wbuf_.requesting() && wbuf_.occupancy() > draining;
   if (wc.requesting) {
     const ahb::Transaction& next = wbuf_.peek(draining);
@@ -403,7 +450,7 @@ void AhbPlusBus::do_arbitration(sim::Cycle now) {
                      : "grant " + master_profiles_[grant->master].name);
   }
   ++bus_profile_.grants;
-  if (!inflight_ || inflight_->owner != grant->master) {
+  if (!inflight_active_ || inflight_.owner != grant->master) {
     ++bus_profile_.handovers;
   }
   if (!grant->is_wbuf) {
@@ -475,13 +522,13 @@ void AhbPlusBus::save_state(state::StateWriter& w) const {
     ahb::save_state(w, s.txn);
     w.put_u64(s.buffered_done_at);
   }
-  w.put_bool(inflight_.has_value());
-  if (inflight_) {
-    w.put_u8(inflight_->owner);
-    ahb::save_state(w, inflight_->txn);
-    w.put_u32(inflight_->beat);
-    w.put_u64(inflight_->addr_cycle);
-    w.put_bool(inflight_->from_wbuf);
+  w.put_bool(inflight_active_);
+  if (inflight_active_) {
+    w.put_u8(inflight_.owner);
+    ahb::save_state(w, inflight_.txn);
+    w.put_u32(inflight_.beat);
+    w.put_u64(inflight_.addr_cycle);
+    w.put_bool(inflight_.from_wbuf);
   }
   w.put_bool(granted_.has_value());
   w.put_u8(granted_ ? *granted_ : ahb::kNoMaster);
@@ -515,14 +562,14 @@ void AhbPlusBus::restore_state(state::StateReader& r) {
     s.buffered_done_at = r.get_u64();
   }
   if (r.get_bool()) {
-    inflight_.emplace();
-    inflight_->owner = r.get_u8();
-    ahb::restore_state(r, inflight_->txn);
-    inflight_->beat = r.get_u32();
-    inflight_->addr_cycle = r.get_u64();
-    inflight_->from_wbuf = r.get_bool();
+    inflight_active_ = true;
+    inflight_.owner = r.get_u8();
+    ahb::restore_state(r, inflight_.txn);
+    inflight_.beat = r.get_u32();
+    inflight_.addr_cycle = r.get_u64();
+    inflight_.from_wbuf = r.get_bool();
   } else {
-    inflight_.reset();
+    inflight_active_ = false;
   }
   const bool has_grant = r.get_bool();
   const ahb::MasterId g = r.get_u8();

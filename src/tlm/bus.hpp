@@ -95,6 +95,22 @@ class AhbPlusBus final : public sim::Clocked, public state::Snapshottable {
   /// All scripted work retired and nothing in flight anywhere.
   bool quiescent() const noexcept;
 
+  // ------------------------------------------------------- quantum skip
+
+  /// Lower bound on the bus's next "interesting" cycle: evaluate(t) is
+  /// state-equivalent to the bulk replay skip_idle() performs for every t
+  /// in [now, idle_until(now)).  Returns `now` (no skip) unless every
+  /// master slot is idle, nothing is in flight or granted, the write
+  /// buffer is empty and the DDRC is provably idle; otherwise the DDRC's
+  /// own bound (its next refresh deadline, or kNeverCycle).
+  sim::Cycle idle_until(sim::Cycle now) const noexcept;
+
+  /// Bulk-replay evaluate() over the provably idle cycles [from, to):
+  /// epoch-clock catch-up, per-master think-stall attribution, profile and
+  /// write-buffer occupancy samples, checker views.  Pre:
+  /// idle_until(from) >= to.
+  void skip_idle(sim::Cycle from, sim::Cycle to);
+
   // ---------------------------------------------------------- snapshot
   // Covers slots, the in-flight transfer, the latched grant, lock owner,
   // arbiter/write-buffer/checker state and every profile counter.  The DDRC
@@ -138,7 +154,12 @@ class AhbPlusBus final : public sim::Clocked, public state::Snapshottable {
   WriteBuffer wbuf_;
 
   std::vector<Slot> slots_;
-  std::optional<Inflight> inflight_;
+  /// In-flight transfer; valid only while inflight_active_.  A plain
+  /// member (not optional) so the transaction's beat buffer keeps its
+  /// capacity across transfers — the steady-state hot path re-begins
+  /// without touching the heap.
+  Inflight inflight_;
+  bool inflight_active_ = false;
   /// Grant latched for begin in a later cycle (registered-HGRANT model).
   std::optional<ahb::MasterId> granted_;
   sim::Cycle granted_cycle_ = 0;

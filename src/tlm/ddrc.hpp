@@ -62,6 +62,12 @@ class TlmDdrc {
   /// DRAM command).
   ddr::Command step(sim::Cycle now) { return set_.step(now); }
 
+  /// Idle-skip bound: step(t) is a guaranteed no-op for t in
+  /// [now, idle_until(now)) (see ChannelSet::idle_until).
+  sim::Cycle idle_until(sim::Cycle now) const noexcept {
+    return set_.idle_until(now);
+  }
+
   bool read_beat_available(sim::Cycle now) const {
     return set_.read_beat_available(now);
   }

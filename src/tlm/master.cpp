@@ -13,12 +13,11 @@ void TlmMaster::evaluate(sim::Cycle now) {
       break;
     }
     case State::kWaiting: {
-      ahb::Transaction done;
-      if (bus_.poll_done(id_, done)) {
+      if (bus_.poll_done(id_, done_)) {
         ++completed_;
         source_.on_complete(now);
         if (on_complete) {
-          on_complete(done);
+          on_complete(done_);
         }
         state_ = State::kIdle;
       }

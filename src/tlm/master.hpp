@@ -36,6 +36,14 @@ class TlmMaster final : public sim::Clocked, public state::Snapshottable {
 
   std::uint64_t completed() const noexcept { return completed_; }
 
+  /// Idle-skip bound: evaluate(t) is a guaranteed no-op for every t in
+  /// [now, next_issue_at()) when the returned cycle is in the future.
+  /// A waiting master returns 0 (it polls the bus every cycle); an idle
+  /// one returns its source's next-ready cycle (kNeverCycle when done).
+  sim::Cycle next_issue_at() const noexcept {
+    return state_ == State::kWaiting ? 0 : source_.next_ready_at();
+  }
+
   /// Completion callback hook for tests (observes each retired txn).
   std::function<void(const ahb::Transaction&)> on_complete;
 
@@ -58,6 +66,8 @@ class TlmMaster final : public sim::Clocked, public state::Snapshottable {
   std::string name_;
   State state_ = State::kIdle;
   std::uint64_t completed_ = 0;
+  /// Completion scratch (persistent so poll_done's copy reuses capacity).
+  ahb::Transaction done_;
 };
 
 }  // namespace ahbp::tlm

@@ -77,6 +77,10 @@ class WriteBuffer {
   /// Per-cycle occupancy sampling for the profile.
   void sample() { profile_.occupancy.add(occupancy()); }
 
+  /// Bulk occupancy sampling: equivalent to n calls to sample() over a
+  /// stretch where the occupancy cannot change (skipped idle cycles).
+  void sample_n(std::uint64_t n) { profile_.occupancy.add_n(occupancy(), n); }
+
   void count_bypass() noexcept { ++profile_.bypassed; }
   void count_full_stall() noexcept { ++profile_.full_stalls; }
   void count_forward() noexcept { ++profile_.forwards; }

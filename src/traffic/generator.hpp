@@ -139,6 +139,12 @@ class ScriptSource {
 
   bool done() const noexcept { return index_ >= script_.size(); }
 
+  /// First cycle the next transaction may issue (kNeverCycle when the
+  /// script is exhausted) — the idle-skip bound for the owning master.
+  sim::Cycle next_ready_at() const noexcept {
+    return done() ? sim::kNeverCycle : earliest_;
+  }
+
   const ahb::Transaction& peek() const { return script_[index_].txn; }
 
   /// Take the next transaction (pre: ready(now)).

@@ -153,6 +153,30 @@ TEST(LintRules, SnprintfIsNotPrintf) {
 // ---------------------------------------------------------------------------
 // library/no-cassert
 
+TEST(LintRules, StdFunctionInSimFlagged) {
+  const auto f = lint_one(
+      "src/sim/cycle_kernel.hpp",
+      "#include <functional>\nstd::function<void(int)> cb_;\n");
+  EXPECT_EQ(count_rule(f, "sim/no-std-function"), 1u);
+}
+
+TEST(LintRules, StdFunctionAllowMarkerAndScopeRespected) {
+  // Same-line allow marker opts a setup-time callable out.
+  const auto allowed = lint_one(
+      "src/sim/cycle_kernel.hpp",
+      "std::function<void()> setup_;  // lint:allow-std-function\n");
+  EXPECT_EQ(count_rule(allowed, "sim/no-std-function"), 0u);
+  // Outside src/sim/ the rule does not apply (tlm test hooks keep
+  // std::function for copyability).
+  const auto tlm = lint_one("src/tlm/master.hpp",
+                            "std::function<void()> on_complete;\n");
+  EXPECT_EQ(count_rule(tlm, "sim/no-std-function"), 0u);
+  // A comment mention alone never fires.
+  const auto comment = lint_one("src/sim/event_kernel.hpp",
+                                "// std::function is banned here\n");
+  EXPECT_EQ(count_rule(comment, "sim/no-std-function"), 0u);
+}
+
 TEST(LintRules, CassertFlaggedInBothForms) {
   const auto findings = lint_one("src/ahb/arbiter_helper.cpp",
                                  "#include <cassert>\n"

@@ -322,6 +322,41 @@ TEST(ScenarioErrors, CheckpointBadKeysRejected) {
                scenario::ScenarioError);
 }
 
+TEST(ScenarioRoundTrip, SimSectionSurvives) {
+  auto cfg = scenario::ScenarioRegistry::builtin().build("single-master");
+  cfg.sim.quantum = 1024;
+  cfg.sim.ddr_threads = 4;
+
+  const std::string text = scenario::serialize(cfg);
+  EXPECT_NE(text.find("[sim]"), std::string::npos);
+  const auto rt = scenario::parse(text);
+  EXPECT_EQ(rt.sim.quantum, 1024u);
+  EXPECT_EQ(rt.sim.ddr_threads, 4u);
+  EXPECT_EQ(scenario::serialize(rt), text);
+
+  // Dotted overrides reach the knobs (sweepable like any other).
+  scenario::apply_key(cfg, "sim.quantum", "8");
+  scenario::apply_key(cfg, "sim.ddr_threads", "2");
+  EXPECT_EQ(cfg.sim.quantum, 8u);
+  EXPECT_EQ(cfg.sim.ddr_threads, 2u);
+
+  // Defaults serialize to no section at all (canonical minimal form).
+  const auto plain =
+      scenario::ScenarioRegistry::builtin().build("single-master");
+  EXPECT_EQ(scenario::serialize(plain).find("[sim]"), std::string::npos);
+  EXPECT_EQ(scenario::parse(scenario::serialize(plain)).sim,
+            core::SimTuning{});
+}
+
+TEST(ScenarioErrors, SimBadKeysRejected) {
+  EXPECT_THROW(scenario::parse("[sim]\nbogus = 1\n"),
+               scenario::ScenarioError);
+  EXPECT_THROW(scenario::parse("[sim]\nquantum = 0\n"),
+               scenario::ScenarioError);
+  EXPECT_THROW(scenario::parse("[sim]\nddr_threads = 0\n"),
+               scenario::ScenarioError);
+}
+
 // --------------------------------------------------- trace-backed masters --
 
 TEST(ScenarioTrace, TraceMasterParsesAndRoundTrips) {
