@@ -1,0 +1,185 @@
+// Sweep-farm benchmark: what does shipping one warm snapshot to worker
+// processes buy over re-simulating the warm-up for every point?
+//
+// The workload is deliberately warm-up dominated — the regime the farm
+// exists for (ISSUE: Table-1-style parameter sweeps where every point
+// shares a long identical prefix).  The base runs to completion once to
+// learn its length, the warm-up is pinned at 85% of it, and a 16-point
+// `items` sweep (prefix-invariant axes, so forks are exact and nothing is
+// demoted) is then run five ways:
+//
+//   * cold, in-process (SweepRunner, 4 threads)   <- the baseline
+//   * warm, in-process (SweepRunner, 4 threads)
+//   * farm, 1 / 2 / 4 worker processes, warm snapshot shipped in the Hello
+//
+// Every variant must produce the byte-identical per-point CSV (that is
+// the farm's determinism contract, pinned harder in tests/test_farm.cpp);
+// the committed BENCH_FARM.json records the scaling curve and the
+// speedup of the 4-worker farm over the cold baseline, which
+// tools/check_bench_farm.py gates in CI alongside BENCH_SPEED.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "farm/coordinator.hpp"
+#include "obs/json.hpp"
+#include "stats/report.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string outcomes_csv(const std::vector<ahbp::sweep::PointOutcome>& o,
+                         ahbp::sweep::Model model) {
+  std::ostringstream os;
+  ahbp::sweep::write_point_csv(os, o, model);
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ahbp;
+  const unsigned items =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 500;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_FARM.json";
+
+  std::cout << "=== Sweep farm: snapshot shipping vs per-point warm-up ===\n"
+            << "    workload: Table-1 'cpu-1' mix, " << items
+            << " txns/master, 16-point items sweep, checkers off\n\n";
+
+  sweep::SweepSpec spec;
+  spec.base = "bench-farm";
+  spec.base_config = core::table1_workloads(items, 3)[0].config;
+  spec.base_config.enable_checkers = false;
+  spec.base_config.max_cycles = 100'000'000;
+  // Prefix-invariant axes: `items` extends each master's script, so every
+  // point shares the base's first W cycles exactly and no fork is demoted.
+  sweep::Axis a0;
+  a0.key = "master0.items";
+  for (unsigned v = 0; v < 8; ++v) {
+    a0.values.push_back(std::to_string(items + v));
+  }
+  sweep::Axis a1;
+  a1.key = "master1.items";
+  a1.values = {std::to_string(items), std::to_string(items + 1)};
+  spec.axes = {a0, a1};
+  const std::vector<sweep::SweepPoint> points = sweep::expand(spec);
+
+  // Learn the shared prefix length from the base itself, then warm for 85%
+  // of it — deep enough that re-simulating it per point dominates the
+  // cold baseline, shallow enough that every point still has a tail.
+  core::Platform probe(spec.base_config, core::ModelKind::kTlm);
+  probe.run_to_completion();
+  const sim::Cycle base_cycles = probe.result().ran_cycles;
+  const sim::Cycle warmup = base_cycles * 85 / 100;
+
+  const sweep::Model model = sweep::Model::kTlm;
+  const unsigned inproc_jobs = 4;
+
+  sweep::SweepRunner runner(inproc_jobs);
+  auto t0 = std::chrono::steady_clock::now();
+  const auto cold = runner.run(points, model);
+  const double cold_s = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const auto warm = runner.run(points, model, spec.base_config, warmup);
+  const double warm_s = seconds_since(t0);
+
+  const std::string cold_csv = outcomes_csv(cold, model);
+  bool csv_identical = outcomes_csv(warm, model) == cold_csv;
+
+  struct Row {
+    unsigned workers;
+    double wall_seconds;
+  };
+  std::vector<Row> farm_rows;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    farm::FarmOptions opts;
+    opts.workers = workers;
+    opts.warmup_cycles = warmup;
+    farm::Coordinator coordinator(opts);
+    t0 = std::chrono::steady_clock::now();
+    const auto farmed = coordinator.run(spec, model);
+    const double farm_s = seconds_since(t0);
+    csv_identical = csv_identical && outcomes_csv(farmed, model) == cold_csv;
+    farm_rows.push_back({workers, farm_s});
+  }
+  const double farm4_s = farm_rows.back().wall_seconds;
+  const double speedup4 = farm4_s > 0.0 ? cold_s / farm4_s : 0.0;
+
+  stats::TextTable t({"variant", "wall s", "speedup vs cold"});
+  t.add_row({"cold in-process (4 threads)", stats::fmt_double(cold_s, 3),
+             "1.00"});
+  t.add_row({"warm in-process (4 threads)", stats::fmt_double(warm_s, 3),
+             stats::fmt_double(warm_s > 0.0 ? cold_s / warm_s : 0.0, 2)});
+  for (const Row& r : farm_rows) {
+    t.add_row({"farm, " + std::to_string(r.workers) + " worker(s)",
+               stats::fmt_double(r.wall_seconds, 3),
+               stats::fmt_double(
+                   r.wall_seconds > 0.0 ? cold_s / r.wall_seconds : 0.0, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nbase run: " << base_cycles << " cycles, warm-up fork at "
+            << warmup << " (85%)\n"
+            << "per-point CSV identical across all variants: "
+            << (csv_identical ? "yes" : "NO") << "\n";
+
+  // Shape: determinism is non-negotiable; the speed side must show the
+  // warm-up amortization clearly (the committed artifact's >= 1.5x is
+  // enforced against this JSON by tools/check_bench_farm.py, with a
+  // noise-tolerant floor for fresh CI runs).
+  const bool shape_ok = csv_identical && speedup4 >= 1.2;
+
+  std::ofstream json_os(json_path);
+  if (!json_os) {
+    std::cerr << "cannot open '" << json_path << "' for writing\n";
+    return 1;
+  }
+  {
+    obs::JsonWriter j(json_os);
+    j.begin_object()
+        .member("items", items)
+        .member("points", static_cast<std::uint64_t>(points.size()))
+        .member("base_cycles", static_cast<std::uint64_t>(base_cycles))
+        .member("warmup_cycles", static_cast<std::uint64_t>(warmup))
+        .member("inproc_jobs", inproc_jobs)
+        .member("cold_wall_seconds", cold_s)
+        .member("warm_inproc_wall_seconds", warm_s);
+    j.key("workers").begin_array();
+    for (const Row& r : farm_rows) {
+      j.begin_object()
+          .member("workers", r.workers)
+          .member("wall_seconds", r.wall_seconds)
+          .member("speedup_vs_cold",
+                  r.wall_seconds > 0.0 ? cold_s / r.wall_seconds : 0.0)
+          .end_object();
+    }
+    j.end_array();
+    j.member("speedup_4workers", speedup4)
+        .member("csv_identical", csv_identical)
+        .member("shape_ok", shape_ok)
+        .end_object();
+  }
+  json_os << '\n';
+  json_os.close();
+  std::cout << "machine-readable results written to " << json_path << "\n";
+
+  std::cout << "\nRESULT: " << (shape_ok ? "OK" : "FAIL")
+            << " (shape: byte-identical CSV, farm >= 1.2x over cold)\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,357 @@
+#include "farm/coordinator.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "farm/protocol.hpp"
+#include "farm/worker.hpp"
+#include "scenario/scenario.hpp"
+#include "state/transport.hpp"
+
+namespace ahbp::farm {
+
+namespace {
+
+/// Writing to a worker that died raises SIGPIPE, whose default action
+/// kills the coordinator before write() can return EPIPE — the exact
+/// failure the farm must survive.  Ignore it for the coordinator's
+/// lifetime on this code path and restore the previous disposition after.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() {
+    struct sigaction ignore = {};
+    ignore.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &ignore, &saved_);
+  }
+  ~SigpipeGuard() { sigaction(SIGPIPE, &saved_, nullptr); }
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  struct sigaction saved_ = {};
+};
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int cmd_fd = -1;  ///< coordinator -> worker (batches, shutdown)
+  int res_fd = -1;  ///< worker -> coordinator (outcomes)
+  bool alive = false;
+  std::vector<std::size_t> outstanding;  ///< issued, not yet acknowledged
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Per-point dotted-key override lists, same stride arithmetic as
+/// sweep::expand (first axis slowest) — what travels instead of full
+/// configurations.
+std::vector<PointAssignment> make_assignments(
+    const sweep::SweepSpec& spec, const std::vector<sweep::SweepPoint>& points) {
+  std::vector<std::size_t> stride(spec.axes.size(), 1);
+  for (std::size_t a = spec.axes.size(); a-- > 1;) {
+    stride[a - 1] = stride[a] * spec.axes[a].values.size();
+  }
+  std::vector<PointAssignment> out(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out[i].index = static_cast<std::uint64_t>(points[i].index);
+    out[i].label = points[i].label;
+    out[i].overrides.reserve(spec.axes.size());
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      const sweep::Axis& ax = spec.axes[a];
+      out[i].overrides.emplace_back(
+          ax.key, ax.values[(i / stride[a]) % ax.values.size()]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<sweep::PointOutcome> Coordinator::run(const sweep::SweepSpec& spec,
+                                                  sweep::Model model) const {
+  const std::vector<sweep::SweepPoint> points = sweep::expand(spec);
+  std::vector<sweep::PointOutcome> outcomes(points.size());
+  if (points.empty()) {
+    return outcomes;
+  }
+  const std::size_t total = points.size();
+
+  unsigned worker_count = opts_.workers == 0 ? 1 : opts_.workers;
+  if (worker_count > total) {
+    worker_count = static_cast<unsigned>(total);
+  }
+  const std::size_t in_flight =
+      opts_.max_in_flight == 0 ? 1 : opts_.max_in_flight;
+
+  // Warm the base once per model — the same serial prefix the in-process
+  // runner simulates — then freeze the bytes into the Hello.
+  std::vector<std::uint8_t> warm_tlm, warm_rtl;
+  sweep::warm_snapshots(spec.base_config, model, opts_.warmup_cycles, warm_tlm,
+                        warm_rtl);
+
+  // Self-describing base: canonical scenario text + embedded trace content,
+  // exactly what checkpoint files store, so workers never read our disk.
+  HelloMsg hello;
+  hello.model = model;
+  core::PlatformConfig base = spec.base_config;
+  core::resolve_stimulus(base);
+  hello.scenario_text = scenario::serialize(base);
+  for (std::size_t i = 0; i < base.masters.size(); ++i) {
+    if (base.masters[i].traffic.is_trace()) {
+      hello.traces.emplace_back(static_cast<std::uint64_t>(i),
+                                base.masters[i].traffic.trace_text);
+    }
+  }
+  hello.warm_tlm = std::move(warm_tlm);
+  hello.warm_rtl = std::move(warm_rtl);
+  const std::vector<std::uint8_t> hello_bytes = encode_hello(hello);
+  const std::vector<std::uint8_t> shutdown_bytes = encode_shutdown();
+  const std::vector<PointAssignment> assignments =
+      make_assignments(spec, points);
+
+  SigpipeGuard sigpipe_ignored;
+
+  std::vector<WorkerProc> workers(worker_count);
+  for (unsigned w = 0; w < worker_count; ++w) {
+    int cmd[2] = {-1, -1};
+    int res[2] = {-1, -1};
+    if (::pipe(cmd) != 0 || ::pipe(res) != 0) {
+      const int err = errno;
+      close_fd(cmd[0]);
+      close_fd(cmd[1]);
+      throw std::runtime_error("sweep farm: pipe() failed: " +
+                               std::string(std::strerror(err)));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      close_fd(cmd[0]);
+      close_fd(cmd[1]);
+      close_fd(res[0]);
+      close_fd(res[1]);
+      throw std::runtime_error("sweep farm: fork() failed: " +
+                               std::string(std::strerror(err)));
+    }
+    if (pid == 0) {
+      // Worker process.  Drop the coordinator-side ends and — critically —
+      // every earlier worker's fds we inherited: a surviving copy of a
+      // sibling's pipe end would keep that pipe open after the sibling
+      // dies and mask its EOF from the coordinator.
+      ::close(cmd[1]);
+      ::close(res[0]);
+      for (unsigned prev = 0; prev < w; ++prev) {
+        ::close(workers[prev].cmd_fd);
+        ::close(workers[prev].res_fd);
+      }
+      if (!opts_.worker_command.empty()) {
+        std::vector<std::string> argv_s = opts_.worker_command;
+        argv_s.push_back("--in");
+        argv_s.push_back(std::to_string(cmd[0]));
+        argv_s.push_back("--out");
+        argv_s.push_back(std::to_string(res[1]));
+        std::vector<char*> argv;
+        argv.reserve(argv_s.size() + 1);
+        for (std::string& s : argv_s) {
+          argv.push_back(s.data());
+        }
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);  // exec failed; the coordinator sees EOF and re-issues
+      }
+      int code = 0;
+      try {
+        worker_loop(cmd[0], res[1]);
+      } catch (...) {
+        code = 3;
+      }
+      ::_exit(code);  // never return into the coordinator's stack
+    }
+    // Coordinator side.
+    ::close(cmd[0]);
+    ::close(res[1]);
+    workers[w].pid = pid;
+    workers[w].cmd_fd = cmd[1];
+    workers[w].res_fd = res[0];
+    workers[w].alive = true;
+  }
+
+  if (opts_.on_spawn) {
+    std::vector<pid_t> pids;
+    pids.reserve(workers.size());
+    for (const WorkerProc& w : workers) {
+      pids.push_back(w.pid);
+    }
+    opts_.on_spawn(pids);
+  }
+
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < total; ++i) {
+    queue.push_back(i);
+  }
+  std::vector<bool> received(total, false);
+  std::size_t done = 0;
+
+  const auto mark_dead = [&](WorkerProc& w) {
+    if (!w.alive) {
+      return;
+    }
+    w.alive = false;
+    close_fd(w.cmd_fd);
+    close_fd(w.res_fd);
+    // Unacknowledged points go back to the head of the queue in index
+    // order: earliest points first keeps re-issue close to expansion
+    // order, though merge-by-index makes any order byte-identical.
+    std::sort(w.outstanding.begin(), w.outstanding.end());
+    for (std::size_t k = w.outstanding.size(); k-- > 0;) {
+      queue.push_front(w.outstanding[k]);
+    }
+    w.outstanding.clear();
+  };
+
+  const auto feed = [&](WorkerProc& w) {
+    while (w.alive && w.outstanding.size() < in_flight && !queue.empty()) {
+      const std::size_t i = queue.front();
+      queue.pop_front();
+      w.outstanding.push_back(i);
+      try {
+        state::write_frame(w.cmd_fd, encode_batch({assignments[i]}));
+      } catch (const state::StateError&) {
+        mark_dead(w);  // EPIPE etc; re-queues i along with the rest
+        return;
+      }
+    }
+    if (w.alive && queue.empty() && w.outstanding.empty()) {
+      // Nothing left for this worker, ever: release it.
+      try {
+        state::write_frame(w.cmd_fd, shutdown_bytes);
+      } catch (const state::StateError&) {
+      }
+      close_fd(w.cmd_fd);
+    }
+  };
+
+  for (WorkerProc& w : workers) {
+    if (!w.alive) {
+      continue;
+    }
+    try {
+      state::write_frame(w.cmd_fd, hello_bytes);
+    } catch (const state::StateError&) {
+      mark_dead(w);
+      continue;
+    }
+    feed(w);
+  }
+
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> pfd_worker;
+  while (done < total) {
+    pfds.clear();
+    pfd_worker.clear();
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+      if (workers[wi].alive) {
+        pfds.push_back(pollfd{workers[wi].res_fd, POLLIN, 0});
+        pfd_worker.push_back(wi);
+      }
+    }
+    if (pfds.empty()) {
+      throw std::runtime_error(
+          "sweep farm: all " + std::to_string(worker_count) +
+          " workers died; " + std::to_string(total - done) + " of " +
+          std::to_string(total) + " points incomplete");
+    }
+    if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error("sweep farm: poll() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      WorkerProc& w = workers[pfd_worker[k]];
+      if (!w.alive || pfds[k].revents == 0) {
+        continue;
+      }
+      // POLLIN first even when POLLHUP is also set: a dead worker's last
+      // outcomes may still sit in the pipe and are perfectly valid acks —
+      // drain until the read itself reports EOF.
+      Msg msg;
+      try {
+        auto frame = state::read_frame(w.res_fd);
+        if (!frame) {
+          mark_dead(w);  // clean EOF: worker exited
+          continue;
+        }
+        msg = decode(*frame);
+      } catch (const state::StateError&) {
+        mark_dead(w);  // truncated/corrupt frame: treat as worker loss
+        continue;
+      }
+      if (msg.kind != MsgKind::kOutcome) {
+        mark_dead(w);  // a worker that talks out of turn is not trusted
+        continue;
+      }
+      const std::size_t i = msg.outcome.index;
+      for (std::size_t o = 0; o < w.outstanding.size(); ++o) {
+        if (w.outstanding[o] == i) {
+          w.outstanding.erase(w.outstanding.begin() +
+                              static_cast<std::ptrdiff_t>(o));
+          break;
+        }
+      }
+      if (i < total && !received[i]) {
+        received[i] = true;
+        outcomes[i] = std::move(msg.outcome);
+        ++done;
+        if (opts_.progress) {
+          opts_.progress(done, total);
+        }
+      }
+      feed(w);
+    }
+    // A death above may have re-queued points while every survivor is
+    // already below its in-flight cap — push the freed work out now.
+    if (!queue.empty()) {
+      for (WorkerProc& w : workers) {
+        if (w.alive) {
+          feed(w);
+        }
+      }
+    }
+  }
+
+  for (WorkerProc& w : workers) {
+    if (w.alive && w.cmd_fd >= 0) {
+      try {
+        state::write_frame(w.cmd_fd, shutdown_bytes);
+      } catch (const state::StateError&) {
+      }
+    }
+    close_fd(w.cmd_fd);
+    close_fd(w.res_fd);
+  }
+  for (WorkerProc& w : workers) {
+    if (w.pid > 0) {
+      int status = 0;
+      while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace ahbp::farm

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+/// \file coordinator.hpp
+/// The sweep-farm coordinator: fan a sweep out across worker *processes*.
+///
+/// The in-process `SweepRunner` saturates one address space; the farm is
+/// the next rung.  The coordinator expands the sweep, warms the base once
+/// per model (sweep::warm_snapshots — the identical code path the
+/// in-process runner uses), ships one Hello per worker (base scenario +
+/// embedded traces + warm snapshot bytes), and then feeds each worker
+/// index-addressed points, collecting Outcome frames as they stream back.
+/// Results land in `outcomes[index]`, so the merged aggregate and
+/// per-point CSV are byte-identical to the in-process runner for any
+/// worker count — the property tests/test_farm.cpp pins.
+///
+/// ## Fault tolerance
+///
+/// A worker's Outcome frame is its acknowledgement.  When a worker dies —
+/// EOF or error on its result stream, EPIPE on its command stream — every
+/// point issued to it but not yet acknowledged goes back to the head of
+/// the work queue (in index order) and is re-issued to surviving workers.
+/// The sweep completes with the same bytes as long as one worker survives;
+/// when the last worker dies the coordinator throws instead of hanging.
+///
+/// Workers are spawned locally (fork, or fork+exec of `ahbp_sim
+/// farm-worker` when `worker_command` is set); the protocol itself never
+/// assumes a shared address space or filesystem, so promoting a worker to
+/// the far end of a socket is a transport change, not a protocol change.
+
+namespace ahbp::farm {
+
+struct FarmOptions {
+  /// Worker processes to spawn (clamped to [1, points]).
+  unsigned workers = 2;
+
+  /// Warm the base for this many cycles and fork every point from the
+  /// snapshot (0 = every point runs cold).  Same exactness contract as
+  /// `SweepRunner::run` with a warm base — including ForkDivergence
+  /// demotion, which happens on the worker and travels back in the
+  /// outcome's `demoted` flag.
+  sim::Cycle warmup_cycles = 0;
+
+  /// Points in flight per worker.  2 keeps a worker busy while its next
+  /// point crosses the pipe without over-committing points to a process
+  /// that may die (each death re-issues at most this many).
+  std::size_t max_in_flight = 2;
+
+  /// Non-empty: spawn each worker by fork+exec of this command line, with
+  /// `--in FD --out FD` appended (the hidden `ahbp_sim farm-worker` entry
+  /// point).  Empty: plain fork straight into farm::worker_loop — no exec,
+  /// used by the tests and as the fallback when the binary path is
+  /// unknown.
+  std::vector<std::string> worker_command;
+
+  /// Invoked after each point's outcome is merged with (done, total).
+  /// Called from the coordinator's own thread — no synchronization needed.
+  std::function<void(std::size_t, std::size_t)> progress;
+
+  /// Test hook: invoked once, right after all workers are spawned, with
+  /// their pids (the kill-a-worker test SIGKILLs one mid-sweep).
+  std::function<void(const std::vector<pid_t>&)> on_spawn;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(FarmOptions opts) : opts_(std::move(opts)) {}
+
+  /// Expand `spec` and run every point across the farm.  Returns outcomes
+  /// in expansion-index order (same shape as SweepRunner::run).  Throws
+  /// scenario::ScenarioError on an invalid spec, std::runtime_error when
+  /// every worker died before the sweep finished.
+  std::vector<sweep::PointOutcome> run(const sweep::SweepSpec& spec,
+                                       sweep::Model model) const;
+
+ private:
+  FarmOptions opts_;
+};
+
+}  // namespace ahbp::farm

@@ -1,0 +1,229 @@
+#include "farm/protocol.hpp"
+
+namespace ahbp::farm {
+
+namespace {
+
+/// Every message lives in one tagged section so a frame that is valid
+/// snapshot-format bytes but not a farm message fails on the tag, not by
+/// misreading records.  The literal tag below is what the snapshot
+/// manifest (tools/snapshot_manifest.txt) records.
+constexpr std::string_view kMsgTag = "farm-msg";
+
+state::StateWriter open_msg(MsgKind kind) {
+  state::StateWriter w;
+  w.begin("farm-msg");
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  return w;
+}
+
+std::vector<std::uint8_t> seal(state::StateWriter& w) {
+  w.end();
+  return w.finish();
+}
+
+}  // namespace
+
+void put_result(state::StateWriter& w, const core::SimResult& r) {
+  w.put_str(r.model);
+  w.put_bool(r.finished);
+  w.put_u64(r.cycles);
+  w.put_u64(r.ran_cycles);
+  w.put_u64(r.completed);
+  w.put_u64(static_cast<std::uint64_t>(r.protocol_errors));
+  w.put_u64(static_cast<std::uint64_t>(r.qos_warnings));
+  w.put_str(r.first_violations);
+  w.put_f64(r.wall_seconds);
+  w.put_u64(r.kernel_activity);
+
+  const stats::RunProfile& p = r.profile;
+  w.put_u64(p.masters.size());
+  for (const stats::MasterProfile& m : p.masters) {
+    w.put_str(m.name);  // config-derived in-process; shipped on the wire
+    m.save_state(w);
+  }
+  p.bus.save_state(w);
+  p.write_buffer.save_state(w);
+  w.put_u64(p.ddr.commands.activates);
+  w.put_u64(p.ddr.commands.reads);
+  w.put_u64(p.ddr.commands.writes);
+  w.put_u64(p.ddr.commands.precharges);
+  w.put_u64(p.ddr.commands.refreshes);
+  w.put_u64(p.ddr.commands.read_beats);
+  w.put_u64(p.ddr.commands.write_beats);
+  w.put_u64(p.ddr.hits.row_hits);
+  w.put_u64(p.ddr.hits.row_misses);
+  w.put_u64(p.ddr.hits.row_conflicts);
+  w.put_u64(p.ddr.hits.hint_activates);
+  w.put_u64(p.ddr.hits.hint_precharges);
+  w.put_u64(p.total_cycles);
+  w.put_u64(p.completed_txns);
+  w.put_u64(p.violation_rules.size());
+  for (const auto& [rule, count] : p.violation_rules) {
+    w.put_str(rule);
+    w.put_u64(count);
+  }
+}
+
+core::SimResult get_result(state::StateReader& r) {
+  core::SimResult out;
+  out.model = r.get_str();
+  out.finished = r.get_bool();
+  out.cycles = r.get_u64();
+  out.ran_cycles = r.get_u64();
+  out.completed = r.get_u64();
+  out.protocol_errors = static_cast<std::size_t>(r.get_u64());
+  out.qos_warnings = static_cast<std::size_t>(r.get_u64());
+  out.first_violations = r.get_str();
+  out.wall_seconds = r.get_f64();
+  out.kernel_activity = r.get_u64();
+
+  stats::RunProfile& p = out.profile;
+  p.masters.resize(static_cast<std::size_t>(r.get_count()));
+  for (stats::MasterProfile& m : p.masters) {
+    m.name = r.get_str();
+    m.restore_state(r);
+  }
+  p.bus.restore_state(r);
+  p.write_buffer.restore_state(r);
+  p.ddr.commands.activates = r.get_u64();
+  p.ddr.commands.reads = r.get_u64();
+  p.ddr.commands.writes = r.get_u64();
+  p.ddr.commands.precharges = r.get_u64();
+  p.ddr.commands.refreshes = r.get_u64();
+  p.ddr.commands.read_beats = r.get_u64();
+  p.ddr.commands.write_beats = r.get_u64();
+  p.ddr.hits.row_hits = r.get_u64();
+  p.ddr.hits.row_misses = r.get_u64();
+  p.ddr.hits.row_conflicts = r.get_u64();
+  p.ddr.hits.hint_activates = r.get_u64();
+  p.ddr.hits.hint_precharges = r.get_u64();
+  p.total_cycles = r.get_u64();
+  p.completed_txns = r.get_u64();
+  p.violation_rules.resize(static_cast<std::size_t>(r.get_count()));
+  for (auto& [rule, count] : p.violation_rules) {
+    rule = r.get_str();
+    count = r.get_u64();
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_hello(const HelloMsg& msg) {
+  state::StateWriter w = open_msg(MsgKind::kHello);
+  w.put_u8(static_cast<std::uint8_t>(msg.model));
+  w.put_str(msg.scenario_text);
+  w.put_u64(msg.traces.size());
+  for (const auto& [master, text] : msg.traces) {
+    w.put_u64(master);
+    w.put_str(text);
+  }
+  w.put_blob(msg.warm_tlm.data(), msg.warm_tlm.size());
+  w.put_blob(msg.warm_rtl.data(), msg.warm_rtl.size());
+  return seal(w);
+}
+
+std::vector<std::uint8_t> encode_batch(const std::vector<PointAssignment>& b) {
+  state::StateWriter w = open_msg(MsgKind::kBatch);
+  w.put_u64(b.size());
+  for (const PointAssignment& a : b) {
+    w.put_u64(a.index);
+    w.put_str(a.label);
+    w.put_u64(a.overrides.size());
+    for (const auto& [key, value] : a.overrides) {
+      w.put_str(key);
+      w.put_str(value);
+    }
+  }
+  return seal(w);
+}
+
+std::vector<std::uint8_t> encode_outcome(const sweep::PointOutcome& o) {
+  state::StateWriter w = open_msg(MsgKind::kOutcome);
+  w.put_u64(static_cast<std::uint64_t>(o.index));
+  w.put_str(o.label);
+  w.put_bool(o.demoted);
+  w.put_str(o.error);
+  w.put_bool(o.has_tlm);
+  if (o.has_tlm) {
+    put_result(w, o.tlm);
+  }
+  w.put_bool(o.has_rtl);
+  if (o.has_rtl) {
+    put_result(w, o.rtl);
+  }
+  return seal(w);
+}
+
+std::vector<std::uint8_t> encode_shutdown() {
+  state::StateWriter w = open_msg(MsgKind::kShutdown);
+  return seal(w);
+}
+
+Msg decode(const std::vector<std::uint8_t>& frame) {
+  state::StateReader r(frame.data(), frame.size());
+  r.enter(kMsgTag);
+  const std::uint8_t kind = r.get_u8();
+  Msg msg;
+  switch (kind) {
+    case static_cast<std::uint8_t>(MsgKind::kHello): {
+      msg.kind = MsgKind::kHello;
+      const std::uint8_t model = r.get_u8();
+      if (model > static_cast<std::uint8_t>(sweep::Model::kBoth)) {
+        throw state::StateError("farm message: unknown sweep model " +
+                                std::to_string(model));
+      }
+      msg.hello.model = static_cast<sweep::Model>(model);
+      msg.hello.scenario_text = r.get_str();
+      msg.hello.traces.resize(static_cast<std::size_t>(r.get_count()));
+      for (auto& [master, text] : msg.hello.traces) {
+        master = r.get_u64();
+        text = r.get_str();
+      }
+      msg.hello.warm_tlm = r.get_blob();
+      msg.hello.warm_rtl = r.get_blob();
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgKind::kBatch): {
+      msg.kind = MsgKind::kBatch;
+      msg.batch.resize(static_cast<std::size_t>(r.get_count()));
+      for (PointAssignment& a : msg.batch) {
+        a.index = r.get_u64();
+        a.label = r.get_str();
+        a.overrides.resize(static_cast<std::size_t>(r.get_count()));
+        for (auto& [key, value] : a.overrides) {
+          key = r.get_str();
+          value = r.get_str();
+        }
+      }
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgKind::kOutcome): {
+      msg.kind = MsgKind::kOutcome;
+      sweep::PointOutcome& o = msg.outcome;
+      o.index = static_cast<std::size_t>(r.get_u64());
+      o.label = r.get_str();
+      o.demoted = r.get_bool();
+      o.error = r.get_str();
+      o.has_tlm = r.get_bool();
+      if (o.has_tlm) {
+        o.tlm = get_result(r);
+      }
+      o.has_rtl = r.get_bool();
+      if (o.has_rtl) {
+        o.rtl = get_result(r);
+      }
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgKind::kShutdown):
+      msg.kind = MsgKind::kShutdown;
+      break;
+    default:
+      throw state::StateError("farm message: unknown kind " +
+                              std::to_string(kind));
+  }
+  r.leave();
+  r.expect_end();
+  return msg;
+}
+
+}  // namespace ahbp::farm

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "state/snapshot.hpp"
+#include "sweep/runner.hpp"
+
+/// \file protocol.hpp
+/// The sweep-farm wire protocol: what flows between the coordinator and
+/// its worker processes.
+///
+/// Every message is one transport frame (state/transport.hpp) whose
+/// payload is a sealed `StateWriter` image — so each message carries the
+/// snapshot format's magic, version and CRC-32, and a corrupted or
+/// truncated message fails decode with a precise `StateError` instead of
+/// desynchronizing the stream.  The conversation, per worker:
+///
+/// ```
+///   coordinator -> worker   Hello     base scenario + embedded traces +
+///                                     warm snapshot bytes (sent ONCE)
+///   coordinator -> worker   Batch     index-addressed points as dotted-key
+///                                     override lists (repeated)
+///   worker -> coordinator   Outcome   one serialized PointOutcome per
+///                                     completed point (streamed)
+///   coordinator -> worker   Shutdown  no more work; exit cleanly
+/// ```
+///
+/// Workers are deliberately *stateless between batches*: everything a
+/// point needs travels as `base + overrides`, and everything the warm-up
+/// amortization needs travels once in the Hello.  That makes the protocol
+/// socket-ready — nothing references coordinator memory or a shared
+/// filesystem — and makes re-issuing a dead worker's points to a survivor
+/// a plain retransmit.
+
+namespace ahbp::farm {
+
+enum class MsgKind : std::uint8_t {
+  kHello = 0,
+  kBatch = 1,
+  kOutcome = 2,
+  kShutdown = 3,
+};
+
+/// Everything a worker needs before it can simulate: the canonical base
+/// scenario text, resolved trace content for trace-backed masters (the
+/// scenario names only paths — workers must not touch the coordinator's
+/// filesystem), and the sealed warm snapshot per model (empty = run every
+/// point cold).
+struct HelloMsg {
+  sweep::Model model = sweep::Model::kTlm;
+  std::string scenario_text;
+  /// (master index, trace text) for every trace-backed master, exactly as
+  /// checkpoint files embed them (core::CheckpointInfo::traces).
+  std::vector<std::pair<std::uint64_t, std::string>> traces;
+  std::vector<std::uint8_t> warm_tlm;
+  std::vector<std::uint8_t> warm_rtl;
+};
+
+/// One sweep point, shipped as its expansion index plus the dotted-key
+/// overrides that produced it (applied to the Hello base in order).
+struct PointAssignment {
+  std::uint64_t index = 0;
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/// A decoded message.  `kind` selects which member is meaningful.
+struct Msg {
+  MsgKind kind = MsgKind::kShutdown;
+  HelloMsg hello;                      ///< kHello
+  std::vector<PointAssignment> batch;  ///< kBatch
+  sweep::PointOutcome outcome;         ///< kOutcome
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloMsg& msg);
+std::vector<std::uint8_t> encode_batch(const std::vector<PointAssignment>& b);
+std::vector<std::uint8_t> encode_outcome(const sweep::PointOutcome& o);
+std::vector<std::uint8_t> encode_shutdown();
+
+/// Decode one frame payload.  Throws state::StateError on version or CRC
+/// mismatch, an unknown message kind, or any structural drift.
+Msg decode(const std::vector<std::uint8_t>& frame);
+
+/// SimResult <-> records, exposed for tests: every field external tooling
+/// sees (counters, profiles, stall attribution, violation digests) must
+/// survive the wire so a farmed CSV is byte-identical to an in-process one.
+void put_result(state::StateWriter& w, const core::SimResult& r);
+core::SimResult get_result(state::StateReader& r);
+
+}  // namespace ahbp::farm

@@ -1,0 +1,89 @@
+#include "farm/worker.hpp"
+
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "farm/protocol.hpp"
+#include "scenario/scenario.hpp"
+#include "state/transport.hpp"
+
+namespace ahbp::farm {
+
+std::size_t worker_loop(int in_fd, int out_fd) {
+  auto first = state::read_frame(in_fd);
+  if (!first) {
+    return 0;  // coordinator vanished before saying hello; nothing to do
+  }
+  Msg hello = decode(*first);
+  if (hello.kind == MsgKind::kShutdown) {
+    return 0;
+  }
+  if (hello.kind != MsgKind::kHello) {
+    throw state::StateError("farm worker: expected hello, got message kind " +
+                            std::to_string(static_cast<int>(hello.kind)));
+  }
+
+  // Rebuild the base configuration exactly the way `resume` rebuilds a
+  // checkpoint's: canonical scenario text + embedded trace content.  No
+  // filesystem access — the worker may not share a disk with the
+  // coordinator.
+  core::PlatformConfig base = scenario::parse(hello.hello.scenario_text);
+  core::CheckpointInfo embedded;
+  embedded.traces = std::move(hello.hello.traces);
+  core::apply_embedded_traces(base, embedded);
+
+  const sweep::Model model = hello.hello.model;
+  const std::vector<std::uint8_t>& warm_tlm = hello.hello.warm_tlm;
+  const std::vector<std::uint8_t>& warm_rtl = hello.hello.warm_rtl;
+
+  std::size_t simulated = 0;
+  for (;;) {
+    auto frame = state::read_frame(in_fd);
+    if (!frame) {
+      break;  // coordinator closed the command stream; we are done
+    }
+    Msg msg = decode(*frame);
+    if (msg.kind == MsgKind::kShutdown) {
+      break;
+    }
+    if (msg.kind != MsgKind::kBatch) {
+      throw state::StateError(
+          "farm worker: expected batch or shutdown, got message kind " +
+          std::to_string(static_cast<int>(msg.kind)));
+    }
+    for (const PointAssignment& a : msg.batch) {
+      sweep::SweepPoint point;
+      point.index = static_cast<std::size_t>(a.index);
+      point.label = a.label;
+      point.config = base;
+      std::string apply_error;
+      try {
+        for (const auto& [key, value] : a.overrides) {
+          scenario::apply_key(point.config, key, value);
+        }
+        if (!a.overrides.empty()) {
+          scenario::validate(point.config);
+        }
+      } catch (const std::exception& e) {
+        apply_error = e.what();
+      }
+
+      sweep::PointOutcome outcome;
+      if (apply_error.empty()) {
+        outcome = sweep::simulate_point(point, model, warm_tlm, warm_rtl);
+      } else {
+        outcome.index = point.index;
+        outcome.label = point.label;
+        outcome.error = apply_error;
+      }
+      // The Outcome frame doubles as the ack: written only after the
+      // point fully simulated, so a crash here leaves it unacknowledged
+      // and the coordinator re-issues it.
+      state::write_frame(out_fd, encode_outcome(outcome));
+      ++simulated;
+    }
+  }
+  return simulated;
+}
+
+}  // namespace ahbp::farm

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file worker.hpp
+/// The farm worker loop: the code a spawned worker process runs.
+///
+/// A worker speaks the farm protocol over two stream file descriptors —
+/// commands in, outcomes out (pipes when spawned locally, sockets when the
+/// farm grows remote).  It holds no sweep state of its own: the Hello
+/// message delivers the base configuration (scenario text + embedded
+/// traces + warm snapshots), each Batch delivers points as override lists,
+/// and every completed point is answered immediately with one Outcome
+/// frame — the coordinator treats that frame as the acknowledgement, so a
+/// worker that dies mid-batch simply never acks its remaining points and
+/// the coordinator re-issues them elsewhere.
+///
+/// Entry points: `ahbp_sim farm-worker --in FD --out FD` (the hidden CLI
+/// subcommand, used when the coordinator re-executes the binary) or a
+/// direct call after fork() (the default local spawn mode, and what the
+/// tests drive).
+
+namespace ahbp::farm {
+
+/// Serve one coordinator connection until Shutdown or EOF on `in_fd`.
+/// Returns the number of points simulated.  Throws state::StateError on
+/// protocol violations (bad frame, decode failure, batch before hello) —
+/// callers turn that into a nonzero exit.
+std::size_t worker_loop(int in_fd, int out_fd);
+
+}  // namespace ahbp::farm

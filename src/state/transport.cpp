@@ -1,0 +1,142 @@
+#include "state/transport.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "state/snapshot.hpp"
+
+namespace ahbp::state {
+
+namespace {
+
+// 'A' 'H' 'B' 'F' on the wire, byte order fixed by the serialization below.
+constexpr std::uint32_t kFrameMagic = 0x46424841u;
+
+void put_u32le(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v & 0xffu);
+  out[1] = static_cast<std::uint8_t>((v >> 8) & 0xffu);
+  out[2] = static_cast<std::uint8_t>((v >> 16) & 0xffu);
+  out[3] = static_cast<std::uint8_t>((v >> 24) & 0xffu);
+}
+
+std::uint32_t get_u32le(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+void put_u64le(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu);
+  }
+}
+
+std::uint64_t get_u64le(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void fail_errno(const char* what, int err) {
+  throw StateError(std::string("frame transport: ") + what + ": " +
+                   std::strerror(err));
+}
+
+constexpr std::size_t kHeaderBytes = 4 + 8;
+
+}  // namespace
+
+void write_exact(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("write failed", errno);
+    }
+    p += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("read failed", errno);
+    }
+    if (n == 0) {
+      if (got == 0) {
+        return false;  // clean EOF before the first byte
+      }
+      throw StateError("frame transport: unexpected EOF after " +
+                       std::to_string(got) + " of " + std::to_string(size) +
+                       " bytes (peer died mid-frame?)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_frame(int fd, const std::uint8_t* payload, std::size_t size) {
+  if (size > kMaxFrameBytes) {
+    throw StateError("frame transport: refusing to send " +
+                     std::to_string(size) + "-byte frame (max " +
+                     std::to_string(kMaxFrameBytes) + ")");
+  }
+  std::uint8_t header[kHeaderBytes];
+  put_u32le(header, kFrameMagic);
+  put_u64le(header + 4, static_cast<std::uint64_t>(size));
+  write_exact(fd, header, sizeof(header));
+  if (size > 0) {
+    write_exact(fd, payload, size);
+  }
+}
+
+void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  write_frame(fd, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(int fd) {
+  std::uint8_t header[kHeaderBytes];
+  if (!read_exact(fd, header, sizeof(header))) {
+    return std::nullopt;
+  }
+  const std::uint32_t magic = get_u32le(header);
+  if (magic != kFrameMagic) {
+    throw StateError("frame transport: bad frame magic 0x" + [magic] {
+      static const char* hex = "0123456789abcdef";
+      std::string s;
+      for (int shift = 28; shift >= 0; shift -= 4) {
+        s += hex[(magic >> shift) & 0xfu];
+      }
+      return s;
+    }() + " (stream desynchronized or not a farm peer)");
+  }
+  const std::uint64_t size = get_u64le(header + 4);
+  if (size > kMaxFrameBytes) {
+    throw StateError("frame transport: frame length " + std::to_string(size) +
+                     " exceeds limit " + std::to_string(kMaxFrameBytes));
+  }
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+  if (size > 0 && !read_exact(fd, payload.data(), payload.size())) {
+    throw StateError("frame transport: EOF before frame payload");
+  }
+  return payload;
+}
+
+}  // namespace ahbp::state

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+/// \file transport.hpp
+/// Snapshot-bytes transport: length-prefixed frames over a byte stream.
+///
+/// The sweep farm (src/farm/) ships serialized state — warm snapshots,
+/// point batches, outcome records — between coordinator and worker
+/// processes.  A frame is the unit of transfer:
+///
+/// ```
+///   u32 magic   'A' 'H' 'B' 'F'          rejects desynchronized streams
+///   u64 length  payload byte count       bounded (kMaxFrameBytes)
+///   ...         payload                  a finished StateWriter image
+/// ```
+///
+/// The payload is expected to be a `StateWriter::finish()` image, which
+/// carries its own magic, format version and CRC-32 — so the frame layer
+/// only guards *transport* failures (truncation, desync, crafted lengths)
+/// and `StateReader` guards *content* corruption.  Both fail with a clear
+/// `StateError`; neither can hang on a short read.
+///
+/// Frames work over any stream file descriptor — a pipe today, a TCP
+/// socket tomorrow; nothing here assumes a local peer.  EINTR is retried;
+/// a peer that vanishes surfaces as a clean EOF (std::nullopt) at a frame
+/// boundary or a StateError mid-frame.
+///
+/// Note for pipe users: a write to a peer that already died raises
+/// SIGPIPE, whose default disposition kills the process before the EPIPE
+/// error can be returned.  Callers that must survive peer death (the farm
+/// coordinator) ignore SIGPIPE around their transfer loops; see
+/// farm/coordinator.cpp.
+
+namespace ahbp::state {
+
+/// Largest accepted frame payload.  A CRC-valid but crafted length fails
+/// fast instead of attempting a multi-gigabyte allocation.
+inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;
+
+/// Write all of `data` to `fd`, retrying short writes and EINTR.
+/// Throws StateError on any write failure (including EPIPE).
+void write_exact(int fd, const void* data, std::size_t size);
+
+/// Read exactly `size` bytes into `data`.  Returns false on a clean EOF
+/// before the first byte; throws StateError on EOF mid-read or any error.
+bool read_exact(int fd, void* data, std::size_t size);
+
+/// Write one frame (header + payload) to `fd`.
+void write_frame(int fd, const std::uint8_t* payload, std::size_t size);
+void write_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+/// Read one frame from `fd`.  Returns std::nullopt on a clean EOF at a
+/// frame boundary (the peer closed between frames).  Throws StateError on
+/// a truncated header/payload, a bad magic, or an oversized length.
+std::optional<std::vector<std::uint8_t>> read_frame(int fd);
+
+}  // namespace ahbp::state

@@ -437,4 +437,106 @@ void write_report(std::ostream& os, const LintReport& r) {
   os << "\n";
 }
 
+// ------------------------------------------------------------ sensitivity --
+
+double AxisSensitivity::relative_spread() const noexcept {
+  if (max_spread == 0 || min_cycles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(max_spread) / static_cast<double>(min_cycles);
+}
+
+std::vector<AxisSensitivity> sensitivity(
+    const SweepSpec& spec, const std::vector<PointOutcome>& outcomes,
+    bool use_rtl) {
+  // Strides mirror expand(): first axis slowest.  For axis `a`, deleting
+  // its digit from a point index yields the group id — two points share a
+  // group exactly when every *other* axis agrees.
+  std::vector<std::size_t> stride(spec.axes.size(), 1);
+  for (std::size_t a = spec.axes.size(); a-- > 1;) {
+    stride[a - 1] = stride[a] * spec.axes[a].values.size();
+  }
+
+  const auto cycles_of = [&](const PointOutcome& o, std::uint64_t& out) {
+    if (!o.error.empty()) {
+      return false;
+    }
+    if (use_rtl ? !o.has_rtl : !o.has_tlm) {
+      return false;
+    }
+    out = use_rtl ? o.rtl.cycles : o.tlm.cycles;
+    return true;
+  };
+
+  std::vector<AxisSensitivity> report;
+  report.reserve(spec.axes.size());
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const std::size_t size = spec.axes[a].values.size();
+    AxisSensitivity s;
+    s.key = spec.axes[a].key;
+    s.values = size;
+    const std::size_t group_count = outcomes.size() / std::max<std::size_t>(
+                                                          size, 1);
+    bool any_point = false;
+    double spread_sum = 0.0;
+    for (std::size_t g = 0; g < group_count; ++g) {
+      // Re-insert axis `a`'s digit: high digits above it, low digits below.
+      const std::size_t high = g / stride[a];
+      const std::size_t low = g % stride[a];
+      std::uint64_t gmin = 0, gmax = 0;
+      std::size_t usable = 0;
+      for (std::size_t v = 0; v < size; ++v) {
+        const std::size_t i = (high * size + v) * stride[a] + low;
+        std::uint64_t cycles = 0;
+        if (i >= outcomes.size() || !cycles_of(outcomes[i], cycles)) {
+          continue;
+        }
+        if (usable == 0) {
+          gmin = gmax = cycles;
+        } else {
+          gmin = std::min(gmin, cycles);
+          gmax = std::max(gmax, cycles);
+        }
+        ++usable;
+        if (!any_point) {
+          s.min_cycles = s.max_cycles = cycles;
+          any_point = true;
+        } else {
+          s.min_cycles = std::min(s.min_cycles, cycles);
+          s.max_cycles = std::max(s.max_cycles, cycles);
+        }
+      }
+      if (usable >= 2) {
+        const std::uint64_t spread = gmax - gmin;
+        s.max_spread = std::max(s.max_spread, spread);
+        spread_sum += static_cast<double>(spread);
+        ++s.groups;
+      }
+    }
+    if (s.groups > 0) {
+      s.mean_spread = spread_sum / static_cast<double>(s.groups);
+    }
+    report.push_back(std::move(s));
+  }
+
+  // Most influential knob first; stable so equal spreads keep axis order.
+  std::stable_sort(report.begin(), report.end(),
+                   [](const AxisSensitivity& x, const AxisSensitivity& y) {
+                     return x.max_spread > y.max_spread;
+                   });
+  return report;
+}
+
+stats::TextTable sensitivity_table(const std::vector<AxisSensitivity>& axes) {
+  stats::TextTable t({"axis", "values", "groups", "min cycles", "max cycles",
+                      "max spread", "mean spread", "impact"});
+  for (const AxisSensitivity& s : axes) {
+    t.add_row({s.key, std::to_string(s.values), std::to_string(s.groups),
+               std::to_string(s.min_cycles), std::to_string(s.max_cycles),
+               std::to_string(s.max_spread), stats::fmt_double(s.mean_spread, 1),
+               stats::fmt_percent(s.relative_spread())});
+  }
+  return t;
+}
+
 }  // namespace ahbp::sweep

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/platform.hpp"
+#include "stats/report.hpp"
+#include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
 
 /// \file analyze.hpp
@@ -106,5 +108,42 @@ LintReport lint_ref(const std::string& ref, const LintOptions& opts = {});
 /// Human-readable report: one `severity: [check] where: message` line per
 /// finding plus a summary line.
 void write_report(std::ostream& os, const LintReport& r);
+
+// ------------------------------------------------------------ sensitivity --
+// "Which knob moved the cycle count": post-sweep per-axis analysis over the
+// outcomes the runner (or the farm) already produced.  For each swept axis,
+// every combination of the *other* axes' values forms one group; within a
+// group only that axis varies, so the spread of `cycles` inside the group
+// is that knob's isolated effect.  `ahbp_sim sweep --sensitivity` surfaces
+// the aggregation below next to the per-point table.
+
+/// One axis's aggregated effect on the cycle count.
+struct AxisSensitivity {
+  std::string key;            ///< the dotted axis key
+  std::size_t values = 0;     ///< candidate values on this axis
+  std::size_t groups = 0;     ///< other-axis combinations with >= 2 usable points
+  std::uint64_t min_cycles = 0;  ///< min cycles across all usable points
+  std::uint64_t max_cycles = 0;  ///< max cycles across all usable points
+  std::uint64_t max_spread = 0;  ///< largest within-group (max - min)
+  double mean_spread = 0.0;      ///< mean within-group spread over groups
+
+  /// max_spread relative to the smallest cycle count it was observed
+  /// against — "varying this knob moved the run by up to X%".
+  double relative_spread() const noexcept;
+};
+
+/// Compute per-axis sensitivity of one model's `cycles` over a sweep's
+/// outcomes (`use_rtl` selects the RTL counts; the caller picks a model
+/// that actually ran).  Points with a non-empty error or without the
+/// requested model are skipped.  Sorted by descending max_spread, ties in
+/// axis order.  Outcomes must be the expansion of `spec` (index-aligned),
+/// as produced by SweepRunner::run or farm::Coordinator::run.
+std::vector<AxisSensitivity> sensitivity(
+    const SweepSpec& spec, const std::vector<PointOutcome>& outcomes,
+    bool use_rtl);
+
+/// Render a sensitivity report as a table (axis, values, groups, cycle
+/// range, spreads).  Byte-stable: derived from cycle counts only.
+stats::TextTable sensitivity_table(const std::vector<AxisSensitivity>& axes);
 
 }  // namespace ahbp::sweep

@@ -46,6 +46,84 @@ std::vector<PointOutcome> SweepRunner::run(
   return run(points, model, core::PlatformConfig{}, 0);
 }
 
+void warm_snapshots(const core::PlatformConfig& base, Model model,
+                    sim::Cycle warmup_cycles,
+                    std::vector<std::uint8_t>& warm_tlm,
+                    std::vector<std::uint8_t>& warm_rtl) {
+  warm_tlm.clear();
+  warm_rtl.clear();
+  if (warmup_cycles == 0) {
+    return;
+  }
+  if (model == Model::kTlm || model == Model::kBoth) {
+    core::Platform p(base, core::ModelKind::kTlm);
+    p.run(warmup_cycles);
+    state::StateWriter w;
+    p.save_state(w);
+    warm_tlm = w.finish();
+  }
+  if (model == Model::kRtl || model == Model::kBoth) {
+    core::Platform p(base, core::ModelKind::kRtl);
+    p.run(warmup_cycles);
+    state::StateWriter w;
+    p.save_state(w);
+    warm_rtl = w.finish();
+  }
+}
+
+namespace {
+
+core::SimResult run_one_model(const core::PlatformConfig& cfg,
+                              core::ModelKind kind,
+                              const std::vector<std::uint8_t>& snapshot,
+                              bool& demoted) {
+  if (!snapshot.empty()) {
+    try {
+      core::Platform p(cfg, kind);
+      state::StateReader r(snapshot.data(), snapshot.size());
+      p.restore_state(r);
+      p.run_to_completion();
+      return p.result();
+    } catch (const state::ForkDivergence&) {
+      // The point's stimulus diverged from the warm base before the fork
+      // point: the warm state is not this configuration's history.  Run
+      // it cold — exact, just without the fork speedup.  Structural
+      // mismatches stay fatal (plain StateError propagates).
+      demoted = true;
+    }
+  }
+  core::Platform p(cfg, kind);
+  p.run_to_completion();
+  return p.result();
+}
+
+}  // namespace
+
+PointOutcome simulate_point(const SweepPoint& point, Model model,
+                            const std::vector<std::uint8_t>& warm_tlm,
+                            const std::vector<std::uint8_t>& warm_rtl) {
+  PointOutcome o;
+  o.index = point.index;
+  o.label = point.label;
+  try {
+    if (model == Model::kTlm || model == Model::kBoth) {
+      o.tlm = run_one_model(point.config, core::ModelKind::kTlm, warm_tlm,
+                            o.demoted);
+      o.has_tlm = true;
+    }
+    if (model == Model::kRtl || model == Model::kBoth) {
+      o.rtl = run_one_model(point.config, core::ModelKind::kRtl, warm_rtl,
+                            o.demoted);
+      o.has_rtl = true;
+    }
+  } catch (const std::exception& e) {
+    o.error = e.what();
+  } catch (...) {
+    o.error = "unknown simulation failure";
+  }
+  return o;
+}
+
 std::vector<PointOutcome> SweepRunner::run(
     const std::vector<SweepPoint>& points, Model model,
     const core::PlatformConfig& base, sim::Cycle warmup_cycles) const {
@@ -54,67 +132,11 @@ std::vector<PointOutcome> SweepRunner::run(
   // Warm the shared prefix up once per model — serial, before the fan-out —
   // and freeze it.  Workers only ever *read* the snapshot bytes.
   std::vector<std::uint8_t> warm_tlm, warm_rtl;
-  if (warmup_cycles > 0) {
-    if (model == Model::kTlm || model == Model::kBoth) {
-      core::Platform p(base, core::ModelKind::kTlm);
-      p.run(warmup_cycles);
-      state::StateWriter w;
-      p.save_state(w);
-      warm_tlm = w.finish();
-    }
-    if (model == Model::kRtl || model == Model::kBoth) {
-      core::Platform p(base, core::ModelKind::kRtl);
-      p.run(warmup_cycles);
-      state::StateWriter w;
-      p.save_state(w);
-      warm_rtl = w.finish();
-    }
-  }
-
-  const auto run_one = [](const core::PlatformConfig& cfg,
-                          core::ModelKind kind,
-                          const std::vector<std::uint8_t>& snapshot,
-                          bool& demoted) {
-    if (!snapshot.empty()) {
-      try {
-        core::Platform p(cfg, kind);
-        state::StateReader r(snapshot.data(), snapshot.size());
-        p.restore_state(r);
-        p.run_to_completion();
-        return p.result();
-      } catch (const state::ForkDivergence&) {
-        // The point's stimulus diverged from the warm base before the fork
-        // point: the warm state is not this configuration's history.  Run
-        // it cold — exact, just without the fork speedup.  Structural
-        // mismatches stay fatal (plain StateError propagates).
-        demoted = true;
-      }
-    }
-    core::Platform p(cfg, kind);
-    p.run_to_completion();
-    return p.result();
-  };
+  warm_snapshots(base, model, warmup_cycles, warm_tlm, warm_rtl);
 
   std::atomic<std::size_t> done{0};
   const auto simulate = [&](std::size_t i) {
-    const SweepPoint& p = points[i];
-    PointOutcome& o = outcomes[i];
-    o.index = p.index;
-    o.label = p.label;
-    try {
-      if (model == Model::kTlm || model == Model::kBoth) {
-        o.tlm = run_one(p.config, core::ModelKind::kTlm, warm_tlm, o.demoted);
-        o.has_tlm = true;
-      }
-      if (model == Model::kRtl || model == Model::kBoth) {
-        o.rtl = run_one(p.config, core::ModelKind::kRtl, warm_rtl, o.demoted);
-        o.has_rtl = true;
-      }
-    } catch (const std::exception& e) {
-      o.error = e.what();
-    } catch (...) {
-      o.error = "unknown simulation failure";
-    }
+    outcomes[i] = simulate_point(points[i], model, warm_tlm, warm_rtl);
     if (progress_) {
       progress_(done.fetch_add(1, std::memory_order_relaxed) + 1,
                 points.size());

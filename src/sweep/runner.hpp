@@ -78,6 +78,27 @@ struct PointOutcome {
   double cycle_error() const noexcept;
 };
 
+/// Warm `base` up for `warmup_cycles` once per requested model — serial —
+/// and seal the snapshot images into `warm_tlm` / `warm_rtl` (left empty
+/// for models not requested, or when `warmup_cycles == 0`).  Shared by
+/// `SweepRunner` and the farm coordinator (src/farm/) so an in-process
+/// sweep and a farmed sweep fork every point from byte-identical state.
+void warm_snapshots(const core::PlatformConfig& base, Model model,
+                    sim::Cycle warmup_cycles,
+                    std::vector<std::uint8_t>& warm_tlm,
+                    std::vector<std::uint8_t>& warm_rtl);
+
+/// Simulate one expanded point and return its outcome: fork each requested
+/// model from the matching snapshot when non-empty (demoting to a cold run
+/// on state::ForkDivergence), run cold otherwise.  Exceptions land in
+/// `PointOutcome::error`, never escape.  This is the single simulation
+/// path behind both `SweepRunner::run` and the farm worker loop — the
+/// byte-identical-CSV guarantee across `--jobs` and `--farm-workers` rests
+/// on everything funnelling through here.
+PointOutcome simulate_point(const SweepPoint& point, Model model,
+                            const std::vector<std::uint8_t>& warm_tlm,
+                            const std::vector<std::uint8_t>& warm_rtl);
+
 class SweepRunner {
  public:
   /// `jobs` worker threads (clamped to [1, points]; 0 = hardware

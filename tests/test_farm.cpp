@@ -1,0 +1,359 @@
+// Sweep farm: the coordinator/worker process fan-out (src/farm/) must be
+// observationally identical to the in-process SweepRunner — byte-identical
+// aggregate table and per-point CSV at any worker count, through warm-up
+// forks and demotions, and across a worker being SIGKILLed mid-sweep (its
+// unacknowledged points are re-issued to survivors).  The wire layer must
+// fail loudly: truncated, corrupted, or mis-tagged frames raise StateError
+// with a usable message instead of desynchronizing or hanging.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/checkpoint.hpp"
+#include "core/workloads.hpp"
+#include "farm/coordinator.hpp"
+#include "farm/protocol.hpp"
+#include "state/snapshot.hpp"
+#include "state/transport.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace {
+
+using namespace ahbp;
+
+std::string outcomes_csv(const std::vector<sweep::PointOutcome>& o,
+                         sweep::Model model) {
+  std::ostringstream os;
+  sweep::write_point_csv(os, o, model);
+  return os.str();
+}
+
+std::string outcomes_table(const std::vector<sweep::PointOutcome>& o,
+                           sweep::Model model) {
+  std::ostringstream os;
+  sweep::aggregate_table(o, model).print(os);
+  return os.str();
+}
+
+/// 8 x 4 x 2 = 64 points, all prefix-invariant axes (items only extend the
+/// scripts), small enough to farm quickly.
+const char* kSweep64 = R"(
+base = table1/cpu-1
+
+[master *]
+items = 40
+
+[sweep]
+master0.items = 40, 41, 42, 43, 44, 45, 46, 47
+master1.items = 40, 41, 42, 43
+bus.write_buffer_depth = 2, 4
+)";
+
+// ------------------------------------------------------------ protocol ----
+
+TEST(FarmProtocol, HelloRoundTrip) {
+  farm::HelloMsg hello;
+  hello.model = sweep::Model::kBoth;
+  hello.scenario_text = "[bus]\ndata_width_bytes = 4\n";
+  hello.traces.emplace_back(2, "# trace\nR 0x0 4 1\n");
+  hello.warm_tlm = {1, 2, 3, 255};
+  hello.warm_rtl = {};
+
+  const farm::Msg msg = farm::decode(farm::encode_hello(hello));
+  ASSERT_EQ(msg.kind, farm::MsgKind::kHello);
+  EXPECT_EQ(msg.hello.model, sweep::Model::kBoth);
+  EXPECT_EQ(msg.hello.scenario_text, hello.scenario_text);
+  ASSERT_EQ(msg.hello.traces.size(), 1u);
+  EXPECT_EQ(msg.hello.traces[0].first, 2u);
+  EXPECT_EQ(msg.hello.traces[0].second, hello.traces[0].second);
+  EXPECT_EQ(msg.hello.warm_tlm, hello.warm_tlm);
+  EXPECT_TRUE(msg.hello.warm_rtl.empty());
+}
+
+TEST(FarmProtocol, BatchAndShutdownRoundTrip) {
+  farm::PointAssignment p;
+  p.index = 17;
+  p.label = "bus.write_buffer_depth=4";
+  p.overrides.emplace_back("bus.write_buffer_depth", "4");
+  p.overrides.emplace_back("master0.items", "41");
+
+  const farm::Msg batch = farm::decode(farm::encode_batch({p}));
+  ASSERT_EQ(batch.kind, farm::MsgKind::kBatch);
+  ASSERT_EQ(batch.batch.size(), 1u);
+  EXPECT_EQ(batch.batch[0].index, 17u);
+  EXPECT_EQ(batch.batch[0].label, p.label);
+  ASSERT_EQ(batch.batch[0].overrides.size(), 2u);
+  EXPECT_EQ(batch.batch[0].overrides[1].first, "master0.items");
+  EXPECT_EQ(batch.batch[0].overrides[1].second, "41");
+
+  EXPECT_EQ(farm::decode(farm::encode_shutdown()).kind,
+            farm::MsgKind::kShutdown);
+}
+
+TEST(FarmProtocol, RealResultSurvivesTheWire) {
+  // A genuine simulation result — profiles, stall attribution and all —
+  // must cross the wire unchanged; the CSV writer reads every field
+  // external tooling diffs.
+  core::Platform p(core::table1_workloads(30, 1)[0].config,
+                   core::ModelKind::kTlm);
+  p.run_to_completion();
+
+  sweep::PointOutcome o;
+  o.index = 5;
+  o.label = "master0.items=30";
+  o.has_tlm = true;
+  o.tlm = p.result();
+  o.demoted = true;
+
+  const farm::Msg msg = farm::decode(farm::encode_outcome(o));
+  ASSERT_EQ(msg.kind, farm::MsgKind::kOutcome);
+  const sweep::PointOutcome& back = msg.outcome;
+  EXPECT_EQ(back.index, 5u);
+  EXPECT_EQ(back.label, o.label);
+  EXPECT_TRUE(back.demoted);
+  EXPECT_TRUE(back.error.empty());
+  EXPECT_EQ(back.tlm.cycles, o.tlm.cycles);
+  EXPECT_EQ(back.tlm.completed, o.tlm.completed);
+  EXPECT_EQ(back.tlm.wall_seconds, o.tlm.wall_seconds);
+  EXPECT_EQ(back.tlm.profile.total_cycles, o.tlm.profile.total_cycles);
+  ASSERT_EQ(back.tlm.profile.masters.size(), o.tlm.profile.masters.size());
+  EXPECT_EQ(back.tlm.profile.masters[0].name, o.tlm.profile.masters[0].name);
+  EXPECT_EQ(back.tlm.profile.ddr.commands.reads,
+            o.tlm.profile.ddr.commands.reads);
+  EXPECT_EQ(back.tlm.profile.ddr.hits.row_hits,
+            o.tlm.profile.ddr.hits.row_hits);
+  // The CSV row — the artifact the farm's byte-identity contract is about.
+  EXPECT_EQ(outcomes_csv({back}, sweep::Model::kTlm),
+            outcomes_csv({o}, sweep::Model::kTlm));
+}
+
+TEST(FarmProtocol, CorruptPayloadIsRejected) {
+  std::vector<std::uint8_t> bytes = farm::encode_shutdown();
+  ASSERT_GT(bytes.size(), 6u);
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_THROW(farm::decode(bytes), state::StateError);
+}
+
+// ----------------------------------------------------------- transport ----
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (fds[0] >= 0) {
+      ::close(fds[0]);
+      fds[0] = -1;
+    }
+  }
+  void close_write() {
+    if (fds[1] >= 0) {
+      ::close(fds[1]);
+      fds[1] = -1;
+    }
+  }
+};
+
+TEST(FarmTransport, FrameRoundTripAndCleanEof) {
+  Pipe p;
+  const std::vector<std::uint8_t> payload = {0, 1, 2, 250, 251, 252};
+  state::write_frame(p.fds[1], payload);
+  state::write_frame(p.fds[1], std::vector<std::uint8_t>{});
+  p.close_write();
+
+  auto a = state::read_frame(p.fds[0]);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, payload);
+  auto b = state::read_frame(p.fds[0]);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->empty());
+  // Closed at a frame boundary: clean EOF, not an error.
+  EXPECT_FALSE(state::read_frame(p.fds[0]).has_value());
+}
+
+TEST(FarmTransport, TruncatedFrameIsAnErrorNotAHang) {
+  // Header promises 100 payload bytes; the writer dies after 3.  The
+  // reader must fail with a StateError once the pipe closes — never block
+  // forever, never return a short frame.
+  Pipe p;
+  const std::uint8_t header[12] = {0x41, 0x48, 0x42, 0x46,  // magic, LE
+                                   100,  0,    0,    0,   0, 0, 0, 0};
+  state::write_exact(p.fds[1], header, sizeof(header));
+  const std::uint8_t partial[3] = {9, 9, 9};
+  state::write_exact(p.fds[1], partial, sizeof(partial));
+  p.close_write();
+  EXPECT_THROW(state::read_frame(p.fds[0]), state::StateError);
+}
+
+TEST(FarmTransport, BadMagicIsRejected) {
+  Pipe p;
+  const std::uint8_t junk[12] = {'j', 'u', 'n', 'k', 4, 0, 0, 0, 0, 0, 0, 0};
+  state::write_exact(p.fds[1], junk, sizeof(junk));
+  p.close_write();
+  try {
+    state::read_frame(p.fds[0]);
+    FAIL() << "bad magic must throw";
+  } catch (const state::StateError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(FarmTransport, OversizedLengthIsRejected) {
+  // A corrupted length field must be refused before any allocation, not
+  // trusted as a 2^60-byte read.
+  Pipe p;
+  std::uint8_t header[12] = {0x41, 0x48, 0x42, 0x46, 0, 0, 0, 0, 0, 0, 0, 0};
+  header[11] = 0x10;  // length = 2^60
+  state::write_exact(p.fds[1], header, sizeof(header));
+  p.close_write();
+  EXPECT_THROW(state::read_frame(p.fds[0]), state::StateError);
+}
+
+// ---------------------------------------------------------- end to end ----
+
+TEST(FarmEndToEnd, ByteIdenticalToInProcessAtAnyWorkerCount) {
+  const sweep::SweepSpec spec = sweep::parse_spec(kSweep64);
+  const auto points = sweep::expand(spec);
+  ASSERT_EQ(points.size(), 64u);
+
+  const sweep::SweepRunner runner(2);
+  const auto inproc = runner.run(points, sweep::Model::kTlm);
+  const std::string want_csv = outcomes_csv(inproc, sweep::Model::kTlm);
+  const std::string want_table = outcomes_table(inproc, sweep::Model::kTlm);
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    farm::FarmOptions opts;
+    opts.workers = workers;
+    const auto farmed = farm::Coordinator(opts).run(spec, sweep::Model::kTlm);
+    EXPECT_EQ(outcomes_csv(farmed, sweep::Model::kTlm), want_csv)
+        << workers << " worker(s)";
+    EXPECT_EQ(outcomes_table(farmed, sweep::Model::kTlm), want_table)
+        << workers << " worker(s)";
+  }
+}
+
+TEST(FarmEndToEnd, BothModelsFarmIdentically) {
+  const sweep::SweepSpec spec = sweep::parse_spec(R"(
+base = table1/cpu-1
+
+[master *]
+items = 30
+
+[sweep]
+bus.write_buffer_depth = 2, 4
+master0.items = 30, 33
+)");
+  const auto points = sweep::expand(spec);
+  ASSERT_EQ(points.size(), 4u);
+
+  const sweep::SweepRunner runner(2);
+  const auto inproc = runner.run(points, sweep::Model::kBoth);
+  farm::FarmOptions opts;
+  opts.workers = 2;
+  const auto farmed = farm::Coordinator(opts).run(spec, sweep::Model::kBoth);
+  EXPECT_EQ(outcomes_csv(farmed, sweep::Model::kBoth),
+            outcomes_csv(inproc, sweep::Model::kBoth));
+  for (const auto& o : farmed) {
+    EXPECT_TRUE(o.has_tlm);
+    EXPECT_TRUE(o.has_rtl);
+    EXPECT_TRUE(o.error.empty()) << o.index << ": " << o.error;
+  }
+}
+
+TEST(FarmEndToEnd, WarmForkAndDemotionTravelTheWire) {
+  // A swept seed reshapes master0's stimulus prefix, so those points
+  // cannot fork from the warm base: the worker demotes them to cold runs
+  // and the flag must come back over the wire exactly as the in-process
+  // runner sets it.
+  const sweep::SweepSpec spec = sweep::parse_spec(R"(
+base = table1/cpu-1
+
+[master *]
+items = 40
+
+[sweep]
+master0.seed = 1, 7
+master0.items = 40, 44, 48
+)");
+  const auto points = sweep::expand(spec);
+  ASSERT_EQ(points.size(), 6u);
+  const sim::Cycle warmup = 400;
+
+  const sweep::SweepRunner runner(2);
+  const auto inproc =
+      runner.run(points, sweep::Model::kTlm, spec.base_config, warmup);
+
+  farm::FarmOptions opts;
+  opts.workers = 2;
+  opts.warmup_cycles = warmup;
+  const auto farmed = farm::Coordinator(opts).run(spec, sweep::Model::kTlm);
+
+  EXPECT_EQ(outcomes_csv(farmed, sweep::Model::kTlm),
+            outcomes_csv(inproc, sweep::Model::kTlm));
+  // seed=1 is the base's own seed (forks exactly); seed=7 diverges.
+  std::size_t demoted = 0;
+  for (const auto& o : farmed) {
+    EXPECT_TRUE(o.error.empty()) << o.index << ": " << o.error;
+    demoted += o.demoted ? 1 : 0;
+  }
+  EXPECT_EQ(demoted, 3u);
+  EXPECT_FALSE(farmed[0].demoted);  // seed=1 points fork clean
+  EXPECT_TRUE(farmed[3].demoted);   // seed=7 points run cold
+}
+
+TEST(FarmEndToEnd, SurvivesWorkerSigkillMidSweep) {
+  const sweep::SweepSpec spec = sweep::parse_spec(kSweep64);
+  const auto points = sweep::expand(spec);
+
+  const sweep::SweepRunner runner(2);
+  const auto inproc = runner.run(points, sweep::Model::kTlm);
+
+  std::vector<pid_t> pids;
+  bool killed = false;
+  farm::FarmOptions opts;
+  opts.workers = 4;
+  opts.on_spawn = [&pids](const std::vector<pid_t>& p) { pids = p; };
+  opts.progress = [&](std::size_t done, std::size_t) {
+    // One SIGKILL, mid-sweep: whatever pids[0] had in flight must be
+    // re-issued to the three survivors.
+    if (!killed && done >= 3) {
+      killed = true;
+      ASSERT_EQ(pids.size(), 4u);
+      ::kill(pids[0], SIGKILL);
+    }
+  };
+  const auto farmed = farm::Coordinator(opts).run(spec, sweep::Model::kTlm);
+
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(outcomes_csv(farmed, sweep::Model::kTlm),
+            outcomes_csv(inproc, sweep::Model::kTlm));
+  EXPECT_EQ(outcomes_table(farmed, sweep::Model::kTlm),
+            outcomes_table(inproc, sweep::Model::kTlm));
+}
+
+TEST(FarmEndToEnd, AllWorkersDeadThrowsInsteadOfHanging) {
+  const sweep::SweepSpec spec = sweep::parse_spec(kSweep64);
+  farm::FarmOptions opts;
+  opts.workers = 2;
+  opts.on_spawn = [](const std::vector<pid_t>& pids) {
+    for (const pid_t pid : pids) {
+      ::kill(pid, SIGKILL);
+    }
+  };
+  EXPECT_THROW(farm::Coordinator(opts).run(spec, sweep::Model::kTlm),
+               std::runtime_error);
+}
+
+}  // namespace

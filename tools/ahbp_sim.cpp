@@ -14,8 +14,10 @@
 //                           [--progress] [--self-profile]
 //   ahbp_sim checkpoint <scenario> --at N --out FILE [--model tlm|rtl]
 //   ahbp_sim resume <checkpoint> [--vcd FILE] [--csv] [--quiet]
-//   ahbp_sim sweep <spec> [--jobs N] [--model tlm|rtl|both] [--csv FILE]
+//   ahbp_sim sweep <spec> [--jobs N | --farm-workers N]
+//                         [--model tlm|rtl|both] [--csv FILE]
 //                         [--warmup-cycles N] [--speed] [--progress]
+//                         [--sensitivity]
 //   ahbp_sim lint <scenario|sweep> [--warmup-cycles N] [--strict]
 //   ahbp_sim trace info <file>
 //   ahbp_sim trace convert <file> --out FILE [--to text|bin]
@@ -35,8 +37,12 @@
 #include <string_view>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/checkpoint.hpp"
 #include "core/platform.hpp"
+#include "farm/coordinator.hpp"
+#include "farm/worker.hpp"
 #include "obs/selfprof.hpp"
 #include "obs/timeline.hpp"
 #include "scenario/registry.hpp"
@@ -73,6 +79,11 @@ int usage(std::ostream& os, int code) {
         "                            greppable) or bin (seekable, ~10x"
         " faster\n"
         "                            to load; replay auto-detects either)\n"
+        "      --register NAME       capture into the captures/ registry:\n"
+        "                            traces + replay scenario land under\n"
+        "                            captures/NAME/ and 'ahbp_sim run\n"
+        "                            workload/NAME' replays them (implies\n"
+        "                            --capture-trace; single model only)\n"
         "      --csv                 machine-readable per-master report\n"
         "      --quiet               summary line only\n"
         "      --timeline FILE       write a Chrome-trace-event timeline\n"
@@ -99,6 +110,17 @@ int usage(std::ostream& os, int code) {
         "  sweep <spec>              expand and run a sweep file\n"
         "      --jobs N              worker threads (default 1, 0 = all"
         " cores)\n"
+        "      --farm-workers N      shard points across N worker"
+        " *processes*\n"
+        "                            instead of threads: the base is warmed\n"
+        "                            once, snapshot bytes ship to each"
+        " worker,\n"
+        "                            dead workers' points are re-issued;\n"
+        "                            output is byte-identical to --jobs\n"
+        "      --sensitivity         per-axis report after the table: how"
+        " far\n"
+        "                            cycles moved when only that axis"
+        " varied\n"
         "      --model tlm|rtl|both  model(s) per point (default tlm)\n"
         "      --warmup-cycles N     simulate the base config N cycles once\n"
         "                            and fork every point from the snapshot\n"
@@ -291,6 +313,25 @@ int cmd_list() {
   t.print(std::cout);
   std::cout << "\nTable-1 rows also answer to letter aliases"
                " (table1/cpu-a == table1/cpu-1).\n";
+
+  // Registered captures: anything `run --register NAME` installed under
+  // captures/ in the current directory answers to `run workload/NAME`.
+  namespace fs = std::filesystem;
+  std::vector<std::string> workloads;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator("captures", ec)) {
+    if (entry.is_directory() &&
+        fs::exists(entry.path() / "replay.scenario")) {
+      workloads.push_back(entry.path().filename().string());
+    }
+  }
+  if (!workloads.empty()) {
+    std::sort(workloads.begin(), workloads.end());
+    std::cout << "\nregistered workloads (captures/ in this directory):\n";
+    for (const std::string& w : workloads) {
+      std::cout << "  workload/" << w << "\n";
+    }
+  }
   return 0;
 }
 
@@ -301,8 +342,8 @@ int cmd_show(const std::string& name) {
 
 int cmd_run(const std::string& name, const std::string& model_s,
             unsigned items, std::uint64_t seed, const std::string& vcd_path,
-            const std::string& capture_dir,
-            const std::string& capture_format, bool csv, bool quiet,
+            std::string capture_dir, const std::string& capture_format,
+            const std::string& register_name, bool csv, bool quiet,
             const std::string& timeline_path,
             const std::string& stats_json_path, bool progress,
             bool self_profile) {
@@ -310,6 +351,24 @@ int cmd_run(const std::string& name, const std::string& model_s,
   if (!sweep::model_from_string(model_s, model)) {
     std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
     return 2;
+  }
+  if (!register_name.empty()) {
+    // A registered workload is just a capture installed at the well-known
+    // path `run workload/NAME` resolves (scenario/registry.cpp).
+    if (!capture_dir.empty()) {
+      std::cerr << "--register picks the capture destination itself"
+                   " (captures/" << register_name << "); drop"
+                   " --capture-trace\n";
+      return 2;
+    }
+    if (register_name.find('/') != std::string::npos ||
+        register_name.find("..") != std::string::npos ||
+        register_name[0] == '-') {
+      std::cerr << "--register needs a plain name (no '/', '..' or leading"
+                   " '-'), got '" << register_name << "'\n";
+      return 2;
+    }
+    capture_dir = "captures/" + register_name;
   }
   const core::PlatformConfig cfg = scenario::load_scenario(name, items, seed);
   if (cfg.masters.empty()) {
@@ -414,6 +473,11 @@ int cmd_run(const std::string& name, const std::string& model_s,
 
   const bool ok = (!ran_tlm || (tlm.finished && tlm.protocol_errors == 0)) &&
                   (!ran_rtl || (rtl.finished && rtl.protocol_errors == 0));
+  if (ok && !register_name.empty()) {
+    std::cout << "registered workload '" << register_name
+              << "': replay with `ahbp_sim run workload/" << register_name
+              << "`\n";
+  }
   return ok ? 0 : 1;
 }
 
@@ -487,9 +551,10 @@ int cmd_resume(const std::string& path, const std::string& vcd_path, bool csv,
 }
 
 int cmd_sweep(const std::string& path, const std::string& model_s,
-              unsigned jobs, const std::string& csv_path, bool speed,
+              unsigned jobs, unsigned farm_workers,
+              const std::string& csv_path, bool speed,
               double max_cycle_error, std::uint64_t warmup_cycles,
-              bool progress) {
+              bool progress, bool sensitivity) {
   sweep::Model model = sweep::Model::kTlm;
   if (!sweep::model_from_string(model_s, model)) {
     std::cerr << "unknown model '" << model_s << "' (tlm, rtl, both)\n";
@@ -507,21 +572,69 @@ int cmd_sweep(const std::string& path, const std::string& model_s,
     std::cout << ", forked from a " << warmup_cycles
               << "-cycle warm-up of the base";
   }
+  if (farm_workers > 0) {
+    std::cout << ", farmed across " << farm_workers << " worker process(es)";
+  }
   std::cout << "\n\n";
 
-  sweep::SweepRunner runner(jobs);
   std::mutex progress_mu;
-  if (progress) {
-    runner.set_progress([&progress_mu](std::size_t done, std::size_t total) {
-      const std::lock_guard<std::mutex> lock(progress_mu);
-      std::cerr << "# sweep: " << done << "/" << total << " points done\n";
-    });
+  std::vector<sweep::PointOutcome> outcomes;
+  if (farm_workers > 0) {
+    farm::FarmOptions opts;
+    opts.workers = farm_workers;
+    opts.warmup_cycles = warmup_cycles;
+    // Re-exec this binary as the worker so the farm exercises the same
+    // process-boundary path a remote (socketed) deployment would; if
+    // /proc/self/exe is unreadable the coordinator falls back to fork-only
+    // workers, which share the already-loaded image.
+    char exe_buf[4096];
+    const ssize_t exe_len =
+        ::readlink("/proc/self/exe", exe_buf, sizeof(exe_buf) - 1);
+    if (exe_len > 0) {
+      exe_buf[exe_len] = '\0';
+      opts.worker_command = {exe_buf, "farm-worker"};
+    }
+    if (progress) {
+      opts.progress = [&progress_mu](std::size_t done, std::size_t total) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        std::cerr << "# sweep: " << done << "/" << total << " points done\n";
+      };
+    }
+    outcomes = farm::Coordinator(opts).run(spec, model);
+  } else {
+    sweep::SweepRunner runner(jobs);
+    if (progress) {
+      runner.set_progress(
+          [&progress_mu](std::size_t done, std::size_t total) {
+            const std::lock_guard<std::mutex> lock(progress_mu);
+            std::cerr << "# sweep: " << done << "/" << total
+                      << " points done\n";
+          });
+    }
+    outcomes = runner.run(points, model, spec.base_config, warmup_cycles);
   }
-  const auto outcomes =
-      runner.run(points, model, spec.base_config, warmup_cycles);
 
   stats::TextTable table = sweep::aggregate_table(outcomes, model, speed);
   table.print(std::cout);
+
+  if (sensitivity) {
+    if (spec.axes.empty()) {
+      std::cout << "\nsensitivity: the spec has no [sweep] axes — nothing"
+                   " varies\n";
+    } else {
+      for (const bool use_rtl : {false, true}) {
+        if ((use_rtl && model == sweep::Model::kTlm) ||
+            (!use_rtl && model == sweep::Model::kRtl)) {
+          continue;
+        }
+        std::cout << "\nper-axis sensitivity ("
+                  << (use_rtl ? "rtl" : "tlm") << " cycles):\n";
+        sweep::sensitivity_table(
+            sweep::sensitivity(spec, outcomes, use_rtl))
+            .print(std::cout);
+      }
+    }
+  }
 
   if (!csv_path.empty()) {
     std::ofstream csv_os(csv_path);
@@ -707,6 +820,32 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = args[0];
 
+  // Hidden entry point: `ahbp_sim farm-worker [--in FD --out FD]` is what
+  // the sweep-farm coordinator execs (farm/coordinator.hpp).  It serves one
+  // connection on the given descriptors (default stdin/stdout) and exits;
+  // it is not part of the user-facing CLI, so it bypasses the uniform
+  // option machinery below.
+  if (cmd == "farm-worker") {
+    int in_fd = 0, out_fd = 1;
+    for (std::size_t i = 1; i + 1 < args.size(); i += 2) {
+      if (args[i] == "--in") {
+        in_fd = std::atoi(args[i + 1].c_str());
+      } else if (args[i] == "--out") {
+        out_fd = std::atoi(args[i + 1].c_str());
+      } else {
+        std::cerr << "farm-worker: unknown option '" << args[i] << "'\n";
+        return 2;
+      }
+    }
+    try {
+      farm::worker_loop(in_fd, out_fd);
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "farm-worker: " << e.what() << "\n";
+      return 3;
+    }
+  }
+
   // Collect options and positionals uniformly; which options each command
   // accepts is checked afterwards so irrelevant flags error instead of
   // being silently ignored.
@@ -728,8 +867,12 @@ int main(int argc, char** argv) {
   std::uint64_t first = 0;                    // trace slice --first N
   std::uint64_t count = ~std::uint64_t{0};    // trace slice --count K
   unsigned jobs = 1;
+  unsigned farm_workers = 0;   // sweep --farm-workers N (0 = in-process)
+  std::string register_name;   // run --register NAME
+  bool explicit_jobs = false;
   bool csv = false, quiet = false, speed = false;
   bool progress = false, self_profile = false, strict = false;
+  bool sensitivity = false;    // sweep --sensitivity
   double max_cycle_error = -1.0;  // negative = gate off
 
   const auto need_value = [&](std::size_t& i) -> std::string {
@@ -812,6 +955,23 @@ int main(int argc, char** argv) {
       warmup_cycles = need_unsigned(i, ~std::uint64_t{0});
     } else if (a == "--jobs") {
       jobs = static_cast<unsigned>(need_unsigned(i, 4096));
+      explicit_jobs = true;
+    } else if (a == "--farm-workers") {
+      farm_workers = static_cast<unsigned>(need_unsigned(i, 4096));
+      if (farm_workers == 0) {
+        std::cerr << "--farm-workers must be nonzero (omit the flag for the"
+                     " in-process runner)\n";
+        return 2;
+      }
+    } else if (a == "--register") {
+      register_name = need_value(i);
+      if (register_name.empty() || register_name[0] == '-') {
+        std::cerr << "--register needs a workload name, got '"
+                  << register_name << "'\n";
+        return 2;
+      }
+    } else if (a == "--sensitivity") {
+      sensitivity = true;
     } else if (a == "--max-cycle-error") {
       const std::string flag = a;
       const std::string v = need_value(i);
@@ -917,14 +1077,14 @@ int main(int argc, char** argv) {
     }
     if (cmd == "run") {
       if (!check_options({"--model", "--items", "--seed", "--vcd",
-                          "--capture-trace", "--trace-format", "--csv",
-                          "--quiet", "--timeline", "--stats-json",
+                          "--capture-trace", "--trace-format", "--register",
+                          "--csv", "--quiet", "--timeline", "--stats-json",
                           "--progress", "--self-profile"})) {
         return 2;
       }
       return cmd_run(positional, model, items, seed, vcd_path, capture_dir,
-                     capture_format, csv, quiet, timeline_path,
-                     stats_json_path, progress, self_profile);
+                     capture_format, register_name, csv, quiet,
+                     timeline_path, stats_json_path, progress, self_profile);
     }
     if (cmd == "trace") {
       if (!check_options({"--out", "--to", "--first", "--count"})) {
@@ -952,13 +1112,19 @@ int main(int argc, char** argv) {
       return cmd_resume(positional, vcd_path, csv, quiet);
     }
     if (cmd == "sweep") {
-      if (!check_options({"--jobs", "--model", "--csv", "--speed",
-                          "--max-cycle-error", "--warmup-cycles",
-                          "--progress"})) {
+      if (!check_options({"--jobs", "--farm-workers", "--model", "--csv",
+                          "--speed", "--max-cycle-error", "--warmup-cycles",
+                          "--progress", "--sensitivity"})) {
         return 2;
       }
-      return cmd_sweep(positional, model, jobs, csv_path, speed,
-                       max_cycle_error, warmup_cycles, progress);
+      if (farm_workers > 0 && explicit_jobs) {
+        std::cerr << "--jobs (threads) and --farm-workers (processes) are"
+                     " two parallelism modes: pick one\n";
+        return 2;
+      }
+      return cmd_sweep(positional, model, jobs, farm_workers, csv_path,
+                       speed, max_cycle_error, warmup_cycles, progress,
+                       sensitivity);
     }
     if (cmd == "lint") {
       if (!check_options({"--warmup-cycles", "--strict"})) {

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate for BENCH_FARM.json — the sweep-farm scaling artifact.
+
+Two artifacts are checked:
+
+* the **fresh CI run** (NEW.json) must be internally sound: per-point CSV
+  byte-identical across the in-process runner and every farmed worker
+  count (`csv_identical` — determinism is never machine-dependent, so it
+  gets no tolerance), `shape_ok` from the bench itself, and a 4-worker
+  speedup over the cold in-process baseline that clears a noise-tolerant
+  floor (CI runners are slower and noisier than the reference machine).
+
+* the **committed reference** (REFERENCE.json) must still say what the
+  README claims: >= 1.5x at 4 workers on the warm-up-dominated workload,
+  with the full 1/2/4 scaling curve present.
+
+usage: check_bench_farm.py NEW.json REFERENCE.json
+       [--fresh-floor 1.3] [--ref-floor 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fail(msg):
+    print(f"check_bench_farm: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_shape(name, j):
+    if not j.get("csv_identical"):
+        fail(f"{name}: farmed CSV differs from the in-process runner "
+             "(determinism broken — this is never a flake)")
+    if not j.get("shape_ok"):
+        fail(f"{name}: shape_ok is false")
+    workers = j.get("workers", [])
+    counts = [row.get("workers") for row in workers]
+    if counts != [1, 2, 4]:
+        fail(f"{name}: expected the 1/2/4-worker scaling curve, got {counts}")
+    for row in workers:
+        if row.get("wall_seconds", 0) <= 0:
+            fail(f"{name}: non-positive wall time at "
+                 f"{row.get('workers')} workers")
+    if j.get("warmup_cycles", 0) <= 0:
+        fail(f"{name}: warmup_cycles is 0 — the bench must measure the "
+             "warm-up-amortization regime")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("new_json")
+    ap.add_argument("ref_json")
+    ap.add_argument(
+        "--fresh-floor", type=float, default=1.3,
+        help="minimum 4-worker speedup for a fresh CI run (default 1.3; "
+        "noise-tolerant)")
+    ap.add_argument(
+        "--ref-floor", type=float, default=1.5,
+        help="minimum 4-worker speedup the committed artifact must record "
+        "(default 1.5; the README's claim)")
+    args = ap.parse_args()
+
+    new = load(args.new_json)
+    ref = load(args.ref_json)
+
+    check_shape("fresh run", new)
+    check_shape("committed reference", ref)
+
+    new_speedup = new.get("speedup_4workers", 0.0)
+    ref_speedup = ref.get("speedup_4workers", 0.0)
+    if new_speedup < args.fresh_floor:
+        fail(f"fresh run: 4-worker speedup {new_speedup:.2f}x is below the "
+             f"{args.fresh_floor}x floor")
+    if ref_speedup < args.ref_floor:
+        fail(f"committed reference: records {ref_speedup:.2f}x at 4 workers, "
+             f"below the {args.ref_floor}x the artifact must demonstrate")
+
+    print(f"check_bench_farm: OK (fresh {new_speedup:.2f}x, "
+          f"reference {ref_speedup:.2f}x at 4 workers, CSV identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Render the BENCH_SPEED.json throughput trajectory across git history.
+
+Every commit that touched BENCH_SPEED.json is one sample: the committed
+artifact records each model's kcycles/sec on the reference machine, so
+walking the file's git history recovers how throughput moved PR over PR —
+the long-term answer to "did that optimization stick".  Output is a
+standalone SVG (stdlib only; no matplotlib on the CI image).
+
+usage:
+  plot_speed_trajectory.py --from-git [-o speed_trajectory.svg]
+  plot_speed_trajectory.py A.json B.json ... [-o OUT.svg]
+
+With --from-git the samples are every commit touching BENCH_SPEED.json in
+first-parent order (needs a full clone: fetch-depth 0 in CI).  With
+explicit paths, the files are plotted in the order given.
+"""
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+
+MODEL_COLORS = {
+    "tlm": "#1f77b4",
+    "rtl": "#d62728",
+    "rtl_arch": "#ff7f0e",
+    "tlm_single": "#2ca02c",
+    "tlm_rt": "#9467bd",
+    "tlm_rt_quantum": "#8c564b",
+}
+FALLBACK_COLORS = ["#e377c2", "#7f7f7f", "#bcbd22", "#17becf"]
+
+
+def git(*argv):
+    return subprocess.run(
+        ["git"] + list(argv), check=True, capture_output=True, text=True
+    ).stdout
+
+
+def samples_from_git(path):
+    """[(label, {model: kcycles_per_sec})] for every commit touching path."""
+    shas = git("log", "--reverse", "--first-parent", "--format=%H",
+               "--", path).split()
+    out = []
+    for sha in shas:
+        try:
+            blob = git("show", f"{sha}:{path}")
+            j = json.loads(blob)
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue  # commit deleted or broke the artifact; skip the sample
+        out.append((sha[:10], extract(j)))
+    return out
+
+
+def extract(j):
+    return {
+        m: row["kcycles_per_sec"]
+        for m, row in j.get("models", {}).items()
+        if row.get("kcycles_per_sec", 0) > 0
+    }
+
+
+def samples_from_files(paths):
+    out = []
+    for p in paths:
+        with open(p) as f:
+            out.append((p, extract(json.load(f))))
+    return out
+
+
+def render_svg(samples, out_path):
+    width, height = 860, 420
+    ml, mr, mt, mb = 70, 190, 30, 60  # margins; right holds the legend
+    pw, ph = width - ml - mr, height - mt - mb
+
+    models = sorted({m for _, vals in samples for m in vals})
+    lo = min(v for _, vals in samples for v in vals.values())
+    hi = max(v for _, vals in samples for v in vals.values())
+    # Log scale: the TLM/RTL gap is ~an order of magnitude by design.
+    llo, lhi = math.log10(lo) - 0.05, math.log10(hi) + 0.05
+
+    def x(i):
+        if len(samples) == 1:
+            return ml + pw / 2
+        return ml + pw * i / (len(samples) - 1)
+
+    def y(v):
+        return mt + ph * (1 - (math.log10(v) - llo) / (lhi - llo))
+
+    def color(i, m):
+        return MODEL_COLORS.get(m, FALLBACK_COLORS[i % len(FALLBACK_COLORS)])
+
+    svg = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}"'
+        f' height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        '<text x="12" y="18" font-size="13">BENCH_SPEED.json: kcycles/sec'
+        ' per model, every commit touching the artifact</text>',
+    ]
+
+    # Log-decade gridlines and y labels.
+    for d in range(math.floor(llo), math.ceil(lhi) + 1):
+        v = 10.0 ** d
+        if not (llo <= d <= lhi):
+            continue
+        yy = y(v)
+        svg.append(f'<line x1="{ml}" y1="{yy:.1f}" x2="{ml + pw}"'
+                   f' y2="{yy:.1f}" stroke="#ddd"/>')
+        svg.append(f'<text x="{ml - 8}" y="{yy + 4:.1f}" text-anchor="end">'
+                   f'{v:g}</text>')
+
+    # X labels: commit short-shas, thinned to at most ~12.
+    step = max(1, len(samples) // 12)
+    for i, (label, _) in enumerate(samples):
+        if i % step and i != len(samples) - 1:
+            continue
+        xx = x(i)
+        svg.append(
+            f'<text x="{xx:.1f}" y="{height - mb + 16}" text-anchor="end"'
+            f' transform="rotate(-35 {xx:.1f} {height - mb + 16})">'
+            f'{label}</text>')
+
+    for mi, m in enumerate(models):
+        pts = [(x(i), y(vals[m])) for i, (_, vals) in enumerate(samples)
+               if m in vals]
+        if not pts:
+            continue
+        poly = " ".join(f"{px:.1f},{py:.1f}" for px, py in pts)
+        c = color(mi, m)
+        svg.append(f'<polyline points="{poly}" fill="none" stroke="{c}"'
+                   f' stroke-width="1.6"/>')
+        for px, py in pts:
+            svg.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="2.6"'
+                       f' fill="{c}"/>')
+        ly = mt + 16 * mi
+        svg.append(f'<line x1="{ml + pw + 12}" y1="{ly}" x2="{ml + pw + 36}"'
+                   f' y2="{ly}" stroke="{c}" stroke-width="2"/>')
+        last = next(vals[m] for _, vals in reversed(samples) if m in vals)
+        svg.append(f'<text x="{ml + pw + 42}" y="{ly + 4}">{m}'
+                   f' ({last:.0f})</text>')
+
+    svg.append("</svg>")
+    with open(out_path, "w") as f:
+        f.write("\n".join(svg) + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("jsons", nargs="*", help="explicit artifact files")
+    ap.add_argument("--from-git", action="store_true",
+                    help="sample every commit touching BENCH_SPEED.json")
+    ap.add_argument("--path", default="BENCH_SPEED.json",
+                    help="artifact path for --from-git")
+    ap.add_argument("-o", "--out", default="speed_trajectory.svg")
+    args = ap.parse_args()
+
+    if args.from_git:
+        samples = samples_from_git(args.path)
+    elif args.jsons:
+        samples = samples_from_files(args.jsons)
+    else:
+        print("need --from-git or explicit json files", file=sys.stderr)
+        return 2
+    samples = [(label, vals) for label, vals in samples if vals]
+    if not samples:
+        print("no usable samples", file=sys.stderr)
+        return 1
+    render_svg(samples, args.out)
+    models = sorted({m for _, vals in samples for m in vals})
+    print(f"plot_speed_trajectory: {len(samples)} sample(s), "
+          f"{len(models)} model(s) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
